@@ -1,0 +1,65 @@
+// Ablation: transport protocols (Table 2). Simple vs LL vs LL128 across
+// buffer sizes on the latency-sensitive ring and the bandwidth-oriented
+// hierarchical mesh: LL wins tiny messages, LL128 the mid-range, Simple the
+// sustained-bandwidth regime — the crossover every CCL tunes around.
+#include "algorithms/hierarchical.h"
+#include "algorithms/ring.h"
+#include "bench/bench_util.h"
+
+using namespace resccl;
+using namespace resccl::bench;
+
+namespace {
+
+double Bw(const Algorithm& algo, const Topology& topo, Protocol proto,
+          Size buffer, Size chunk) {
+  RunRequest request;
+  request.launch.buffer = buffer;
+  request.launch.chunk = chunk;
+  request.launch.protocol = proto;
+  Result<CollectiveReport> r =
+      RunCollective(algo, topo, BackendKind::kResCCL, request);
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+    std::abort();
+  }
+  return r.value().algo_bw.gbps();
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablation — transport protocols (ResCCL backend, 2x8)",
+              "design choice from Table 2 (Protocol = Simple)",
+              "Chunk scales with the buffer so tiny messages stay "
+              "latency-bound.");
+  const Topology topo(presets::A100(2, 8));
+  struct Case {
+    const char* label;
+    Algorithm algo;
+  };
+  const Case cases[] = {
+      {"ring AllGather", algorithms::RingAllGather(16)},
+      {"HM AllReduce", algorithms::HierarchicalMeshAllReduce(topo)},
+  };
+  for (const Case& c : cases) {
+    std::printf("--- %s ---\n", c.label);
+    TextTable table({"Buffer", "Simple GB/s", "LL GB/s", "LL128 GB/s",
+                     "best"});
+    for (Size buffer : {Size::KiB(256), Size::MiB(1), Size::MiB(8),
+                        Size::MiB(64), Size::MiB(512)}) {
+      const Size chunk =
+          std::max(Size::KiB(16), buffer / (16 * 8));  // ~8 micro-batches
+      const double simple = Bw(c.algo, topo, Protocol::kSimple, buffer, chunk);
+      const double ll = Bw(c.algo, topo, Protocol::kLL, buffer, chunk);
+      const double ll128 = Bw(c.algo, topo, Protocol::kLL128, buffer, chunk);
+      const char* best = simple >= ll && simple >= ll128 ? "Simple"
+                         : ll >= ll128                   ? "LL"
+                                                         : "LL128";
+      table.AddRow({SizeLabel(buffer), Fixed(simple, 2), Fixed(ll, 2),
+                    Fixed(ll128, 2), best});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  return 0;
+}

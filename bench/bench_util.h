@@ -1,0 +1,79 @@
+// Shared helpers for the benchmark harnesses.
+//
+// Each bench binary regenerates one table or figure from the paper's
+// evaluation (§5); see DESIGN.md's per-experiment index. Output is the
+// table/series the paper reports, printed via TextTable.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "runtime/backend.h"
+#include "runtime/communicator.h"
+#include "topology/topology.h"
+
+namespace resccl::bench {
+
+inline CollectiveReport Measure(const Algorithm& algo, const Topology& topo,
+                                BackendKind kind, Size buffer,
+                                Size chunk = Size::MiB(1)) {
+  RunRequest request;
+  request.launch.buffer = buffer;
+  request.launch.chunk = chunk;
+  Result<CollectiveReport> r = RunCollective(algo, topo, kind, request);
+  if (!r.ok()) {
+    std::fprintf(stderr, "bench run failed: %s\n",
+                 r.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+inline CollectiveReport MeasureWithOptions(const Algorithm& algo,
+                                           const Topology& topo,
+                                           const CompileOptions& options,
+                                           Size buffer,
+                                           const std::string& name) {
+  RunRequest request;
+  request.launch.buffer = buffer;
+  Result<CollectiveReport> r =
+      RunCollectiveWithOptions(algo, topo, options, request, name);
+  if (!r.ok()) {
+    std::fprintf(stderr, "bench run failed: %s\n",
+                 r.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+// The buffer-size grid of Fig. 6/7 (8 MB – 4 GB), optionally thinned to
+// keep multi-config sweeps fast.
+inline std::vector<Size> BufferGrid(bool coarse = false) {
+  if (coarse) {
+    return {Size::MiB(32), Size::MiB(256), Size::MiB(1024), Size::MiB(4096)};
+  }
+  return {Size::MiB(8),   Size::MiB(32),  Size::MiB(128),
+          Size::MiB(512), Size::MiB(1024), Size::MiB(2048),
+          Size::MiB(4096)};
+}
+
+inline std::string SizeLabel(Size s) {
+  if (s.bytes() >= Size::GiB(1).bytes()) {
+    return Fixed(static_cast<double>(s.bytes()) / Size::GiB(1).bytes(), 0) +
+           "GB";
+  }
+  if (s.bytes() >= Size::MiB(1).bytes()) return Fixed(s.mib(), 0) + "MB";
+  return Fixed(static_cast<double>(s.bytes()) / 1024.0, 0) + "KB";
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper_ref,
+                        const std::string& note) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+  std::printf("\n");
+}
+
+}  // namespace resccl::bench

@@ -1,0 +1,48 @@
+// Fig. 12: per-TB time-cost breakdown (sync vs execution) for ResCCL and
+// MSCCL executing the same expert and synthesized algorithms on the V100
+// cluster, including the early-release saving of ResCCL's smaller plan.
+#include <algorithm>
+
+#include "algorithms/hierarchical.h"
+#include "algorithms/synthesized.h"
+#include "bench/bench_util.h"
+
+using namespace resccl;
+using namespace resccl::bench;
+
+namespace {
+
+void Panel(const char* label, const Algorithm& algo, const Topology& topo) {
+  std::printf("--- %s ---\n", label);
+  for (BackendKind kind : {BackendKind::kMscclLike, BackendKind::kResCCL}) {
+    const CollectiveReport r = Measure(algo, topo, kind, Size::MiB(256));
+    // Show rank 0's TBs, the figure's "workers".
+    TextTable table({"TB", "exec ms", "sync ms", "release ms",
+                     "saving vs makespan"});
+    int shown = 0;
+    for (const TbStats& tb : r.sim.tbs) {
+      if (tb.rank != 0) continue;
+      table.AddRow({"TB" + std::to_string(shown++), Fixed(tb.busy.ms(), 2),
+                    Fixed(tb.sync.ms(), 2), Fixed(tb.finish.ms(), 2),
+                    Fixed((r.sim.makespan - tb.finish).ms(), 2)});
+    }
+    std::printf("%s backend: %d TBs on rank 0 (total %d), makespan %.2f ms\n",
+                BackendName(kind), shown, r.total_tbs, r.sim.makespan.ms());
+    std::printf("%s\n", table.ToString().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Fig. 12 — per-TB sync/execution breakdown (V100)",
+              "Fig. 12(a)-(b) of the paper",
+              "Paper: ResCCL reduces TB count by up to 75%, cuts occupation "
+              "time to as little as 3.8% of MSCCL's, and releases TBs early.");
+  const Topology topo(presets::V100(2, 8));
+  Panel("(a) expert-designed (HM AllReduce)",
+        algorithms::HierarchicalMeshAllReduce(topo), topo);
+  Panel("(b) synthesized (TACCL-like AllReduce)",
+        algorithms::TacclLikeAllReduce(topo), topo);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Fig. 2: time-cost breakdown of primitives when the existing (MSCCL-like)
+// backend runs custom and synthesized single-node AllReduce algorithms.
+// (a) extra-channel TBs sit idle almost all the time; (b) synchronization
+// blocking dominates many TBs' lifetimes.
+#include <algorithm>
+
+#include "algorithms/synthesized.h"
+#include "bench/bench_util.h"
+
+using namespace resccl;
+using namespace resccl::bench;
+
+namespace {
+
+void Breakdown(const char* label, const Algorithm& algo,
+               const Topology& topo) {
+  const CollectiveReport r =
+      Measure(algo, topo, BackendKind::kMscclLike, Size::MiB(256));
+
+  std::printf("--- %s (%s, MSCCL-like backend) ---\n", label,
+              algo.name.c_str());
+  TextTable table({"TB bucket", "count", "avg exec", "avg sync(idle)",
+                   "avg overhead"});
+  // Bucket TBs by idle ratio, mirroring the figure's "main" vs "extra
+  // channel" populations.
+  struct Bucket {
+    const char* name;
+    double lo, hi;
+  };
+  for (const Bucket& b : {Bucket{"busy TBs   (idle < 50%)", 0.0, 0.5},
+                          Bucket{"blocked TBs (idle 50-90%)", 0.5, 0.9},
+                          Bucket{"idle TBs   (idle >= 90%)", 0.9, 1.01}}) {
+    int n = 0;
+    double exec = 0, sync = 0, ovh = 0;
+    for (const TbStats& tb : r.sim.tbs) {
+      if (tb.finish <= SimTime::Zero()) continue;
+      const double idle = tb.sync / tb.finish;
+      if (idle < b.lo || idle >= b.hi) continue;
+      ++n;
+      exec += tb.busy / tb.finish;
+      sync += idle;
+      ovh += tb.overhead / tb.finish;
+    }
+    table.AddRow({b.name, std::to_string(n),
+                  n ? Percent(exec / n) : "-", n ? Percent(sync / n) : "-",
+                  n ? Percent(ovh / n) : "-"});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("total TBs %d, max idle ratio %s, avg sync blocking %s\n\n",
+              r.total_tbs, Percent(r.sim.MaxIdleRatio()).c_str(),
+              Percent(r.sim.AvgIdleRatio()).c_str());
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Fig. 2 — primitive time-cost breakdown on the existing runtime",
+              "Fig. 2 of the paper",
+              "Paper: extra-channel TBs idle up to 98.2% of the time (a); "
+              "sync blocking reaches 67.1% (b).");
+  const Topology topo(presets::A100(1, 8));
+  Breakdown("(a) custom single-node AllReduce",
+            algorithms::MscclangAllReduce(topo), topo);
+  Breakdown("(b) synthesized single-node AllReduce",
+            algorithms::TacclLikeAllReduce(topo), topo);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Fig. 4: impact of TB parallelism on communication bandwidth. A P2P
+// transfer over one NIC is split across a varying number of (narrow,
+// 4-warp) TB pairs; bandwidth ramps while the TBs' aggregate copy rate is
+// below line rate, peaks around 4 TBs, then *degrades* as contention
+// overhead grows — the paper's motivation for communication dependencies.
+#include "bench/bench_util.h"
+#include "sim/machine.h"
+
+using namespace resccl;
+using namespace resccl::bench;
+
+namespace {
+
+double P2pBandwidth(const Topology& topo, int ntbs, Size total) {
+  SimProgram p;
+  const std::int64_t per_tb = total.bytes() / ntbs;
+  for (int i = 0; i < ntbs; ++i) {
+    SimTransferDecl decl;
+    decl.src = 0;
+    decl.dst = 8;
+    decl.bytes = per_tb;
+    p.transfers.push_back(decl);
+    SimTb send;
+    send.rank = 0;
+    send.warps = 4;  // the narrow TBs of the paper's experiment
+    send.program = {SimInstr{SimInstr::Kind::kSendSide, i, -1, {}}};
+    SimTb recv;
+    recv.rank = 8;
+    recv.warps = 4;
+    recv.program = {SimInstr{SimInstr::Kind::kRecvSide, i, -1, {}}};
+    p.tbs.push_back(std::move(send));
+    p.tbs.push_back(std::move(recv));
+  }
+  const CostModel cost;
+  SimMachine machine(topo, cost);
+  const SimRunReport r = machine.Run(p);
+  return static_cast<double>(total.bytes()) / 1e3 / r.makespan.us();
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Fig. 4 — TB parallelism vs bandwidth (P2P over one NIC)",
+              "Fig. 4 of the paper",
+              "Paper: bandwidth increases up to 4 TBs, then decreases.");
+  const Topology topo(presets::A100(2, 8));
+  TextTable table({"TBs", "Aggregate GB/s", "NIC line-rate fraction"});
+  const Size total = Size::MiB(256);
+  for (int n : {1, 2, 3, 4, 6, 8, 12, 16}) {
+    const double gbps = P2pBandwidth(topo, n, total);
+    table.AddRow({std::to_string(n), Fixed(gbps, 2),
+                  Percent(gbps / topo.spec().nic.gbps())});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Microbenchmarks (google-benchmark): compiler-phase throughput — DSL
+// parsing, dependency analysis, HPDS/RR scheduling, TB allocation — at
+// growing cluster scales. Complements fig10_workflow_breakdown with
+// statistically sampled timings.
+#include <benchmark/benchmark.h>
+
+#include "algorithms/hierarchical.h"
+#include "core/compiler.h"
+#include "core/hpds.h"
+#include "core/round_robin.h"
+#include "lang/eval.h"
+#include "topology/topology.h"
+
+namespace resccl {
+namespace {
+
+void BM_DependencyAnalysis(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const Topology topo(presets::A100(nodes, 8));
+  const Algorithm algo = algorithms::HierarchicalMeshAllReduce(topo);
+  for (auto _ : state) {
+    ConnectionTable conns(topo);
+    DependencyGraph dag(algo, conns);
+    benchmark::DoNotOptimize(dag.total_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * algo.ntasks());
+}
+BENCHMARK(BM_DependencyAnalysis)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_HpdsSchedule(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const Topology topo(presets::A100(nodes, 8));
+  const Algorithm algo = algorithms::HierarchicalMeshAllReduce(topo);
+  ConnectionTable conns(topo);
+  DependencyGraph dag(algo, conns);
+  HpdsScheduler hpds;
+  for (auto _ : state) {
+    const Schedule s = hpds.Build(dag, conns);
+    benchmark::DoNotOptimize(s.nwaves());
+  }
+  state.SetItemsProcessed(state.iterations() * algo.ntasks());
+}
+BENCHMARK(BM_HpdsSchedule)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_RoundRobinSchedule(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const Topology topo(presets::A100(nodes, 8));
+  const Algorithm algo = algorithms::HierarchicalMeshAllReduce(topo);
+  ConnectionTable conns(topo);
+  DependencyGraph dag(algo, conns);
+  RoundRobinScheduler rr;
+  for (auto _ : state) {
+    const Schedule s = rr.Build(dag, conns);
+    benchmark::DoNotOptimize(s.nwaves());
+  }
+  state.SetItemsProcessed(state.iterations() * algo.ntasks());
+}
+BENCHMARK(BM_RoundRobinSchedule)->Arg(2)->Arg(8);
+
+void BM_FullCompile(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const Topology topo(presets::A100(nodes, 8));
+  const Algorithm algo = algorithms::HierarchicalMeshAllReduce(topo);
+  for (auto _ : state) {
+    auto compiled = Compile(algo, topo, {});
+    benchmark::DoNotOptimize(compiled.ok());
+  }
+}
+BENCHMARK(BM_FullCompile)->Arg(2)->Arg(8);
+
+void BM_DslRingCompile(benchmark::State& state) {
+  const char* source = R"(
+def ResCCLAlgo(nRanks=64, AlgoName="ring", OpType="Allgather"):
+    N = 64
+    for c in range(0, N):
+        for s in range(0, N-1):
+            transfer((c+s)%N, (c+s+1)%N, s, c, recv)
+)";
+  for (auto _ : state) {
+    auto algo = lang::CompileSource(source);
+    benchmark::DoNotOptimize(algo.ok());
+  }
+}
+BENCHMARK(BM_DslRingCompile);
+
+}  // namespace
+}  // namespace resccl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Table 3: TB resource utilization of ResCCL vs MSCCL across the four
+// topologies (2×4, 2×8, 4×4, 4×8) for expert and synthesized AllReduce /
+// AllGather: per-GPU TB count, mean communication (busy) share, mean and
+// max idle ratio.
+#include "algorithms/hierarchical.h"
+#include "algorithms/synthesized.h"
+#include "bench/bench_util.h"
+
+using namespace resccl;
+using namespace resccl::bench;
+
+namespace {
+
+struct Metrics {
+  int tbs = 0;
+  double comm = 0, avg_idle = 0, max_idle = 0;
+};
+
+Metrics MeasureMetrics(const Algorithm& algo, const Topology& topo,
+                       BackendKind kind) {
+  const CollectiveReport r = Measure(algo, topo, kind, Size::MiB(256));
+  return {r.max_tbs_per_rank, r.sim.AvgBusyRatio(), r.sim.AvgIdleRatio(),
+          r.sim.MaxIdleRatio()};
+}
+
+void Section(const char* label,
+             Algorithm (*make)(const Topology&)) {
+  std::printf("--- %s ---\n", label);
+  TextTable table({"Backend", "Metric", "Topo1 (2x4)", "Topo2 (2x8)",
+                   "Topo3 (4x4)", "Topo4 (4x8)"});
+  for (BackendKind kind : {BackendKind::kMscclLike, BackendKind::kResCCL}) {
+    Metrics m[4];
+    for (int i = 0; i < 4; ++i) {
+      const Topology topo(presets::Table3Topo(i + 1));
+      m[i] = MeasureMetrics(make(topo), topo, kind);
+    }
+    const char* name = BackendName(kind);
+    table.AddRow({name, "# TB / GPU", std::to_string(m[0].tbs),
+                  std::to_string(m[1].tbs), std::to_string(m[2].tbs),
+                  std::to_string(m[3].tbs)});
+    table.AddRow({name, "Comm Time", Percent(m[0].comm), Percent(m[1].comm),
+                  Percent(m[2].comm), Percent(m[3].comm)});
+    table.AddRow({name, "Avg Idle", Percent(m[0].avg_idle),
+                  Percent(m[1].avg_idle), Percent(m[2].avg_idle),
+                  Percent(m[3].avg_idle)});
+    table.AddRow({name, "Max Idle", Percent(m[0].max_idle),
+                  Percent(m[1].max_idle), Percent(m[2].max_idle),
+                  Percent(m[3].max_idle)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Table 3 — TB resource utilization, ResCCL vs MSCCL",
+              "Table 3 of the paper",
+              "Paper: ResCCL reduces TB consumption by up to 77.8%, cuts "
+              "average idle time by 41.6%, and its max idle never exceeds "
+              "~21.4% on expert algorithms (vs up to 99.9% for MSCCL).");
+  Section("Expert AllReduce (hierarchical mesh)",
+          algorithms::HierarchicalMeshAllReduce);
+  Section("Expert AllGather (hierarchical mesh)",
+          algorithms::HierarchicalMeshAllGather);
+  Section("Synthesized AllReduce (TACCL-like)",
+          algorithms::TacclLikeAllReduce);
+  Section("Synthesized AllGather (TACCL-like)",
+          algorithms::TacclLikeAllGather);
+  return 0;
+}

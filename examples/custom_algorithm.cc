@@ -1,0 +1,69 @@
+// Custom algorithm development with ResCCLang: write an algorithm in the
+// DSL, compile it, compare its execution under all three backends, and dump
+// the generated lightweight kernel for one rank.
+//
+//   $ ./build/examples/custom_algorithm
+#include <cstdio>
+
+#include "core/kernel_gen.h"
+#include "lang/eval.h"
+#include "runtime/communicator.h"
+
+int main() {
+  using namespace resccl;
+
+  // A hierarchical AllGather for 2 x 4 GPUs written directly in ResCCLang:
+  // full-mesh broadcast inside each node, a ring-aligned exchange between
+  // nodes, then a local rebroadcast of the remote chunks (Appendix A).
+  const char* source = R"(
+def ResCCLAlgo(nRanks=8, AlgoName="my_hm_allgather", OpType="Allgather", GPUPerNode=4):
+    nNodes = 2
+    nGpus = 4
+    N = nNodes * nGpus
+    for r in range(0, N):
+        node = r / nGpus
+        j = r % nGpus
+        # mesh-broadcast my chunk to local peers
+        for o in range(0, nGpus - 1):
+            transfer(r, node * nGpus + (j + o + 1) % nGpus, o, r, recv)
+        # forward my chunk to the ring-aligned peer on the other node
+        transfer(r, (r + nGpus) % N, 0, r, recv)
+        # the remote peer rebroadcasts it locally
+        g = (r + nGpus) % N
+        for o in range(0, nGpus - 1):
+            transfer(g, (g / nGpus) * nGpus + (g % nGpus + o + 1) % nGpus, nNodes - 1 + o, r, recv)
+)";
+
+  auto algo = lang::CompileSource(source);
+  if (!algo.ok()) {
+    std::fprintf(stderr, "ResCCLang error: %s\n",
+                 algo.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("compiled '%s': %d ranks, %d transfers\n\n",
+              algo.value().name.c_str(), algo.value().nranks,
+              algo.value().ntasks());
+
+  const TopologySpec spec = presets::A100(2, 4);
+  RunRequest request;
+  request.launch.buffer = Size::MiB(256);
+  request.verify = true;
+
+  for (BackendKind kind : {BackendKind::kResCCL, BackendKind::kMscclLike,
+                           BackendKind::kNcclLike}) {
+    const Communicator comm(spec, kind);
+    const CollectiveReport r = comm.Run(algo.value(), request);
+    std::printf("%-7s %8.1f GB/s  %3d TBs  idle %4.1f%%  verified=%s\n",
+                r.backend.c_str(), r.algo_bw.gbps(), r.total_tbs,
+                r.sim.AvgIdleRatio() * 100, r.verified ? "yes" : "NO");
+  }
+
+  // Show what the ResCCL compiler actually generates for rank 0.
+  const Topology topo(spec);
+  const CompiledCollective compiled =
+      Compile(algo.value(), topo, DefaultCompileOptions(BackendKind::kResCCL))
+          .value();
+  std::printf("\n--- generated kernel, rank 0 ---\n%s",
+              EmitPseudoCuda(compiled, /*rank=*/0).c_str());
+  return 0;
+}

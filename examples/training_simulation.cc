@@ -1,0 +1,53 @@
+// End-to-end training simulation: how the communication backend choice
+// moves Megatron-style training throughput for a GPT-3 model under tensor
+// parallelism and a T5 model under data parallelism (Fig. 13's scenario).
+//
+//   $ ./build/examples/training_simulation
+#include <cstdio>
+
+#include "train/trainer.h"
+
+int main() {
+  using namespace resccl;
+  using namespace resccl::train;
+
+  const BackendKind kinds[] = {BackendKind::kNcclLike,
+                               BackendKind::kMscclLike, BackendKind::kResCCL};
+
+  std::printf("GPT-3 13B, tp=8 dp=2 (16 GPUs), global batch 16:\n");
+  for (BackendKind kind : kinds) {
+    TrainConfig c;
+    c.model = Gpt3Family()[1];
+    c.tp = 8;
+    c.dp = 2;
+    c.global_batch = 16;
+    c.backend = kind;
+    const IterationReport r = SimulateIteration(c);
+    std::printf(
+        "  %-7s iteration %7.1f ms (compute %6.1f + TP %6.1f + DP %5.1f) "
+        "-> %6.2f samples/s, comm %4.1f%%\n",
+        r.backend.c_str(), r.iteration.ms(), r.compute.ms(), r.tp_comm.ms(),
+        r.dp_comm.ms(), r.samples_per_sec, r.comm_fraction * 100);
+  }
+
+  std::printf("\nT5 3B, dp=16 (16 GPUs), global batch 16:\n");
+  for (BackendKind kind : kinds) {
+    TrainConfig c;
+    c.model = T5Family()[2];
+    c.tp = 1;
+    c.dp = 16;
+    c.global_batch = 16;
+    c.backend = kind;
+    const IterationReport r = SimulateIteration(c);
+    std::printf(
+        "  %-7s iteration %7.1f ms (compute %6.1f + DP %5.1f) "
+        "-> %7.2f samples/s, comm %4.1f%%\n",
+        r.backend.c_str(), r.iteration.ms(), r.compute.ms(), r.dp_comm.ms(),
+        r.samples_per_sec, r.comm_fraction * 100);
+  }
+
+  std::printf(
+      "\nSwapping the backend is the only change between rows — the same\n"
+      "algorithms run under different execution scheduling (§5.5).\n");
+  return 0;
+}

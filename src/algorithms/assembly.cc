@@ -1,0 +1,51 @@
+#include "algorithms/assembly.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace resccl::algorithms {
+
+Algorithm ReverseToReduceScatter(const Algorithm& allgather) {
+  RESCCL_CHECK_MSG(allgather.collective == CollectiveOp::kAllGather,
+                   "ReverseToReduceScatter expects an AllGather");
+  Step max_step = 0;
+  for (const Transfer& t : allgather.transfers) {
+    max_step = std::max(max_step, t.step);
+  }
+  Algorithm rs;
+  rs.name = allgather.name + "_rs";
+  rs.collective = CollectiveOp::kReduceScatter;
+  rs.nranks = allgather.nranks;
+  rs.nchunks = allgather.nchunks;
+  rs.transfers.reserve(allgather.transfers.size());
+  for (const Transfer& t : allgather.transfers) {
+    Transfer r;
+    r.src = t.dst;
+    r.dst = t.src;
+    r.step = max_step - t.step;
+    r.chunk = t.chunk;
+    r.op = TransferOp::kRecvReduceCopy;
+    rs.transfers.push_back(r);
+  }
+  return rs;
+}
+
+Algorithm AssembleAllReduce(const Algorithm& allgather) {
+  Algorithm rs = ReverseToReduceScatter(allgather);
+  Step rs_span = 0;
+  for (const Transfer& t : rs.transfers) rs_span = std::max(rs_span, t.step);
+
+  Algorithm ar = std::move(rs);
+  ar.name = allgather.name + "_ar";
+  ar.collective = CollectiveOp::kAllReduce;
+  ar.transfers.reserve(ar.transfers.size() + allgather.transfers.size());
+  for (const Transfer& t : allgather.transfers) {
+    Transfer g = t;
+    g.step += rs_span + 1;
+    ar.transfers.push_back(g);
+  }
+  return ar;
+}
+
+}  // namespace resccl::algorithms

@@ -1,0 +1,22 @@
+// Algorithm assembly utilities.
+//
+// AllGather and ReduceScatter are duals: reversing every transfer of an
+// AllGather (and turning copies into reductions) yields a ReduceScatter with
+// the same traffic pattern, and chaining the two gives an AllReduce — the
+// "general assembly technique" the paper uses to build AllReduce variants
+// (§5.2's TECCL-AllReduce, and the HM-AllReduce structure of Appendix A).
+#pragma once
+
+#include "core/algorithm.h"
+
+namespace resccl::algorithms {
+
+// Reverses an AllGather into the dual ReduceScatter: each broadcast tree
+// from chunk owner c becomes a reduction tree into c; step order flips.
+[[nodiscard]] Algorithm ReverseToReduceScatter(const Algorithm& allgather);
+
+// ReduceScatter (reversed `allgather`) followed by `allgather` itself,
+// steps offset so the gather phase follows the reduce phase per chunk.
+[[nodiscard]] Algorithm AssembleAllReduce(const Algorithm& allgather);
+
+}  // namespace resccl::algorithms

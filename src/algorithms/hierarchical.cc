@@ -1,0 +1,160 @@
+#include "algorithms/hierarchical.h"
+
+#include "common/check.h"
+
+namespace resccl::algorithms {
+
+namespace {
+
+int Mod(int a, int n) { return ((a % n) + n) % n; }
+
+void Emit(Algorithm& algo, int src, int dst, int step, int chunk,
+          TransferOp op) {
+  Transfer t;
+  t.src = src;
+  t.dst = dst;
+  t.step = step;
+  t.chunk = chunk;
+  t.op = op;
+  algo.transfers.push_back(t);
+}
+
+// Stage 1 of HM-RS/AR: full-mesh intra-node ReduceScatter. Every GPU sends,
+// for each local peer j, all chunks of j's class (ids ≡ j mod G) with
+// recvReduceCopy; the per-(dst, chunk) reductions land on distinct steps so
+// they serialize correctly. Returns the first unused step.
+int EmitIntraReduceScatter(Algorithm& algo, int nodes, int gpus) {
+  const int nranks = nodes * gpus;
+  for (int n = 0; n < nodes; ++n) {
+    for (int i = 0; i < gpus; ++i) {
+      const int src = n * gpus + i;
+      for (int x = 0; x < nodes; ++x) {
+        for (int offset = 0; offset + 1 < gpus; ++offset) {
+          const int dst = n * gpus + (i + offset + 1) % gpus;
+          const int chunk = Mod(dst + x * gpus, nranks);
+          const int step = x * (gpus - 1) + offset;
+          Emit(algo, src, dst, step, chunk, TransferOp::kRecvReduceCopy);
+        }
+      }
+    }
+  }
+  return nodes * (gpus - 1);
+}
+
+// Stage 2: ring ReduceScatter across ring-aligned peers. Chunk c hops
+// (c+G) → (c+2G) → … → c, accumulating, so the complete reduction of chunk
+// c homes at rank c. Returns the first unused step.
+int EmitInterReduceScatter(Algorithm& algo, int nodes, int gpus, int base) {
+  const int nranks = nodes * gpus;
+  for (int c = 0; c < nranks; ++c) {
+    for (int b = 0; b + 1 < nodes; ++b) {
+      const int src = Mod(c + (b + 1) * gpus, nranks);
+      const int dst = Mod(c + (b + 2) * gpus, nranks);
+      Emit(algo, src, dst, base + b, c, TransferOp::kRecvReduceCopy);
+    }
+  }
+  return base + (nodes - 1);
+}
+
+}  // namespace
+
+Algorithm HierarchicalMeshAllGather(const Topology& topo) {
+  const int nodes = topo.nodes();
+  const int gpus = topo.gpus_per_node();
+  const int nranks = topo.nranks();
+  RESCCL_CHECK(nranks >= 2);
+
+  Algorithm algo;
+  algo.name = "hm_allgather";
+  algo.collective = CollectiveOp::kAllGather;
+  algo.nranks = nranks;
+  algo.nchunks = nranks;
+
+  for (int r = 0; r < nranks; ++r) {
+    const int node = r / gpus;
+    const int j = r % gpus;
+    // Broadcast 1a: full-mesh send of the own chunk to every local peer.
+    for (int offset = 0; offset + 1 < gpus; ++offset) {
+      const int dst = node * gpus + (j + offset + 1) % gpus;
+      Emit(algo, r, dst, offset, r, TransferOp::kRecv);
+    }
+    // Broadcast 1b: ring forward of the own chunk to ring-aligned peers.
+    for (int t = 0; t + 1 < nodes; ++t) {
+      const int src = Mod(r + t * gpus, nranks);
+      const int dst = Mod(r + (t + 1) * gpus, nranks);
+      Emit(algo, src, dst, t, r, TransferOp::kRecv);
+    }
+    // Broadcast 2: each remote ring peer rebroadcasts chunk r locally.
+    for (int t = 1; t < nodes; ++t) {
+      const int g = Mod(r + t * gpus, nranks);
+      const int gnode = g / gpus;
+      const int gj = g % gpus;
+      for (int offset = 0; offset + 1 < gpus; ++offset) {
+        const int dst = gnode * gpus + (gj + offset + 1) % gpus;
+        Emit(algo, g, dst, (nodes - 1) + offset, r, TransferOp::kRecv);
+      }
+    }
+  }
+  return algo;
+}
+
+Algorithm HierarchicalMeshReduceScatter(const Topology& topo) {
+  const int nodes = topo.nodes();
+  const int gpus = topo.gpus_per_node();
+  RESCCL_CHECK(topo.nranks() >= 2);
+
+  Algorithm algo;
+  algo.name = "hm_reducescatter";
+  algo.collective = CollectiveOp::kReduceScatter;
+  algo.nranks = topo.nranks();
+  algo.nchunks = topo.nranks();
+
+  const int base = EmitIntraReduceScatter(algo, nodes, gpus);
+  EmitInterReduceScatter(algo, nodes, gpus, base);
+  return algo;
+}
+
+Algorithm HierarchicalMeshAllReduce(const Topology& topo) {
+  const int nodes = topo.nodes();
+  const int gpus = topo.gpus_per_node();
+  const int nranks = topo.nranks();
+  RESCCL_CHECK(nranks >= 2);
+
+  Algorithm algo;
+  algo.name = "hm_allreduce";
+  algo.collective = CollectiveOp::kAllReduce;
+  algo.nranks = nranks;
+  algo.nchunks = nranks;
+
+  // Stages 1–2: hierarchical ReduceScatter (chunk c fully reduced at rank c).
+  int base = EmitIntraReduceScatter(algo, nodes, gpus);
+  base = EmitInterReduceScatter(algo, nodes, gpus, base);
+
+  // Stage 3: inter-node ring AllGather of the reduced chunks.
+  for (int c = 0; c < nranks; ++c) {
+    for (int b = 0; b + 1 < nodes; ++b) {
+      const int src = Mod(c + b * gpus, nranks);
+      const int dst = Mod(c + (b + 1) * gpus, nranks);
+      Emit(algo, src, dst, base + b, c, TransferOp::kRecv);
+    }
+  }
+  base += nodes - 1;
+
+  // Stage 4: intra-node full-mesh AllGather. Each GPU now holds the M
+  // reduced chunks of its class and rebroadcasts them to its local peers.
+  for (int n = 0; n < nodes; ++n) {
+    for (int j = 0; j < gpus; ++j) {
+      const int g = n * gpus + j;
+      for (int x = 0; x < nodes; ++x) {
+        const int chunk = Mod(j + x * gpus, nranks);
+        for (int offset = 0; offset + 1 < gpus; ++offset) {
+          const int dst = n * gpus + (j + offset + 1) % gpus;
+          Emit(algo, g, dst, base + x, chunk, TransferOp::kRecv);
+        }
+      }
+    }
+  }
+  return algo;
+}
+
+}  // namespace resccl::algorithms

@@ -1,0 +1,31 @@
+// Hierarchical Mesh (HM) expert algorithms — Appendix A of the paper.
+//
+// Designed for NVSwitch-equipped multi-GPU servers joined by RoCE: intra-node
+// phases use the full mesh (direct sends between every local GPU pair),
+// inter-node phases use rings over "ring-aligned" peers (same local index on
+// consecutive nodes), so each inter-node ring maps onto one NIC pair.
+//
+// Our HM-ReduceScatter/AllReduce home each reduced chunk c at rank c (the
+// paper's Fig. 16 rotation homes it at c−G); the traffic pattern is
+// identical, the rotation just aligns with the library's ReduceScatter
+// output convention.
+#pragma once
+
+#include "core/algorithm.h"
+#include "topology/topology.h"
+
+namespace resccl::algorithms {
+
+// Two stages: intra-node mesh broadcast + inter-node ring broadcast, then a
+// mesh rebroadcast of ring-received chunks (Appendix A, HM AllGather).
+[[nodiscard]] Algorithm HierarchicalMeshAllGather(const Topology& topo);
+
+// Stages 1–2 of HM AllReduce: intra-node mesh ReduceScatter, then
+// inter-node ring ReduceScatter over each GPU's chunk class.
+[[nodiscard]] Algorithm HierarchicalMeshReduceScatter(const Topology& topo);
+
+// Four stages (Appendix A): intra-RS mesh, inter-RS ring, inter-AG ring,
+// intra-AG mesh.
+[[nodiscard]] Algorithm HierarchicalMeshAllReduce(const Topology& topo);
+
+}  // namespace resccl::algorithms

@@ -1,0 +1,24 @@
+// Recursive-distance algorithms — the classic MPI-style collectives, useful
+// as additional expert baselines and for latency-oriented regimes.
+//
+// All of them require a power-of-two rank count (checked).
+#pragma once
+
+#include "core/algorithm.h"
+
+namespace resccl::algorithms {
+
+// Recursive halving ReduceScatter followed by recursive doubling AllGather:
+// log2(N) exchange rounds each way, each rank pairing with r XOR 2^k.
+// Chunk c finishes, fully reduced, at rank c before the doubling phase.
+[[nodiscard]] Algorithm RecursiveHalvingDoublingAllReduce(int nranks);
+
+// Recursive doubling AllGather: after round k every rank holds the chunks
+// of its 2^(k+1)-rank block.
+[[nodiscard]] Algorithm RecursiveDoublingAllGather(int nranks);
+
+// One-shot (direct) AllGather: every rank sends its chunk straight to every
+// peer in a single step — the minimal-latency pattern for small buffers.
+[[nodiscard]] Algorithm OneShotAllGather(int nranks);
+
+}  // namespace resccl::algorithms

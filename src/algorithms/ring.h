@@ -1,0 +1,34 @@
+// Ring algorithms — the standard algorithms vendor CCLs ship (§2.1).
+//
+// The classic single-ring collectives: chunk c circulates rank-to-rank along
+// the ring r → r+1. The NCCL-like baseline backend executes these at
+// algorithm-level granularity.
+#pragma once
+
+#include "core/algorithm.h"
+#include "topology/topology.h"
+
+namespace resccl::algorithms {
+
+// Chunk c starts at rank c; N−1 forwarding steps deliver it everywhere.
+[[nodiscard]] Algorithm RingAllGather(int nranks);
+
+// Chunk c accumulates around the ring and lands, fully reduced, at rank c.
+[[nodiscard]] Algorithm RingReduceScatter(int nranks);
+
+// ReduceScatter phase followed by AllGather phase (2(N−1) steps).
+[[nodiscard]] Algorithm RingAllReduce(int nranks);
+
+// Multi-channel rings, the way NCCL actually deploys them: channel k's ring
+// rotates each node's GPU order so its node-boundary crossings land on NIC k,
+// and chunks stripe across channels (chunk c rides ring c mod nchannels).
+// With nchannels == nics_per_node the inter-node load spreads over every
+// NIC instead of hammering one.
+[[nodiscard]] Algorithm MultiChannelRingAllGather(const Topology& topo,
+                                                  int nchannels);
+[[nodiscard]] Algorithm MultiChannelRingReduceScatter(const Topology& topo,
+                                                      int nchannels);
+[[nodiscard]] Algorithm MultiChannelRingAllReduce(const Topology& topo,
+                                                  int nchannels);
+
+}  // namespace resccl::algorithms

@@ -1,0 +1,96 @@
+#include "algorithms/rooted.h"
+
+#include "common/check.h"
+
+namespace resccl::algorithms {
+
+namespace {
+
+Algorithm Base(const char* name, CollectiveOp op, int nranks, Rank root) {
+  RESCCL_CHECK(nranks >= 2);
+  RESCCL_CHECK(root >= 0 && root < nranks);
+  Algorithm algo;
+  algo.name = name;
+  algo.collective = op;
+  algo.nranks = nranks;
+  algo.nchunks = nranks;
+  algo.root = root;
+  return algo;
+}
+
+// Rank at offset `i` from the root (virtual ring labelling).
+int FromRoot(int nranks, Rank root, int i) { return (root + i) % nranks; }
+
+}  // namespace
+
+Algorithm BinomialTreeBroadcast(int nranks, Rank root) {
+  Algorithm algo = Base("binomial_broadcast", CollectiveOp::kBroadcast,
+                        nranks, root);
+  // Round k: every rank at virtual offset < 2^k forwards the whole buffer
+  // to offset + 2^k (when it exists).
+  for (int k = 0; (1 << k) < nranks; ++k) {
+    const int dist = 1 << k;
+    for (int i = 0; i < dist && i + dist < nranks; ++i) {
+      const int src = FromRoot(nranks, root, i);
+      const int dst = FromRoot(nranks, root, i + dist);
+      for (ChunkId c = 0; c < nranks; ++c) {
+        algo.transfers.push_back(
+            {src, dst, k, c, TransferOp::kRecv});
+      }
+    }
+  }
+  return algo;
+}
+
+Algorithm BinomialTreeReduce(int nranks, Rank root) {
+  Algorithm algo = Base("binomial_reduce", CollectiveOp::kReduce, nranks,
+                        root);
+  // Mirror of the broadcast: the deepest pairs reduce first.
+  int levels = 0;
+  while ((1 << levels) < nranks) ++levels;
+  for (int k = levels - 1; k >= 0; --k) {
+    const int dist = 1 << k;
+    for (int i = 0; i < dist && i + dist < nranks; ++i) {
+      const int src = FromRoot(nranks, root, i + dist);
+      const int dst = FromRoot(nranks, root, i);
+      for (ChunkId c = 0; c < nranks; ++c) {
+        algo.transfers.push_back(
+            {src, dst, levels - 1 - k, c, TransferOp::kRecvReduceCopy});
+      }
+    }
+  }
+  return algo;
+}
+
+Algorithm ChainBroadcast(int nranks, Rank root) {
+  Algorithm algo = Base("chain_broadcast", CollectiveOp::kBroadcast, nranks,
+                        root);
+  // Chunk c leaves the root at step c and moves one hop per step, so hops
+  // of different chunks pipeline down the chain.
+  for (ChunkId c = 0; c < nranks; ++c) {
+    for (int hop = 0; hop + 1 < nranks; ++hop) {
+      const int src = FromRoot(nranks, root, hop);
+      const int dst = FromRoot(nranks, root, hop + 1);
+      algo.transfers.push_back(
+          {src, dst, c + hop, c, TransferOp::kRecv});
+    }
+  }
+  return algo;
+}
+
+Algorithm ChainReduce(int nranks, Rank root) {
+  Algorithm algo = Base("chain_reduce", CollectiveOp::kReduce, nranks, root);
+  // Chunks accumulate towards the root from the far end of the chain,
+  // pipelined across chunk indices.
+  for (ChunkId c = 0; c < nranks; ++c) {
+    for (int hop = nranks - 1; hop >= 1; --hop) {
+      const int src = FromRoot(nranks, root, hop);
+      const int dst = FromRoot(nranks, root, hop - 1);
+      algo.transfers.push_back(
+          {src, dst, c + (nranks - 1 - hop), c, TransferOp::kRecvReduceCopy});
+    }
+  }
+  return algo;
+}
+
+}  // namespace resccl::algorithms

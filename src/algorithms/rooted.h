@@ -1,0 +1,21 @@
+// Rooted collectives: Broadcast and Reduce.
+//
+// Two families:
+//   binomial tree  — log2(N) rounds, the classic latency-optimal pattern
+//                    for small payloads;
+//   pipelined chain — the ranks form a line rooted at `root` and chunks
+//                    stream hop by hop, overlapping across chunk indices:
+//                    bandwidth-optimal for large payloads.
+#pragma once
+
+#include "core/algorithm.h"
+
+namespace resccl::algorithms {
+
+[[nodiscard]] Algorithm BinomialTreeBroadcast(int nranks, Rank root = 0);
+[[nodiscard]] Algorithm BinomialTreeReduce(int nranks, Rank root = 0);
+
+[[nodiscard]] Algorithm ChainBroadcast(int nranks, Rank root = 0);
+[[nodiscard]] Algorithm ChainReduce(int nranks, Rank root = 0);
+
+}  // namespace resccl::algorithms

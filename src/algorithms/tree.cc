@@ -1,0 +1,94 @@
+#include "algorithms/tree.h"
+
+#include <functional>
+#include <vector>
+
+#include "common/check.h"
+
+namespace resccl::algorithms {
+
+namespace {
+
+struct TreeShape {
+  std::vector<int> parent;  // -1 for the root
+  std::vector<int> height;  // leaf = 0
+  std::vector<int> depth;   // root = 0
+  int root = 0;
+  int max_height = 0;
+};
+
+// Balanced binary tree over ranks [0, n) via recursive midpoints.
+TreeShape BuildTree(int n) {
+  TreeShape t;
+  t.parent.assign(static_cast<std::size_t>(n), -1);
+  t.height.assign(static_cast<std::size_t>(n), 0);
+  t.depth.assign(static_cast<std::size_t>(n), 0);
+
+  const std::function<int(int, int, int, int)> build =
+      [&](int lo, int hi, int parent, int depth) -> int {
+    if (lo > hi) return -1;
+    const int mid = lo + (hi - lo) / 2;
+    t.parent[static_cast<std::size_t>(mid)] = parent;
+    t.depth[static_cast<std::size_t>(mid)] = depth;
+    const int lh = build(lo, mid - 1, mid, depth + 1);
+    const int rh = build(mid + 1, hi, mid, depth + 1);
+    const int h = 1 + std::max(lh, rh);
+    t.height[static_cast<std::size_t>(mid)] = h;
+    return h;
+  };
+  // Leaves end with height 0: a childless build returns -1, so 1+max(-1,-1)=0.
+  build(0, n - 1, -1, 0);
+  t.root = (n - 1) / 2;
+  t.max_height = t.height[static_cast<std::size_t>(t.root)];
+  return t;
+}
+
+}  // namespace
+
+Algorithm DoubleBinaryTreeAllReduce(int nranks) {
+  RESCCL_CHECK(nranks >= 2);
+  Algorithm algo;
+  algo.name = "double_binary_tree_allreduce";
+  algo.collective = CollectiveOp::kAllReduce;
+  algo.nranks = nranks;
+  algo.nchunks = nranks;
+
+  const TreeShape tree = BuildTree(nranks);
+  // The mirror tree re-labels rank i as nranks-1-i, so interior nodes of one
+  // tree are (mostly) leaves of the other.
+  const auto mirror = [&](int r) { return nranks - 1 - r; };
+
+  for (ChunkId c = 0; c < nranks; ++c) {
+    const bool mirrored = (c % 2) == 1;
+    const auto rank_of = [&](int v) { return mirrored ? mirror(v) : v; };
+    // Reduce sweep: every non-root node sends the chunk to its parent once
+    // its own subtree has accumulated (step = subtree height).
+    for (int v = 0; v < nranks; ++v) {
+      const int p = tree.parent[static_cast<std::size_t>(v)];
+      if (p < 0) continue;
+      Transfer up;
+      up.src = rank_of(v);
+      up.dst = rank_of(p);
+      up.step = tree.height[static_cast<std::size_t>(v)];
+      up.chunk = c;
+      up.op = TransferOp::kRecvReduceCopy;
+      algo.transfers.push_back(up);
+    }
+    // Broadcast sweep: parents forward the rooted result downwards.
+    const int down_base = tree.max_height;
+    for (int v = 0; v < nranks; ++v) {
+      const int p = tree.parent[static_cast<std::size_t>(v)];
+      if (p < 0) continue;
+      Transfer down;
+      down.src = rank_of(p);
+      down.dst = rank_of(v);
+      down.step = down_base + tree.depth[static_cast<std::size_t>(v)];
+      down.chunk = c;
+      down.op = TransferOp::kRecv;
+      algo.transfers.push_back(down);
+    }
+  }
+  return algo;
+}
+
+}  // namespace resccl::algorithms

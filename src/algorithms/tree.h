@@ -1,0 +1,17 @@
+// Double binary tree AllReduce — NCCL's large-scale standard algorithm
+// (§2.1's "double binary tree" reference).
+//
+// Two complementary binary trees over the ranks each carry half of the
+// chunks: a reduce sweep up the tree accumulates at the root, a broadcast
+// sweep down distributes the result. The second tree is the rank-reversed
+// mirror of the first, so every rank is an interior node in at most one
+// tree and the leaf/interior load balances.
+#pragma once
+
+#include "core/algorithm.h"
+
+namespace resccl::algorithms {
+
+[[nodiscard]] Algorithm DoubleBinaryTreeAllReduce(int nranks);
+
+}  // namespace resccl::algorithms

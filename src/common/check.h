@@ -1,0 +1,41 @@
+// Invariant checking macros.
+//
+// RESCCL_CHECK guards internal invariants that, if broken, indicate a bug in
+// ResCCL itself (not in user input); it throws std::logic_error so tests can
+// assert on violations and applications fail loudly instead of corrupting a
+// schedule. The checks stay enabled in release builds: every one of them is
+// outside the simulator's hot loop or cheap enough not to matter.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace resccl::internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "RESCCL_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace resccl::internal
+
+#define RESCCL_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::resccl::internal::CheckFailed(#expr, __FILE__, __LINE__, "");   \
+    }                                                                   \
+  } while (false)
+
+#define RESCCL_CHECK_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream resccl_check_os_;                              \
+      resccl_check_os_ << msg;                                          \
+      ::resccl::internal::CheckFailed(#expr, __FILE__, __LINE__,        \
+                                      resccl_check_os_.str());          \
+    }                                                                   \
+  } while (false)

@@ -1,0 +1,45 @@
+// Deterministic pseudo-random generator (SplitMix64).
+//
+// Everything in ResCCL that needs randomness — synthesized-algorithm jitter,
+// property-test case generation, workload sampling — goes through this
+// generator so that runs are reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace resccl {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  // Uniform over the full 64-bit range.
+  std::uint64_t NextU64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t NextInt(std::int64_t lo, std::int64_t hi) {
+    RESCCL_CHECK(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(NextU64() % span);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial.
+  bool NextBool(double p_true) { return NextDouble() < p_true; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace resccl

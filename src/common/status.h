@@ -1,0 +1,113 @@
+// Lightweight error propagation for recoverable failures.
+//
+// ResCCL uses exceptions only for programming errors (violated invariants,
+// checked via RESCCL_CHECK). Recoverable conditions that a caller is expected
+// to handle — above all, errors in user-supplied ResCCLang programs — travel
+// as Status / Result<T> values so the compiler front end can report precise
+// diagnostics without unwinding.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace resccl {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed user input (DSL source, bad ranks, ...)
+  kFailedPrecondition,// operation not valid in the current state
+  kNotFound,          // lookup miss (unknown algorithm, link, ...)
+  kInternal,          // invariant violation surfaced as a value
+};
+
+[[nodiscard]] constexpr const char* StatusCodeName(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status Ok() { return {}; }
+  [[nodiscard]] static Status InvalidArgument(std::string m) {
+    return {StatusCode::kInvalidArgument, std::move(m)};
+  }
+  [[nodiscard]] static Status FailedPrecondition(std::string m) {
+    return {StatusCode::kFailedPrecondition, std::move(m)};
+  }
+  [[nodiscard]] static Status NotFound(std::string m) {
+    return {StatusCode::kNotFound, std::move(m)};
+  }
+  [[nodiscard]] static Status Internal(std::string m) {
+    return {StatusCode::kInternal, std::move(m)};
+  }
+
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// A value or an error. Deliberately minimal: exactly the surface the
+// compiler pipeline needs (construction, ok(), value access, error access).
+template <class T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(data_).ok()) {
+      throw std::logic_error("Result<T> constructed from OK status");
+    }
+  }
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+
+  [[nodiscard]] const T& value() const& {
+    RequireOk();
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    RequireOk();
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    RequireOk();
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(data_);
+  }
+
+ private:
+  void RequireOk() const {
+    if (!ok()) {
+      throw std::logic_error("Result::value() on error: " +
+                             std::get<Status>(data_).ToString());
+    }
+  }
+  std::variant<T, Status> data_;
+};
+
+}  // namespace resccl

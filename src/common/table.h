@@ -1,0 +1,34 @@
+// Plain-text table rendering for the benchmark harnesses.
+//
+// Every bench binary prints the rows/series of the paper table or figure it
+// regenerates; this helper keeps those printouts aligned and uniform.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace resccl {
+
+class TextTable {
+ public:
+  // `header` fixes the column count; AddRow must match it.
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Renders with a header underline and right-padded columns.
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Fixed-precision float formatting ("12.34"); benches use it for GB/s,
+// percentages, and speedup factors.
+[[nodiscard]] std::string Fixed(double v, int decimals = 2);
+
+// "42.3%" from a 0..1 fraction.
+[[nodiscard]] std::string Percent(double fraction, int decimals = 1);
+
+}  // namespace resccl

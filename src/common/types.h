@@ -1,0 +1,67 @@
+// Core identifier types shared by every ResCCL subsystem.
+//
+// Ranks, chunks, and steps are the vocabulary of ResCCLang (§4.2 of the
+// paper): a <Rank, ChunkId> pair addresses one chunk in the global buffer
+// space, and Step imposes the total order over algorithm actions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace resccl {
+
+// A GPU's position within the communicator (0 .. nranks-1).
+using Rank = std::int32_t;
+
+// Index of a chunk within a rank's DataBuffer. ResCCLang fixes the number of
+// chunks per rank to the total rank count, so ChunkId also ranges over ranks.
+using ChunkId = std::int32_t;
+
+// Logical time step of an algorithm action; smaller steps happen-before
+// larger steps for actions touching the same chunk.
+using Step = std::int32_t;
+
+// Index of a micro-batch: the backend splits the synchronized buffer into
+// micro-batches (one algorithm execution each) of `chunk_size * nchunks`.
+using MicroBatch = std::int32_t;
+
+// Physical host index within the cluster.
+using NodeId = std::int32_t;
+
+// Index of a NIC within a node.
+using NicId = std::int32_t;
+
+constexpr Rank kInvalidRank = -1;
+
+// Small strongly-typed id so LinkId / TbId / TaskId cannot be mixed up at
+// call sites. Comparable, hashable, and cheap to copy.
+template <class Tag>
+struct Id {
+  std::int32_t value = -1;
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::int32_t v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value >= 0; }
+  friend constexpr auto operator<=>(Id, Id) = default;
+};
+
+struct LinkTag {};
+struct TbTag {};
+struct TaskTag {};
+
+// A directed physical link (or logical connection slot) in the topology.
+using LinkId = Id<LinkTag>;
+// A thread block executing communication primitives on one GPU.
+using TbId = Id<TbTag>;
+// A transmission task: one chunk transfer between GPU peers (§3).
+using TaskId = Id<TaskTag>;
+
+}  // namespace resccl
+
+template <class Tag>
+struct std::hash<resccl::Id<Tag>> {
+  std::size_t operator()(resccl::Id<Tag> id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value);
+  }
+};

@@ -1,0 +1,146 @@
+// Physical units used by the cost model and the simulator.
+//
+// Simulated time is kept in microseconds (double): collective executions span
+// ~1us (one NVLink hop) to ~10s (multi-GB AllReduce), comfortably inside
+// double precision at this scale. Bandwidths are carried in GB/s as reported
+// by the paper (1 GB = 1e9 bytes) and converted once to bytes/us at the edge.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+
+namespace resccl {
+
+// Simulated duration / point in time, in microseconds.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  [[nodiscard]] static constexpr SimTime Us(double us) { return SimTime(us); }
+  [[nodiscard]] static constexpr SimTime Ms(double ms) { return SimTime(ms * 1e3); }
+  [[nodiscard]] static constexpr SimTime Sec(double s) { return SimTime(s * 1e6); }
+  [[nodiscard]] static constexpr SimTime Zero() { return SimTime(0.0); }
+  [[nodiscard]] static constexpr SimTime Infinity() {
+    return SimTime(kInfinityUs);
+  }
+
+  [[nodiscard]] constexpr double us() const { return us_; }
+  [[nodiscard]] constexpr double ms() const { return us_ / 1e3; }
+  [[nodiscard]] constexpr double sec() const { return us_ / 1e6; }
+  [[nodiscard]] constexpr bool is_infinite() const {
+    return us_ >= kInfinityUs;
+  }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime(a.us_ + b.us_);
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime(a.us_ - b.us_);
+  }
+  friend constexpr SimTime operator*(SimTime a, double k) {
+    return SimTime(a.us_ * k);
+  }
+  friend constexpr SimTime operator*(double k, SimTime a) { return a * k; }
+  friend constexpr double operator/(SimTime a, SimTime b) {
+    return a.us_ / b.us_;
+  }
+  constexpr SimTime& operator+=(SimTime o) {
+    us_ += o.us_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime o) {
+    us_ -= o.us_;
+    return *this;
+  }
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+ private:
+  static constexpr double kInfinityUs = 1e18;
+  constexpr explicit SimTime(double us) : us_(us) {}
+  double us_ = 0.0;
+};
+
+// Byte counts, with the decimal prefixes the paper uses for buffer sizes.
+class Size {
+ public:
+  constexpr Size() = default;
+
+  [[nodiscard]] static constexpr Size Bytes(std::int64_t b) { return Size(b); }
+  [[nodiscard]] static constexpr Size KiB(std::int64_t k) {
+    return Size(k * 1024);
+  }
+  [[nodiscard]] static constexpr Size MiB(std::int64_t m) {
+    return Size(m * 1024 * 1024);
+  }
+  [[nodiscard]] static constexpr Size GiB(std::int64_t g) {
+    return Size(g * 1024 * 1024 * 1024);
+  }
+
+  [[nodiscard]] constexpr std::int64_t bytes() const { return bytes_; }
+  [[nodiscard]] constexpr double mib() const {
+    return static_cast<double>(bytes_) / (1024.0 * 1024.0);
+  }
+
+  friend constexpr Size operator+(Size a, Size b) {
+    return Size(a.bytes_ + b.bytes_);
+  }
+  friend constexpr Size operator*(Size a, std::int64_t k) {
+    return Size(a.bytes_ * k);
+  }
+  friend constexpr Size operator/(Size a, std::int64_t k) {
+    return Size(a.bytes_ / k);
+  }
+  friend constexpr auto operator<=>(Size, Size) = default;
+
+ private:
+  constexpr explicit Size(std::int64_t b) : bytes_(b) {}
+  std::int64_t bytes_ = 0;
+};
+
+// Link / algorithm bandwidth. Stored in GB/s (1e9 bytes per second), the
+// unit used throughout the paper's evaluation.
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+
+  [[nodiscard]] static constexpr Bandwidth GBps(double v) {
+    return Bandwidth(v);
+  }
+  // Network links are quoted in Gbit/s (e.g. 200 Gbps RoCE NICs).
+  [[nodiscard]] static constexpr Bandwidth Gbps(double v) {
+    return Bandwidth(v / 8.0);
+  }
+
+  [[nodiscard]] constexpr double gbps() const { return gb_per_s_; }
+  [[nodiscard]] constexpr double bytes_per_us() const {
+    return gb_per_s_ * 1e3;  // 1 GB/s == 1e9 B/s == 1e3 B/us
+  }
+
+  // Time for `size` bytes at this bandwidth (the c·β term of Eq. 1).
+  [[nodiscard]] constexpr SimTime TransferTime(Size size) const {
+    return SimTime::Us(static_cast<double>(size.bytes()) / bytes_per_us());
+  }
+
+  friend constexpr Bandwidth operator*(Bandwidth a, double k) {
+    return Bandwidth(a.gb_per_s_ * k);
+  }
+  friend constexpr Bandwidth operator/(Bandwidth a, double k) {
+    return Bandwidth(a.gb_per_s_ / k);
+  }
+  friend constexpr auto operator<=>(Bandwidth, Bandwidth) = default;
+
+ private:
+  constexpr explicit Bandwidth(double v) : gb_per_s_(v) {}
+  double gb_per_s_ = 0.0;
+};
+
+// Bandwidth realized by moving `size` bytes in `elapsed` simulated time —
+// the "algorithm bandwidth" metric of §5.2 (total data / completion time).
+[[nodiscard]] inline Bandwidth AlgoBandwidth(Size size, SimTime elapsed) {
+  if (elapsed <= SimTime::Zero()) return Bandwidth::GBps(0.0);
+  return Bandwidth::GBps(static_cast<double>(size.bytes()) / 1e3 /
+                         elapsed.us());
+}
+
+}  // namespace resccl

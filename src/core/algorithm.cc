@@ -1,0 +1,61 @@
+#include "core/algorithm.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace resccl {
+
+namespace {
+
+std::string Describe(const Transfer& t, std::size_t index) {
+  std::ostringstream os;
+  os << "transfer #" << index << " (r" << t.src << "->r" << t.dst << ", step "
+     << t.step << ", chunk " << t.chunk << ", " << TransferOpName(t.op) << ")";
+  return os.str();
+}
+
+}  // namespace
+
+Status Algorithm::Validate() const {
+  if (nranks < 2) {
+    return Status::InvalidArgument("algorithm needs at least 2 ranks");
+  }
+  if (nchunks < 1) {
+    return Status::InvalidArgument("algorithm needs at least 1 chunk");
+  }
+  if (transfers.empty()) {
+    return Status::InvalidArgument("algorithm has no transfers");
+  }
+  if (root < 0 || root >= nranks) {
+    return Status::InvalidArgument("root rank out of range");
+  }
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(transfers.size());
+  for (std::size_t i = 0; i < transfers.size(); ++i) {
+    const Transfer& t = transfers[i];
+    if (t.src < 0 || t.src >= nranks || t.dst < 0 || t.dst >= nranks) {
+      return Status::InvalidArgument(Describe(t, i) + ": rank out of range");
+    }
+    if (t.src == t.dst) {
+      return Status::InvalidArgument(Describe(t, i) + ": self transfer");
+    }
+    if (t.chunk < 0 || t.chunk >= nchunks) {
+      return Status::InvalidArgument(Describe(t, i) + ": chunk out of range");
+    }
+    if (t.step < 0) {
+      return Status::InvalidArgument(Describe(t, i) + ": negative step");
+    }
+    // A (src, dst, step, chunk) tuple uniquely identifies a task (§4.2).
+    const std::uint64_t key =
+        ((static_cast<std::uint64_t>(t.src) & 0xffff) << 48) |
+        ((static_cast<std::uint64_t>(t.dst) & 0xffff) << 32) |
+        ((static_cast<std::uint64_t>(t.step) & 0xffff) << 16) |
+        (static_cast<std::uint64_t>(t.chunk) & 0xffff);
+    if (!seen.insert(key).second) {
+      return Status::InvalidArgument(Describe(t, i) + ": duplicate task");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace resccl

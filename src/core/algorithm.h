@@ -1,0 +1,58 @@
+// The algorithm IR: what ResCCLang programs and the built-in algorithm
+// library compile down to, and what the scheduler consumes.
+//
+// A collective algorithm is a set of transmission tasks (§3): each task moves
+// one chunk between two GPU peers at a logical step. Steps impose the
+// happens-before order among tasks touching the same chunk; tasks on
+// different chunks are independent. `kRecv` copies the chunk at the
+// destination, `kRecvReduceCopy` reduces it into the destination's chunk.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "memory/reference.h"
+#include "topology/topology.h"
+
+namespace resccl {
+
+enum class TransferOp { kRecv, kRecvReduceCopy };
+
+[[nodiscard]] constexpr const char* TransferOpName(TransferOp op) {
+  return op == TransferOp::kRecv ? "recv" : "rrc";
+}
+
+// transfer(srcRank, dstRank, step, chunkId, opType) — §4.2.
+struct Transfer {
+  Rank src = kInvalidRank;
+  Rank dst = kInvalidRank;
+  Step step = 0;
+  ChunkId chunk = 0;
+  TransferOp op = TransferOp::kRecv;
+
+  friend bool operator==(const Transfer&, const Transfer&) = default;
+};
+
+struct Algorithm {
+  std::string name;
+  CollectiveOp collective = CollectiveOp::kAllGather;
+  int nranks = 0;
+  int nchunks = 0;  // chunks per rank; ResCCLang fixes this to nranks
+  Rank root = 0;    // only meaningful for rooted collectives
+  std::vector<Transfer> transfers;
+
+  // Structural validation: ranks/chunks in range, no self-transfers, no
+  // duplicate tasks, steps non-negative. Does not check collective
+  // semantics — the data engine does that end to end.
+  [[nodiscard]] Status Validate() const;
+
+  // Tasks are identified by their index in `transfers` throughout the
+  // compiler (TaskId.value == index).
+  [[nodiscard]] int ntasks() const {
+    return static_cast<int>(transfers.size());
+  }
+};
+
+}  // namespace resccl

@@ -1,0 +1,96 @@
+#include "core/compiler.h"
+
+#include "core/step_order.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.h"
+
+namespace resccl {
+
+namespace {
+
+double ElapsedUs(std::chrono::steady_clock::time_point start) {
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(end - start).count();
+}
+
+// Stage (channel-instance) partition for stage-level execution: MSCCL
+// replicates the algorithm across channel instances, striping the chunks
+// (Table 2's "Instance" parameter). Each instance owns its chunks' tasks,
+// gets private TBs, and runs lazily inside while instances pipeline against
+// each other — which is also why the per-GPU TB count multiplies (§2.2's
+// "extra channels").
+std::vector<int> PartitionStages(const Algorithm& algo, int nstages) {
+  std::vector<int> stage(algo.transfers.size(), 0);
+  if (nstages <= 1) return stage;
+  for (std::size_t i = 0; i < algo.transfers.size(); ++i) {
+    stage[i] = algo.transfers[i].chunk % nstages;
+  }
+  return stage;
+}
+
+}  // namespace
+
+Result<CompiledCollective> Compile(const Algorithm& algo,
+                                   const Topology& topo,
+                                   const CompileOptions& options) {
+  if (Status s = algo.Validate(); !s.ok()) return s;
+  if (algo.nranks != topo.nranks()) {
+    return Status::InvalidArgument(
+        "algorithm is for " + std::to_string(algo.nranks) +
+        " ranks but topology has " + std::to_string(topo.nranks()));
+  }
+  if (options.nstages < 1) {
+    return Status::InvalidArgument("nstages must be >= 1");
+  }
+  if (options.warps_per_tb < 1) {
+    return Status::InvalidArgument("warps_per_tb must be >= 1");
+  }
+
+  CompiledCollective out;
+  out.algo = algo;
+  out.options = options;
+
+  // --- Analysis: build the dependency DAG (Fig. 5(b)). ---
+  auto t0 = std::chrono::steady_clock::now();
+  ConnectionTable connections(topo);
+  DependencyGraph dag(algo, connections);
+  out.stats.analysis_us = ElapsedUs(t0);
+
+  // --- Scheduling: HPDS or the RR baseline (Fig. 5(c)-(d)). ---
+  t0 = std::chrono::steady_clock::now();
+  HpdsScheduler hpds;
+  RoundRobinScheduler rr;
+  StepOrderScheduler step_order;
+  Scheduler* scheduler = &hpds;
+  if (options.scheduler == SchedulerKind::kRoundRobin) scheduler = &rr;
+  if (options.scheduler == SchedulerKind::kStepOrder) scheduler = &step_order;
+  out.schedule = scheduler->Build(dag, connections);
+  out.stats.scheduling_us = ElapsedUs(t0);
+
+  const Status valid = ValidateSchedule(out.schedule, dag, connections);
+  RESCCL_CHECK_MSG(valid.ok(), "scheduler produced an invalid schedule: "
+                                   << valid.ToString());
+
+  // --- Lowering: TB allocation and plan assembly (Fig. 5(e)-(f)). ---
+  t0 = std::chrono::steady_clock::now();
+  out.wave_of_task = out.schedule.WaveOf(dag.ntasks());
+  out.nstages = options.mode == ExecutionMode::kStageLevel ? options.nstages : 1;
+  out.stage_of_task = PartitionStages(algo, out.nstages);
+  TbAllocParams alloc_params;
+  alloc_params.policy = options.tb_alloc;
+  out.tbs = AllocateTbs(dag, out.schedule, connections, alloc_params,
+                        out.stage_of_task);
+  out.preds.resize(static_cast<std::size_t>(dag.ntasks()));
+  for (int t = 0; t < dag.ntasks(); ++t) {
+    for (TaskId p : dag.node(TaskId(t)).preds) {
+      out.preds[static_cast<std::size_t>(t)].push_back(p.value);
+    }
+  }
+  out.stats.lowering_us = ElapsedUs(t0);
+  return out;
+}
+
+}  // namespace resccl

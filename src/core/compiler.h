@@ -1,0 +1,79 @@
+// The ResCCL offline compiler (§4.1, Fig. 5).
+//
+// Pipeline:  Algorithm IR  ──Analysis──▶  dependency DAG
+//            ──Scheduling──▶  sub-pipeline schedule (HPDS or RR)
+//            ──Allocation──▶  TB plan (state- or connection-based)
+//            ──Lowering────▶  CompiledCollective, the artifact the runtime
+//                             turns into per-TB primitive programs.
+//
+// Per-phase wall-clock timings are recorded (Fig. 10(a)'s workflow
+// breakdown); the whole pipeline runs once, offline, per algorithm and
+// topology.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/algorithm.h"
+#include "core/dag.h"
+#include "core/hpds.h"
+#include "core/round_robin.h"
+#include "core/schedule.h"
+#include "core/tb_alloc.h"
+
+namespace resccl {
+
+// How micro-batches traverse the lowered program (§2.1, §3):
+//   kAlgorithmLevel — lazy: a global barrier after every micro-batch
+//                     (synthesizer-backend behaviour, Eq. 3);
+//   kStageLevel     — the algorithm is cut into stages with private TBs;
+//                     stages pipeline micro-batches against each other but
+//                     run algorithm-level internally (MSCCLang, Eq. 4);
+//   kTaskLevel      — ResCCL: each TB drives one task across all
+//                     micro-batches before advancing (Eq. 5).
+enum class ExecutionMode { kAlgorithmLevel, kStageLevel, kTaskLevel };
+
+// Whether the runtime interprets the schedule step by step (NCCL/MSCCL-style
+// embedded interpreter, §2.2) or executes directly generated kernels (§4.5).
+enum class RuntimeEngine { kInterpreter, kGeneratedKernel };
+
+enum class SchedulerKind { kHpds, kRoundRobin, kStepOrder };
+
+struct CompileOptions {
+  SchedulerKind scheduler = SchedulerKind::kHpds;
+  TbAllocPolicy tb_alloc = TbAllocPolicy::kStateBased;
+  ExecutionMode mode = ExecutionMode::kTaskLevel;
+  RuntimeEngine engine = RuntimeEngine::kGeneratedKernel;
+  int nstages = 2;      // stage count for kStageLevel
+  int warps_per_tb = 16;
+};
+
+struct CompileStats {
+  double analysis_us = 0;    // DAG construction
+  double scheduling_us = 0;  // HPDS / RR
+  double lowering_us = 0;    // TB allocation + plan assembly
+  [[nodiscard]] double total_us() const {
+    return analysis_us + scheduling_us + lowering_us;
+  }
+};
+
+// Everything the runtime needs to execute a collective.
+struct CompiledCollective {
+  Algorithm algo;
+  CompileOptions options;
+  Schedule schedule;
+  std::vector<int> wave_of_task;
+  std::vector<int> stage_of_task;  // zeros unless mode == kStageLevel
+  int nstages = 1;
+  std::vector<std::vector<int>> preds;  // data-dependency predecessors
+  TbPlan tbs;
+  CompileStats stats;
+};
+
+// Compiles `algo` for `topo`. Throws std::logic_error on internal invariant
+// violations; invalid algorithms are rejected with the returned Status.
+[[nodiscard]] Result<CompiledCollective> Compile(const Algorithm& algo,
+                                                 const Topology& topo,
+                                                 const CompileOptions& options);
+
+}  // namespace resccl

@@ -1,0 +1,56 @@
+#include "core/connection.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace resccl {
+
+LinkId ConnectionTable::Resolve(Rank src, Rank dst) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) |
+                            static_cast<std::uint32_t>(dst);
+  const auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  const LinkId id(static_cast<std::int32_t>(paths_.size()));
+  paths_.push_back(&topo_.PathBetween(src, dst));
+  srcs_.push_back(src);
+  dsts_.push_back(dst);
+  index_.emplace(key, id);
+  return id;
+}
+
+const Path& ConnectionTable::path(LinkId id) const {
+  RESCCL_CHECK(id.valid() &&
+               static_cast<std::size_t>(id.value) < paths_.size());
+  return *paths_[static_cast<std::size_t>(id.value)];
+}
+
+Rank ConnectionTable::src(LinkId id) const {
+  RESCCL_CHECK(id.valid() && static_cast<std::size_t>(id.value) < srcs_.size());
+  return srcs_[static_cast<std::size_t>(id.value)];
+}
+
+Rank ConnectionTable::dst(LinkId id) const {
+  RESCCL_CHECK(id.valid() && static_cast<std::size_t>(id.value) < dsts_.size());
+  return dsts_[static_cast<std::size_t>(id.value)];
+}
+
+bool ConnectionTable::Conflicts(LinkId a, LinkId b) const {
+  if (a == b) return true;  // the same GPU-pair link (§3)
+  const Path& pa = path(a);
+  const Path& pb = path(b);
+  // Distinct pairs conflict only through serializing resources: a shared
+  // NIC or trunk (§4.4). Fabric/PCIe pools multiplex without scheduling
+  // consequences.
+  for (ResourceId ra : pa.resources) {
+    const ResourceKind kind = topo_.resource(ra).kind;
+    if (kind != ResourceKind::kNic && kind != ResourceKind::kTrunk) continue;
+    if (std::find(pb.resources.begin(), pb.resources.end(), ra) !=
+        pb.resources.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace resccl

@@ -1,0 +1,43 @@
+// Connection table: maps each (src, dst) GPU pair an algorithm uses to a
+// dense connection id and caches its topology path.
+//
+// Two tasks have a *communication dependency* (§3) when their connections
+// share any path resource — the same NVSwitch port pair, or, crucially, the
+// same NIC uplink even when the GPU pairs differ (two GPUs share each NIC on
+// the testbed). HPDS consults this table to keep conflicting tasks out of
+// the same sub-pipeline.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "topology/topology.h"
+
+namespace resccl {
+
+class ConnectionTable {
+ public:
+  explicit ConnectionTable(const Topology& topo) : topo_(topo) {}
+
+  // Dense id for the directed pair; registers it on first use.
+  [[nodiscard]] LinkId Resolve(Rank src, Rank dst);
+
+  [[nodiscard]] int count() const { return static_cast<int>(paths_.size()); }
+  [[nodiscard]] const Path& path(LinkId id) const;
+  [[nodiscard]] Rank src(LinkId id) const;
+  [[nodiscard]] Rank dst(LinkId id) const;
+
+  // True if the two connections share at least one path resource.
+  [[nodiscard]] bool Conflicts(LinkId a, LinkId b) const;
+
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+
+ private:
+  const Topology& topo_;
+  std::unordered_map<std::uint64_t, LinkId> index_;
+  std::vector<const Path*> paths_;
+  std::vector<Rank> srcs_, dsts_;
+};
+
+}  // namespace resccl

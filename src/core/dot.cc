@@ -1,0 +1,61 @@
+#include "core/dot.h"
+
+#include <sstream>
+
+namespace resccl {
+
+namespace {
+
+// A small qualitative palette, cycled over sub-pipeline indices.
+const char* WaveColor(int wave) {
+  static const char* kColors[] = {"#8dd3c7", "#ffffb3", "#bebada", "#fb8072",
+                                  "#80b1d3", "#fdb462", "#b3de69", "#fccde5"};
+  return kColors[static_cast<std::size_t>(wave) % 8];
+}
+
+}  // namespace
+
+std::string ExportDot(const DependencyGraph& dag, const Schedule* schedule) {
+  std::vector<int> wave;
+  if (schedule != nullptr) {
+    wave = schedule->WaveOf(dag.ntasks());
+  }
+
+  std::ostringstream os;
+  os << "digraph resccl_dag {\n"
+     << "  rankdir=TB;\n"
+     << "  node [shape=box, style=filled, fontname=\"monospace\"];\n";
+
+  for (int c = 0; c < dag.nchunks(); ++c) {
+    const auto& tasks = dag.chunk_tasks()[static_cast<std::size_t>(c)];
+    if (tasks.empty()) continue;
+    os << "  subgraph cluster_chunk" << c << " {\n"
+       << "    label=\"chunk " << c << "\";\n";
+    for (TaskId t : tasks) {
+      const Transfer& tr = dag.node(t).transfer;
+      os << "    t" << t.value << " [label=\"#" << t.value << " r" << tr.src
+         << "\\u2192r" << tr.dst << "\\nstep " << tr.step << " "
+         << TransferOpName(tr.op) << "\"";
+      if (!wave.empty()) {
+        os << ", fillcolor=\"" << WaveColor(wave[static_cast<std::size_t>(
+                                      t.value)])
+           << "\", tooltip=\"sub-pipeline "
+           << wave[static_cast<std::size_t>(t.value)] << "\"";
+      } else {
+        os << ", fillcolor=\"#eeeeee\"";
+      }
+      os << "];\n";
+    }
+    os << "  }\n";
+  }
+
+  for (int t = 0; t < dag.ntasks(); ++t) {
+    for (TaskId succ : dag.node(TaskId(t)).succs) {
+      os << "  t" << t << " -> t" << succ.value << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace resccl

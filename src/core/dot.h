@@ -1,0 +1,19 @@
+// Graphviz DOT export of the dependency DAG and its schedule.
+//
+// Renders Fig. 5(b): one node per transmission task (labelled src→dst and
+// chunk), data-dependency edges, tasks clustered by chunk, and — when a
+// schedule is supplied — node colors by sub-pipeline index, making the HPDS
+// wave structure visible with `dot -Tsvg`.
+#pragma once
+
+#include <string>
+
+#include "core/dag.h"
+#include "core/schedule.h"
+
+namespace resccl {
+
+[[nodiscard]] std::string ExportDot(const DependencyGraph& dag,
+                                    const Schedule* schedule = nullptr);
+
+}  // namespace resccl

@@ -1,0 +1,156 @@
+#include "core/hpds.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+#include "core/wave_occupancy.h"
+
+namespace resccl {
+
+Schedule HpdsScheduler::Build(const DependencyGraph& dag,
+                              const ConnectionTable& connections) {
+  const int ntasks = dag.ntasks();
+  const int nchunks = dag.nchunks();
+
+  // Remaining unscheduled data-dependency predecessors per task.
+  std::vector<int> preds_left(static_cast<std::size_t>(ntasks));
+  for (int t = 0; t < ntasks; ++t) {
+    preds_left[static_cast<std::size_t>(t)] =
+        static_cast<int>(dag.node(TaskId(t)).preds.size());
+  }
+
+  // Per-chunk list of currently dependency-free, unscheduled tasks.
+  std::vector<std::vector<TaskId>> free_tasks(
+      static_cast<std::size_t>(nchunks));
+  std::vector<int> unscheduled_in_chunk(static_cast<std::size_t>(nchunks), 0);
+  for (int c = 0; c < nchunks; ++c) {
+    unscheduled_in_chunk[static_cast<std::size_t>(c)] =
+        static_cast<int>(dag.chunk_tasks()[static_cast<std::size_t>(c)].size());
+  }
+  for (int t = 0; t < ntasks; ++t) {
+    if (preds_left[static_cast<std::size_t>(t)] == 0) {
+      const ChunkId c = dag.node(TaskId(t)).transfer.chunk;
+      free_tasks[static_cast<std::size_t>(c)].push_back(TaskId(t));
+    }
+  }
+
+  std::vector<int> priority(static_cast<std::size_t>(nchunks), 0);
+  std::vector<bool> in_wave(static_cast<std::size_t>(ntasks), false);
+  Schedule schedule;
+  WaveOccupancy occupancy(connections,
+                          connections.topology().resources().size());
+  int scheduled_total = 0;
+
+  while (scheduled_total < ntasks) {
+    // --- one sub-pipeline (Algorithm 1 lines 6–24) ---
+    std::vector<TaskId> wave;
+    occupancy.Clear();
+    std::fill(in_wave.begin(), in_wave.end(), false);
+    std::vector<bool> flag(static_cast<std::size_t>(nchunks), true);
+
+    // Max-priority queue over chunks, ties broken by chunk id for
+    // determinism. Entries go stale when a chunk's priority changes; stale
+    // entries are skipped on pop.
+    using QEntry = std::pair<int, int>;  // (priority, -chunk)
+    std::priority_queue<QEntry> queue;
+    for (int c = 0; c < nchunks; ++c) {
+      if (unscheduled_in_chunk[static_cast<std::size_t>(c)] > 0) {
+        queue.emplace(priority[static_cast<std::size_t>(c)], -c);
+      }
+    }
+
+    while (!queue.empty()) {
+      const auto [prio, neg_chunk] = queue.top();
+      queue.pop();
+      const int chunk = -neg_chunk;
+      const auto ci = static_cast<std::size_t>(chunk);
+      if (prio != priority[ci] || !flag[ci]) continue;  // stale or flagged out
+      if (unscheduled_in_chunk[ci] == 0) continue;
+
+      // Candidate extraction: dependency-free tasks whose links are still
+      // unoccupied in this sub-pipeline.
+      std::vector<TaskId> node_list;
+      auto& frees = free_tasks[ci];
+      for (std::size_t i = 0; i < frees.size();) {
+        const TaskId t = frees[i];
+        const LinkId link = dag.node(t).connection;
+        // Bubble avoidance (§4.3): a task whose same-wave predecessor sits
+        // on a different latency class (inter-node feeding intra-node or
+        // vice versa) is deferred to a later sub-pipeline — the λ mismatch
+        // would stall the faster link behind the slower one.
+        bool latency_mismatch = false;
+        const PathKind kind = connections.path(link).kind;
+        for (TaskId pred : dag.node(t).preds) {
+          if (in_wave[static_cast<std::size_t>(pred.value)] &&
+              connections.path(dag.node(pred).connection).kind != kind) {
+            latency_mismatch = true;
+            break;
+          }
+        }
+        if (latency_mismatch) {
+          ++i;
+          continue;
+        }
+        if (!occupancy.ConflictsWith(link)) {
+          node_list.push_back(t);
+          occupancy.Occupy(link);
+          frees[i] = frees.back();
+          frees.pop_back();
+        } else {
+          ++i;
+        }
+      }
+
+      if (node_list.empty()) {
+        flag[ci] = false;  // nothing eligible: out for this sub-pipeline
+        continue;
+      }
+
+      // Scheduling decision: commit the tasks, unlock successors, and lower
+      // this chunk's priority so under-scheduled chunks go first.
+      for (TaskId t : node_list) {
+        wave.push_back(t);
+        in_wave[static_cast<std::size_t>(t.value)] = true;
+        ++scheduled_total;
+        --unscheduled_in_chunk[ci];
+        for (TaskId succ : dag.node(t).succs) {
+          int& left = preds_left[static_cast<std::size_t>(succ.value)];
+          if (--left == 0) {
+            const ChunkId sc = dag.node(succ).transfer.chunk;
+            free_tasks[static_cast<std::size_t>(sc)].push_back(succ);
+            // The successor's chunk may have been visited already; requeue
+            // it so it gets another chance within this sub-pipeline.
+            if (flag[static_cast<std::size_t>(sc)]) {
+              queue.emplace(priority[static_cast<std::size_t>(sc)], -sc);
+            }
+          }
+        }
+      }
+      priority[ci] -= 1;
+      if (unscheduled_in_chunk[ci] > 0) {
+        queue.emplace(priority[ci], -chunk);
+      }
+    }
+
+    RESCCL_CHECK_MSG(!wave.empty(),
+                     "HPDS made no progress — dependency cycle in DAG?");
+    // Canonicalize the sub-pipeline's internal order along data flow: TBs
+    // issue primitives in this order, so aligning it with step order (the
+    // order data becomes available) avoids head-of-line blocking when a TB
+    // owns several of the wave's tasks. Sorting by step keeps the schedule
+    // valid — a data-dependency predecessor always has a smaller step.
+    std::sort(wave.begin(), wave.end(), [&](TaskId a, TaskId b) {
+      const Transfer& ta = dag.node(a).transfer;
+      const Transfer& tb = dag.node(b).transfer;
+      if (ta.step != tb.step) return ta.step < tb.step;
+      if (ta.chunk != tb.chunk) return ta.chunk < tb.chunk;
+      return ta.src < tb.src;
+    });
+    schedule.sub_pipelines.push_back(std::move(wave));
+  }
+  return schedule;
+}
+
+}  // namespace resccl

@@ -1,0 +1,23 @@
+// Lightweight kernel generation (§4.5).
+//
+// ResCCL lowers the optimized primitive pipeline into straight-line kernels
+// organized along the paper's three dimensions: the *rank* dimension (one
+// kernel per GPU), the *TB* dimension (the primitives each thread block
+// owns), and the *pipeline* dimension (each primitive cycling through all of
+// its micro-batch invocations). EmitPseudoCuda renders a CompiledCollective
+// into that kernel form as annotated CUDA-like source — the artifact a GPU
+// build would compile, and a readable record of exactly what each TB does.
+#pragma once
+
+#include <string>
+
+#include "core/compiler.h"
+
+namespace resccl {
+
+// Renders the generated kernel for one rank, or for all ranks when
+// `rank == kInvalidRank`.
+[[nodiscard]] std::string EmitPseudoCuda(const CompiledCollective& compiled,
+                                         Rank rank = kInvalidRank);
+
+}  // namespace resccl

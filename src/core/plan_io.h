@@ -1,0 +1,28 @@
+// Compiled-plan serialization.
+//
+// The ResCCL workflow is offline: the compiler runs once per (algorithm,
+// topology) and the runtime replays the artifact for the whole training job
+// (§5.3 measures exactly this one-time cost). SavePlan/LoadPlan give that
+// artifact a durable form — a versioned, line-oriented text format carrying
+// the algorithm IR, compile options, schedule, stage map, dependency lists,
+// and the TB plan. LoadPlan validates structure and cross-references so a
+// corrupted or hand-edited plan fails loudly instead of deadlocking the
+// runtime.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "core/compiler.h"
+
+namespace resccl {
+
+void SavePlan(const CompiledCollective& plan, std::ostream& out);
+[[nodiscard]] std::string SavePlanToString(const CompiledCollective& plan);
+
+[[nodiscard]] Result<CompiledCollective> LoadPlan(std::istream& in);
+[[nodiscard]] Result<CompiledCollective> LoadPlanFromString(
+    const std::string& text);
+
+}  // namespace resccl

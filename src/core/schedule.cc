@@ -1,0 +1,88 @@
+#include "core/schedule.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace resccl {
+
+int Schedule::ntasks() const {
+  int n = 0;
+  for (const auto& wave : sub_pipelines) n += static_cast<int>(wave.size());
+  return n;
+}
+
+std::vector<int> Schedule::WaveOf(int ntasks_total) const {
+  std::vector<int> wave(static_cast<std::size_t>(ntasks_total), -1);
+  for (std::size_t w = 0; w < sub_pipelines.size(); ++w) {
+    for (TaskId t : sub_pipelines[w]) {
+      RESCCL_CHECK(t.valid() &&
+                   static_cast<std::size_t>(t.value) < wave.size());
+      wave[static_cast<std::size_t>(t.value)] = static_cast<int>(w);
+    }
+  }
+  return wave;
+}
+
+Status ValidateSchedule(const Schedule& schedule, const DependencyGraph& dag,
+                        const ConnectionTable& connections) {
+  const int ntasks = dag.ntasks();
+  if (schedule.ntasks() != ntasks) {
+    std::ostringstream os;
+    os << "schedule covers " << schedule.ntasks() << " tasks, DAG has "
+       << ntasks;
+    return Status::Internal(os.str());
+  }
+  // Global wave-major position of each task.
+  std::vector<int> pos(static_cast<std::size_t>(ntasks), -1);
+  int next = 0;
+  for (const auto& sub : schedule.sub_pipelines) {
+    for (TaskId t : sub) {
+      RESCCL_CHECK(t.valid() && t.value < ntasks);
+      if (pos[static_cast<std::size_t>(t.value)] != -1) {
+        return Status::Internal("task " + std::to_string(t.value) +
+                                " scheduled twice");
+      }
+      pos[static_cast<std::size_t>(t.value)] = next++;
+    }
+  }
+  for (int t = 0; t < ntasks; ++t) {
+    if (pos[static_cast<std::size_t>(t)] < 0) {
+      return Status::Internal("task " + std::to_string(t) +
+                              " missing from schedule");
+    }
+  }
+
+  for (int t = 0; t < ntasks; ++t) {
+    const TaskNode& node = dag.node(TaskId(t));
+    for (TaskId pred : node.preds) {
+      if (pos[static_cast<std::size_t>(pred.value)] >=
+          pos[static_cast<std::size_t>(t)]) {
+        std::ostringstream os;
+        os << "data dependency violated: task " << pred.value
+           << " must precede task " << t << " in the global pipeline order";
+        return Status::Internal(os.str());
+      }
+    }
+  }
+
+  for (const auto& sub : schedule.sub_pipelines) {
+    for (std::size_t i = 0; i < sub.size(); ++i) {
+      for (std::size_t j = i + 1; j < sub.size(); ++j) {
+        const LinkId a = dag.node(sub[i]).connection;
+        const LinkId b = dag.node(sub[j]).connection;
+        if (connections.Conflicts(a, b)) {
+          std::ostringstream os;
+          os << "communication dependency violated: tasks " << sub[i].value
+             << " and " << sub[j].value
+             << " share a link within one sub-pipeline";
+          return Status::Internal(os.str());
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace resccl

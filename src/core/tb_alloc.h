@@ -1,0 +1,74 @@
+// Thread-block allocation (§4.4).
+//
+// Every scheduled task needs a sender-side TB on its source rank and a
+// receiver-side TB on its destination rank. Tasks are first grouped into
+// *streams* — one per (rank, peer, direction, stage) connection endpoint,
+// the unit traditional backends bind a TB to.
+//
+//   kConnectionBased  one TB per stream: the rigid scheme of NCCL/MSCCL.
+//                     Stage-level execution multiplies streams by stages
+//                     ("extra channels"), which is where MSCCL's 99%-idle
+//                     TBs come from (§2.2).
+//   kStateBased       ResCCL's scheme: a timeline analysis over the global
+//                     pipeline estimates when each connection is active —
+//                     running a static per-stream FIFO model of task-level
+//                     execution over a pipelining window — and merges
+//                     connections on the same rank whose active intervals
+//                     never overlap (Eq. 7), shrinking the TB count without
+//                     touching the schedule.
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+#include "core/dag.h"
+#include "core/schedule.h"
+
+namespace resccl {
+
+enum class Direction { kSend, kRecv };
+
+enum class TbAllocPolicy { kConnectionBased, kStateBased };
+
+struct TbTaskRef {
+  TaskId task;
+  Direction dir = Direction::kSend;
+  int wave = 0;    // sub-pipeline index
+  int order = 0;   // global wave-major position (issue order)
+};
+
+struct TbAllocParams {
+  TbAllocPolicy policy = TbAllocPolicy::kStateBased;
+  // Timeline-analysis inputs: transfer granularity and how many
+  // micro-batches of pipelining to model when estimating activity windows.
+  Size chunk = Size::MiB(1);
+  int window_microbatches = 8;
+};
+
+struct TbPlan {
+  struct Tb {
+    Rank rank = kInvalidRank;
+    std::vector<TbTaskRef> refs;  // sorted by global order
+  };
+  std::vector<Tb> tbs;
+  // Per-task TB assignment, indexed by TaskId.value.
+  std::vector<int> send_tb;
+  std::vector<int> recv_tb;
+
+  [[nodiscard]] int total_tbs() const { return static_cast<int>(tbs.size()); }
+  [[nodiscard]] int TbCountForRank(Rank r) const;
+  // Largest TB count on any rank — the per-GPU SM footprint the paper's
+  // Table 3 "# TB" column tracks.
+  [[nodiscard]] int MaxTbsPerRank(int nranks) const;
+};
+
+// `stage_of_task` assigns each task an execution stage (all zero outside
+// stage-level execution); connection-based allocation opens separate TBs per
+// stage, mirroring MSCCL's per-stage channels.
+[[nodiscard]] TbPlan AllocateTbs(const DependencyGraph& dag,
+                                 const Schedule& schedule,
+                                 const ConnectionTable& connections,
+                                 const TbAllocParams& params,
+                                 const std::vector<int>& stage_of_task);
+
+}  // namespace resccl

@@ -1,0 +1,61 @@
+#include "lang/emit.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+
+namespace resccl::lang {
+
+namespace {
+
+const char* OpTypeName(CollectiveOp op) {
+  switch (op) {
+    case CollectiveOp::kAllGather: return "Allgather";
+    case CollectiveOp::kAllReduce: return "Allreduce";
+    case CollectiveOp::kReduceScatter: return "Reducescatter";
+    case CollectiveOp::kBroadcast: return "Broadcast";
+    case CollectiveOp::kReduce: return "Reduce";
+  }
+  return "Allreduce";
+}
+
+}  // namespace
+
+std::string EmitSource(const Algorithm& algo) {
+  RESCCL_CHECK_MSG(algo.Validate().ok(), "cannot emit an invalid algorithm");
+  RESCCL_CHECK_MSG(algo.nchunks == algo.nranks,
+                   "ResCCLang fixes nchunks == nranks");
+
+  // Emit transfers grouped by step so the program reads as the algorithm's
+  // timeline.
+  std::vector<std::size_t> order(algo.transfers.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return algo.transfers[a].step < algo.transfers[b].step;
+  });
+
+  std::ostringstream os;
+  os << "# Emitted by resccl::lang::EmitSource from algorithm '" << algo.name
+     << "'\n";
+  os << "def ResCCLAlgo(nRanks=" << algo.nranks << ", AlgoName=\"" << algo.name
+     << "\", OpType=\"" << OpTypeName(algo.collective) << "\"";
+  if (algo.root != 0) os << ", Root=" << algo.root;
+  os << "):\n";
+  Step current = -1;
+  for (std::size_t i : order) {
+    const Transfer& t = algo.transfers[i];
+    if (t.step != current) {
+      current = t.step;
+      os << "    # step " << current << "\n";
+    }
+    os << "    transfer(" << t.src << ", " << t.dst << ", " << t.step << ", "
+       << t.chunk << ", "
+       << (t.op == TransferOp::kRecvReduceCopy ? "rrc" : "recv") << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace resccl::lang

@@ -1,0 +1,20 @@
+// ResCCLang emitter: renders an Algorithm IR back into compilable
+// ResCCLang source.
+//
+// The inverse of lang::CompileSource. Emitted programs list each transfer
+// explicitly (algorithm logic is not re-inferred into loops), grouped by
+// step for readability, and round-trip exactly: compiling the emitted
+// source reproduces the same transfer multiset. Useful for exporting
+// library-built or programmatically generated algorithms into the DSL
+// toolchain.
+#pragma once
+
+#include <string>
+
+#include "core/algorithm.h"
+
+namespace resccl::lang {
+
+[[nodiscard]] std::string EmitSource(const Algorithm& algo);
+
+}  // namespace resccl::lang

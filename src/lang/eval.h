@@ -1,0 +1,37 @@
+// ResCCLang evaluator: executes a parsed Program and materializes the
+// Algorithm IR (the transfer list) it describes.
+//
+// Arithmetic follows the Python semantics the paper's examples are written
+// in: `/` is floor division and `%` is floor modulus (the HM example in
+// Fig. 16 relies on `(offset - step) % N` staying non-negative).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/status.h"
+#include "core/algorithm.h"
+#include "lang/ast.h"
+
+namespace resccl::lang {
+
+struct EvalLimits {
+  // Guards against runaway programs: `transfer` calls and total statement
+  // executions are capped.
+  std::int64_t max_transfers = 50'000'000;
+  std::int64_t max_operations = 500'000'000;
+};
+
+// Evaluates a parsed program into an Algorithm.
+[[nodiscard]] Result<Algorithm> Evaluate(const Program& program,
+                                         const EvalLimits& limits = {});
+
+// Convenience: Parse + Evaluate.
+[[nodiscard]] Result<Algorithm> CompileSource(std::string_view source,
+                                              const EvalLimits& limits = {});
+
+// Python-style floor division / modulus, shared with tests.
+[[nodiscard]] std::int64_t FloorDiv(std::int64_t a, std::int64_t b);
+[[nodiscard]] std::int64_t FloorMod(std::int64_t a, std::int64_t b);
+
+}  // namespace resccl::lang

@@ -1,0 +1,185 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <string>
+
+namespace resccl::lang {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kNewline: return "newline";
+    case TokenKind::kIndent: return "indent";
+    case TokenKind::kDedent: return "dedent";
+    case TokenKind::kEndOfFile: return "end of file";
+    case TokenKind::kDef: return "'def'";
+    case TokenKind::kFor: return "'for'";
+    case TokenKind::kIn: return "'in'";
+    case TokenKind::kRange: return "'range'";
+    case TokenKind::kTransfer: return "'transfer'";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kString: return "string";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+  }
+  return "?";
+}
+
+namespace {
+
+Status LexError(int line, int column, const std::string& message) {
+  return Status::InvalidArgument("line " + std::to_string(line) + ":" +
+                                 std::to_string(column) + ": " + message);
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view source) {
+  std::vector<Token> out;
+  std::vector<int> indents{0};
+  std::size_t pos = 0;
+  int line = 0;
+
+  while (pos <= source.size()) {
+    // --- start of a logical line ---
+    ++line;
+    int indent = 0;
+    while (pos < source.size() && (source[pos] == ' ' || source[pos] == '\t')) {
+      indent += source[pos] == '\t' ? 4 : 1;
+      ++pos;
+    }
+    // Blank line or comment-only line: consume and continue.
+    if (pos >= source.size() || source[pos] == '\n' || source[pos] == '#') {
+      while (pos < source.size() && source[pos] != '\n') ++pos;
+      if (pos >= source.size()) break;
+      ++pos;  // consume '\n'
+      continue;
+    }
+
+    // Indentation bookkeeping.
+    if (indent > indents.back()) {
+      indents.push_back(indent);
+      out.push_back({TokenKind::kIndent, "", 0, line, 1});
+    } else {
+      while (indent < indents.back()) {
+        indents.pop_back();
+        out.push_back({TokenKind::kDedent, "", 0, line, 1});
+      }
+      if (indent != indents.back()) {
+        return LexError(line, 1, "inconsistent indentation");
+      }
+    }
+
+    // --- tokens on this line ---
+    while (pos < source.size() && source[pos] != '\n') {
+      const char c = source[pos];
+      const int column = static_cast<int>(pos) + 1;  // approximate but useful
+      if (c == ' ' || c == '\t') {
+        ++pos;
+        continue;
+      }
+      if (c == '#') {
+        while (pos < source.size() && source[pos] != '\n') ++pos;
+        break;
+      }
+      Token tok;
+      tok.line = line;
+      tok.column = column;
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        std::int64_t value = 0;
+        while (pos < source.size() &&
+               std::isdigit(static_cast<unsigned char>(source[pos])) != 0) {
+          value = value * 10 + (source[pos] - '0');
+          if (value > 1'000'000'000'000LL) {
+            return LexError(line, column, "numeric literal too large");
+          }
+          ++pos;
+        }
+        tok.kind = TokenKind::kNumber;
+        tok.number = value;
+        out.push_back(tok);
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+        std::string name;
+        while (pos < source.size() &&
+               (std::isalnum(static_cast<unsigned char>(source[pos])) != 0 ||
+                source[pos] == '_')) {
+          name.push_back(source[pos]);
+          ++pos;
+        }
+        if (name == "def") {
+          tok.kind = TokenKind::kDef;
+        } else if (name == "for") {
+          tok.kind = TokenKind::kFor;
+        } else if (name == "in") {
+          tok.kind = TokenKind::kIn;
+        } else if (name == "range") {
+          tok.kind = TokenKind::kRange;
+        } else if (name == "transfer") {
+          tok.kind = TokenKind::kTransfer;
+        } else {
+          tok.kind = TokenKind::kIdentifier;
+          tok.text = std::move(name);
+        }
+        out.push_back(tok);
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        ++pos;
+        std::string text;
+        while (pos < source.size() && source[pos] != quote &&
+               source[pos] != '\n') {
+          text.push_back(source[pos]);
+          ++pos;
+        }
+        if (pos >= source.size() || source[pos] != quote) {
+          return LexError(line, column, "unterminated string literal");
+        }
+        ++pos;
+        tok.kind = TokenKind::kString;
+        tok.text = std::move(text);
+        out.push_back(tok);
+        continue;
+      }
+      switch (c) {
+        case '(': tok.kind = TokenKind::kLParen; break;
+        case ')': tok.kind = TokenKind::kRParen; break;
+        case ':': tok.kind = TokenKind::kColon; break;
+        case ',': tok.kind = TokenKind::kComma; break;
+        case '=': tok.kind = TokenKind::kAssign; break;
+        case '+': tok.kind = TokenKind::kPlus; break;
+        case '-': tok.kind = TokenKind::kMinus; break;
+        case '*': tok.kind = TokenKind::kStar; break;
+        case '/': tok.kind = TokenKind::kSlash; break;
+        case '%': tok.kind = TokenKind::kPercent; break;
+        default:
+          return LexError(line, column,
+                          std::string("unexpected character '") + c + "'");
+      }
+      ++pos;
+      out.push_back(tok);
+    }
+    out.push_back({TokenKind::kNewline, "", 0, line, 0});
+    if (pos >= source.size()) break;
+    ++pos;  // consume '\n'
+  }
+
+  while (indents.size() > 1) {
+    indents.pop_back();
+    out.push_back({TokenKind::kDedent, "", 0, line, 0});
+  }
+  out.push_back({TokenKind::kEndOfFile, "", 0, line + 1, 0});
+  return out;
+}
+
+}  // namespace resccl::lang

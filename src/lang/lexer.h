@@ -1,0 +1,21 @@
+// ResCCLang lexer: indentation-aware tokenizer.
+//
+// ResCCLang is block-structured by indentation, like the Python the paper's
+// examples are written in (Fig. 16). The lexer emits kIndent/kDedent tokens
+// at indentation changes, skips blank lines and `#` comments, and rejects
+// inconsistent indentation with a line-accurate diagnostic.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "lang/token.h"
+
+namespace resccl::lang {
+
+// Tokenizes `source`; the result always ends with kEndOfFile (with balancing
+// kDedent tokens before it).
+[[nodiscard]] Result<std::vector<Token>> Lex(std::string_view source);
+
+}  // namespace resccl::lang

@@ -1,0 +1,15 @@
+// Recursive-descent parser for ResCCLang.
+#pragma once
+
+#include <string_view>
+
+#include "common/status.h"
+#include "lang/ast.h"
+
+namespace resccl::lang {
+
+// Lexes and parses `source` into a Program. All diagnostics carry
+// line numbers.
+[[nodiscard]] Result<Program> Parse(std::string_view source);
+
+}  // namespace resccl::lang

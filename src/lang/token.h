@@ -1,0 +1,48 @@
+// Token stream for ResCCLang (Appendix B).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace resccl::lang {
+
+enum class TokenKind {
+  // Structure
+  kNewline,
+  kIndent,
+  kDedent,
+  kEndOfFile,
+  // Keywords
+  kDef,
+  kFor,
+  kIn,
+  kRange,
+  kTransfer,
+  // Literals and names
+  kIdentifier,
+  kNumber,
+  kString,
+  // Punctuation / operators
+  kLParen,
+  kRParen,
+  kColon,
+  kComma,
+  kAssign,   // =
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+};
+
+[[nodiscard]] const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEndOfFile;
+  std::string text;        // identifier name / string literal contents
+  std::int64_t number = 0; // for kNumber
+  int line = 0;            // 1-based source line, for diagnostics
+  int column = 0;          // 1-based
+};
+
+}  // namespace resccl::lang

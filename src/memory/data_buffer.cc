@@ -1,0 +1,46 @@
+#include "memory/data_buffer.h"
+
+#include <algorithm>
+
+namespace resccl {
+
+void ApplyReduce(std::span<double> dst, std::span<const double> src,
+                 ReduceOp op) {
+  RESCCL_CHECK(dst.size() == src.size());
+  switch (op) {
+    case ReduceOp::kSum:
+      for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+      break;
+    case ReduceOp::kProd:
+      for (std::size_t i = 0; i < dst.size(); ++i) dst[i] *= src[i];
+      break;
+    case ReduceOp::kMax:
+      for (std::size_t i = 0; i < dst.size(); ++i)
+        dst[i] = std::max(dst[i], src[i]);
+      break;
+    case ReduceOp::kMin:
+      for (std::size_t i = 0; i < dst.size(); ++i)
+        dst[i] = std::min(dst[i], src[i]);
+      break;
+  }
+}
+
+BufferSet::BufferSet(int nranks, int nchunks, int chunk_elems) {
+  RESCCL_CHECK(nranks >= 1);
+  buffers_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    buffers_.emplace_back(nchunks, chunk_elems);
+  }
+}
+
+DataBuffer& BufferSet::rank(Rank r) {
+  RESCCL_CHECK_MSG(r >= 0 && r < nranks(), "rank " << r << " out of range");
+  return buffers_[static_cast<std::size_t>(r)];
+}
+
+const DataBuffer& BufferSet::rank(Rank r) const {
+  RESCCL_CHECK_MSG(r >= 0 && r < nranks(), "rank " << r << " out of range");
+  return buffers_[static_cast<std::size_t>(r)];
+}
+
+}  // namespace resccl

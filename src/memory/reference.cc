@@ -1,0 +1,110 @@
+#include "memory/reference.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace resccl {
+
+double ReferenceValue(Rank rank, ChunkId chunk, int elem) {
+  // Distinct small integers; max value 97*512 + ... stays far below 2^53
+  // even summed across thousands of ranks.
+  return static_cast<double>((rank + 1) * 131 + (chunk + 1) * 17 +
+                             (elem % 13));
+}
+
+void InitForCollective(CollectiveOp op, BufferSet& buffers, Rank root) {
+  const int nranks = buffers.nranks();
+  for (Rank r = 0; r < nranks; ++r) {
+    DataBuffer& buf = buffers.rank(r);
+    for (ChunkId c = 0; c < buf.nchunks(); ++c) {
+      auto chunk = buf.Chunk(c);
+      bool contributes = true;
+      if (op == CollectiveOp::kAllGather) contributes = c == r;
+      if (op == CollectiveOp::kBroadcast) contributes = r == root;
+      for (std::size_t e = 0; e < chunk.size(); ++e) {
+        chunk[e] = contributes
+                       ? ReferenceValue(r, c, static_cast<int>(e))
+                       : 0.0;
+      }
+    }
+  }
+}
+
+namespace {
+
+double ExpectedSum(ChunkId c, int elem, int nranks) {
+  double sum = 0.0;
+  for (Rank r = 0; r < nranks; ++r) sum += ReferenceValue(r, c, elem);
+  return sum;
+}
+
+bool CheckChunk(const BufferSet& buffers, Rank r, ChunkId c, double expected0,
+                bool expected_is_sum, std::string& why) {
+  const auto chunk = buffers.rank(r).Chunk(c);
+  for (std::size_t e = 0; e < chunk.size(); ++e) {
+    const double want =
+        expected_is_sum
+            ? ExpectedSum(c, static_cast<int>(e), buffers.nranks())
+            : ReferenceValue(static_cast<Rank>(expected0), c,
+                             static_cast<int>(e));
+    if (chunk[e] != want) {
+      std::ostringstream os;
+      os << "rank " << r << " chunk " << c << " elem " << e << ": got "
+         << chunk[e] << ", want " << want;
+      why = os.str();
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool VerifyCollective(CollectiveOp op, const BufferSet& buffers,
+                      std::string& why, Rank root) {
+  why.clear();
+  const int nranks = buffers.nranks();
+  for (Rank r = 0; r < nranks; ++r) {
+    for (ChunkId c = 0; c < buffers.rank(r).nchunks(); ++c) {
+      switch (op) {
+        case CollectiveOp::kAllGather:
+          // Every rank ends with chunk c as contributed by rank c.
+          if (!CheckChunk(buffers, r, c, /*expected0=*/c,
+                          /*expected_is_sum=*/false, why)) {
+            return false;
+          }
+          break;
+        case CollectiveOp::kAllReduce:
+          // Every chunk on every rank is the cross-rank sum.
+          if (!CheckChunk(buffers, r, c, 0, /*expected_is_sum=*/true, why)) {
+            return false;
+          }
+          break;
+        case CollectiveOp::kReduceScatter:
+          // Only the rank's own chunk is specified.
+          if (c == r &&
+              !CheckChunk(buffers, r, c, 0, /*expected_is_sum=*/true, why)) {
+            return false;
+          }
+          break;
+        case CollectiveOp::kBroadcast:
+          // Every rank ends with the root's copy of every chunk.
+          if (!CheckChunk(buffers, r, c, /*expected0=*/root,
+                          /*expected_is_sum=*/false, why)) {
+            return false;
+          }
+          break;
+        case CollectiveOp::kReduce:
+          // Only the root's buffer is specified: the cross-rank sum.
+          if (r == root &&
+              !CheckChunk(buffers, r, c, 0, /*expected_is_sum=*/true, why)) {
+            return false;
+          }
+          break;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace resccl

@@ -1,0 +1,46 @@
+// Reference initializers and expected results for the standard collectives.
+//
+// Tests seed buffers with InitFor(op) and compare the executed result against
+// ExpectedFor(op); payloads are small integers so sum reductions are exact in
+// double and independent of reduction order.
+#pragma once
+
+#include "common/types.h"
+#include "memory/data_buffer.h"
+
+namespace resccl {
+
+enum class CollectiveOp {
+  kAllGather,
+  kReduceScatter,
+  kAllReduce,
+  kBroadcast,  // rooted: rank `root` distributes its full buffer
+  kReduce,     // rooted: rank `root` collects the cross-rank reduction
+};
+
+[[nodiscard]] constexpr const char* CollectiveOpName(CollectiveOp op) {
+  switch (op) {
+    case CollectiveOp::kAllGather: return "AllGather";
+    case CollectiveOp::kReduceScatter: return "ReduceScatter";
+    case CollectiveOp::kAllReduce: return "AllReduce";
+    case CollectiveOp::kBroadcast: return "Broadcast";
+    case CollectiveOp::kReduce: return "Reduce";
+  }
+  return "?";
+}
+
+// Deterministic payload for <rank, chunk, element>; small integers.
+[[nodiscard]] double ReferenceValue(Rank rank, ChunkId chunk, int elem);
+
+// Seeds `buffers` with the collective's pre-state: AllGather contributes only
+// the rank's own chunk; ReduceScatter/AllReduce/Reduce start with full
+// per-rank buffers; Broadcast's payload exists only at `root`.
+void InitForCollective(CollectiveOp op, BufferSet& buffers, Rank root = 0);
+
+// Checks the post-state of `buffers` against the collective's semantics with
+// a sum reduction. Returns true and leaves `why` empty on success; otherwise
+// writes a human-readable mismatch description.
+[[nodiscard]] bool VerifyCollective(CollectiveOp op, const BufferSet& buffers,
+                                    std::string& why, Rank root = 0);
+
+}  // namespace resccl

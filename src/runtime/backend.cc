@@ -1,0 +1,94 @@
+#include "runtime/backend.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace resccl {
+
+CompileOptions DefaultCompileOptions(BackendKind kind) {
+  CompileOptions opts;
+  switch (kind) {
+    case BackendKind::kResCCL:
+      opts.scheduler = SchedulerKind::kHpds;
+      opts.tb_alloc = TbAllocPolicy::kStateBased;
+      opts.mode = ExecutionMode::kTaskLevel;
+      opts.engine = RuntimeEngine::kGeneratedKernel;
+      break;
+    case BackendKind::kMscclLike:
+      opts.scheduler = SchedulerKind::kStepOrder;  // executes as authored
+      opts.tb_alloc = TbAllocPolicy::kConnectionBased;
+      opts.mode = ExecutionMode::kStageLevel;
+      opts.engine = RuntimeEngine::kInterpreter;
+      opts.nstages = 2;
+      break;
+    case BackendKind::kNcclLike:
+      opts.scheduler = SchedulerKind::kStepOrder;  // executes as authored
+      opts.tb_alloc = TbAllocPolicy::kConnectionBased;
+      opts.mode = ExecutionMode::kAlgorithmLevel;
+      opts.engine = RuntimeEngine::kGeneratedKernel;
+      break;
+  }
+  return opts;
+}
+
+Result<CollectiveReport> RunCollectiveWithOptions(const Algorithm& algo,
+                                                  const Topology& topo,
+                                                  const CompileOptions& options,
+                                                  const RunRequest& request,
+                                                  std::string backend_name) {
+  Result<CompiledCollective> compiled = Compile(algo, topo, options);
+  if (!compiled.ok()) return compiled.status();
+  const CompiledCollective& cc = compiled.value();
+
+  const LoweredProgram lowered = Lower(cc, request.cost, request.launch);
+
+  SimMachine machine(topo, request.cost);
+  CollectiveReport report;
+  report.sim = machine.Run(lowered.program);
+
+  report.backend = std::move(backend_name);
+  report.algorithm = algo.name;
+  report.elapsed = report.sim.makespan;
+  report.algo_bw = AlgoBandwidth(request.launch.buffer, report.elapsed);
+  report.nmicrobatches = lowered.nmicrobatches;
+  report.total_tbs = cc.tbs.total_tbs();
+  report.max_tbs_per_rank = cc.tbs.MaxTbsPerRank(algo.nranks);
+  report.compile = cc.stats;
+
+  // Link utilization over resources that carried data.
+  const FluidNetwork& net = machine.network();
+  for (std::size_t r = 0; r < topo.resources().size(); ++r) {
+    const auto& usage = net.usage(ResourceId(static_cast<std::int32_t>(r)));
+    if (usage.bytes == 0) continue;
+    const double frac =
+        report.elapsed > SimTime::Zero() ? usage.active / report.elapsed : 0.0;
+    report.links.avg += frac;
+    report.links.min = std::min(report.links.min, frac);
+    report.links.max = std::max(report.links.max, frac);
+    ++report.links.carriers;
+  }
+  if (report.links.carriers > 0) {
+    report.links.avg /= report.links.carriers;
+  } else {
+    report.links.min = 0;
+  }
+
+  if (request.verify) {
+    const VerifyResult v = VerifyLoweredExecution(cc, lowered, report.sim,
+                                                  request.verify_elems);
+    report.verified = v.ok;
+    report.verify_error = v.error;
+  }
+  return report;
+}
+
+Result<CollectiveReport> RunCollective(const Algorithm& algo,
+                                       const Topology& topo, BackendKind kind,
+                                       const RunRequest& request) {
+  return RunCollectiveWithOptions(algo, topo, DefaultCompileOptions(kind),
+                                  request, BackendName(kind));
+}
+
+}  // namespace resccl

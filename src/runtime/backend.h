@@ -1,0 +1,84 @@
+// Backend facade: compile + lower + simulate + verify in one call.
+//
+// Three backend personalities reproduce the paper's comparison:
+//
+//   kResCCL     HPDS schedule, state-based TB merging, task-level
+//               execution, directly generated kernels (§4).
+//   kMscclLike  stage-level execution with per-stage channels
+//               (connection-based TBs per stage) and a runtime interpreter
+//               — the MSCCL/MSCCLang behaviour of §2.
+//   kNcclLike   algorithm-level execution (a global barrier between
+//               micro-batches), connection-based TBs, compiled-in kernels —
+//               vendor-library behaviour. Pair it with the multi-channel
+//               ring algorithms for a faithful NCCL baseline.
+#pragma once
+
+#include <string>
+
+#include "core/compiler.h"
+#include "runtime/data_engine.h"
+#include "runtime/lowering.h"
+#include "sim/cost_model.h"
+#include "sim/machine.h"
+#include "topology/topology.h"
+
+namespace resccl {
+
+enum class BackendKind { kResCCL, kMscclLike, kNcclLike };
+
+[[nodiscard]] constexpr const char* BackendName(BackendKind k) {
+  switch (k) {
+    case BackendKind::kResCCL: return "ResCCL";
+    case BackendKind::kMscclLike: return "MSCCL";
+    case BackendKind::kNcclLike: return "NCCL";
+  }
+  return "?";
+}
+
+// The CompileOptions each backend personality uses by default.
+[[nodiscard]] CompileOptions DefaultCompileOptions(BackendKind kind);
+
+struct RunRequest {
+  LaunchConfig launch;
+  CostModel cost;
+  bool verify = false;       // run the data engine afterwards
+  int verify_elems = 2;      // elements per chunk in the data engine
+};
+
+struct LinkUtilization {
+  double avg = 0;   // mean busy fraction over links that carried data
+  double min = 1;
+  double max = 0;
+  int carriers = 0; // links that carried any data
+};
+
+struct CollectiveReport {
+  std::string backend;
+  std::string algorithm;
+  SimTime elapsed;
+  Bandwidth algo_bw;         // buffer bytes / elapsed (§5.2's metric)
+  int nmicrobatches = 0;
+  int total_tbs = 0;
+  int max_tbs_per_rank = 0;
+  SimRunReport sim;          // per-TB busy/sync/overhead + transfer times
+  LinkUtilization links;
+  CompileStats compile;
+  bool verified = false;     // only meaningful when RunRequest.verify
+  std::string verify_error;
+};
+
+// Executes `algo` on `topo` under the given backend. Throws on internal
+// errors (invalid schedules, deadlocks); returns InvalidArgument for
+// malformed algorithms.
+[[nodiscard]] Result<CollectiveReport> RunCollective(const Algorithm& algo,
+                                                     const Topology& topo,
+                                                     BackendKind kind,
+                                                     const RunRequest& request);
+
+// Variant taking explicit compile options (for ablations: scheduler choice,
+// TB policy, engine, stage count).
+[[nodiscard]] Result<CollectiveReport> RunCollectiveWithOptions(
+    const Algorithm& algo, const Topology& topo, const CompileOptions& options,
+    const RunRequest& request, std::string backend_name = "custom");
+
+}  // namespace resccl

@@ -1,0 +1,54 @@
+// Communicator: the library's top-level public API.
+//
+//   resccl::Communicator comm(resccl::presets::A100(2, 8),
+//                             resccl::BackendKind::kResCCL);
+//   auto report = comm.AllReduce({.launch = {.buffer = Size::MiB(512)}});
+//   // report.algo_bw, report.sim (TB stats), report.links, ...
+//
+// Collectives run on the backend's default algorithm (hierarchical-mesh for
+// ResCCL/MSCCL, multi-channel ring for NCCL-like) or on any custom
+// Algorithm — built programmatically, taken from resccl::algorithms, or
+// compiled from ResCCLang source with lang::CompileSource.
+#pragma once
+
+#include <string>
+
+#include "core/algorithm.h"
+#include "runtime/backend.h"
+#include "topology/topology.h"
+
+namespace resccl {
+
+// The algorithm a backend would pick for a collective on this topology.
+[[nodiscard]] Algorithm DefaultAlgorithm(BackendKind kind, CollectiveOp op,
+                                         const Topology& topo);
+
+class Communicator {
+ public:
+  Communicator(TopologySpec spec, BackendKind kind)
+      : topo_(std::move(spec)), kind_(kind) {}
+
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+  [[nodiscard]] BackendKind backend() const { return kind_; }
+
+  // Standard collectives on the backend's default algorithm. Throws
+  // std::invalid_argument if the request is malformed.
+  [[nodiscard]] CollectiveReport AllGather(const RunRequest& request) const;
+  [[nodiscard]] CollectiveReport AllReduce(const RunRequest& request) const;
+  [[nodiscard]] CollectiveReport ReduceScatter(const RunRequest& request) const;
+  [[nodiscard]] CollectiveReport Broadcast(const RunRequest& request) const;
+  [[nodiscard]] CollectiveReport Reduce(const RunRequest& request) const;
+
+  // Runs a custom algorithm under this communicator's backend.
+  [[nodiscard]] CollectiveReport Run(const Algorithm& algo,
+                                     const RunRequest& request) const;
+
+ private:
+  [[nodiscard]] CollectiveReport RunOp(CollectiveOp op,
+                                       const RunRequest& request) const;
+
+  Topology topo_;
+  BackendKind kind_;
+};
+
+}  // namespace resccl

@@ -1,0 +1,184 @@
+#include "runtime/lowering.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace resccl {
+
+namespace {
+
+int DeclIndex(int task, int mb, int nmb) { return task * nmb + mb; }
+
+SimTime PerPrimitiveOverhead(const CompiledCollective& compiled,
+                             const CostModel& cost, bool first_of_mb) {
+  SimTime overhead = cost.primitive_launch;
+  if (compiled.options.engine == RuntimeEngine::kInterpreter) {
+    overhead += cost.interp_decode;
+    if (first_of_mb) overhead += cost.interp_reload;
+  }
+  return overhead;
+}
+
+}  // namespace
+
+LoweredProgram Lower(const CompiledCollective& compiled, const CostModel& cost,
+                     const LaunchConfig& launch) {
+  const int ntasks = compiled.algo.ntasks();
+  const int nmb = launch.MicroBatches(compiled.algo.nchunks);
+  const std::int64_t chunk_bytes = launch.chunk.bytes();
+  RESCCL_CHECK(chunk_bytes > 0);
+
+  // Protocol trade-off: flag-embedding protocols cut the handshake latency
+  // but pay wire overhead, modelled as inflated payload bytes.
+  double latency_factor = 1.0;
+  double byte_inflation = 1.0;
+  switch (launch.protocol) {
+    case Protocol::kSimple:
+      break;
+    case Protocol::kLL:
+      latency_factor = cost.ll_latency_factor;
+      byte_inflation = 1.0 / cost.ll_bandwidth_factor;
+      break;
+    case Protocol::kLL128:
+      latency_factor = cost.ll128_latency_factor;
+      byte_inflation = 1.0 / cost.ll128_bandwidth_factor;
+      break;
+  }
+
+  LoweredProgram out;
+  out.nmicrobatches = nmb;
+
+  // --- Transfer declarations: one per (task, micro-batch) invocation. ---
+  out.program.transfers.resize(static_cast<std::size_t>(ntasks) *
+                               static_cast<std::size_t>(nmb));
+  out.invocation_of.resize(out.program.transfers.size());
+  for (int t = 0; t < ntasks; ++t) {
+    const Transfer& tr = compiled.algo.transfers[static_cast<std::size_t>(t)];
+    for (int m = 0; m < nmb; ++m) {
+      SimTransferDecl& decl = out.program.transfers[static_cast<std::size_t>(
+          DeclIndex(t, m, nmb))];
+      decl.src = tr.src;
+      decl.dst = tr.dst;
+      decl.bytes = static_cast<std::int64_t>(
+          static_cast<double>(chunk_bytes) * byte_inflation);
+      decl.is_reduce = tr.op == TransferOp::kRecvReduceCopy;
+      // Task-level generated kernels iterate a primitive's micro-batches in
+      // one pass (§4.5): invocations after the first overlap their
+      // handshake with the previous invocation's drain.
+      if (compiled.options.mode == ExecutionMode::kTaskLevel &&
+          compiled.options.engine == RuntimeEngine::kGeneratedKernel &&
+          m > 0) {
+        decl.latency_us = cost.pipelined_handshake.us();
+      } else {
+        decl.latency_scale = latency_factor;
+      }
+      // Data dependencies stay within a micro-batch: micro-batches address
+      // disjoint buffer slices (§3's key insight).
+      for (int p : compiled.preds[static_cast<std::size_t>(t)]) {
+        decl.deps.push_back(DeclIndex(p, m, nmb));
+      }
+      out.invocation_of[static_cast<std::size_t>(DeclIndex(t, m, nmb))] = {t,
+                                                                           m};
+    }
+  }
+
+  // --- TB instruction streams. ---
+  const ExecutionMode mode = compiled.options.mode;
+  out.program.tbs.reserve(compiled.tbs.tbs.size());
+
+  if (mode == ExecutionMode::kTaskLevel) {
+    for (const TbPlan::Tb& tb : compiled.tbs.tbs) {
+      SimTb sim_tb;
+      sim_tb.rank = tb.rank;
+      sim_tb.warps = compiled.options.warps_per_tb;
+      if (compiled.options.engine == RuntimeEngine::kInterpreter) {
+        sim_tb.injection_scale = 1.0 - cost.interp_throughput_tax;
+      }
+      for (const TbTaskRef& ref : tb.refs) {
+        for (int m = 0; m < nmb; ++m) {
+          SimInstr instr;
+          instr.kind = ref.dir == Direction::kSend ? SimInstr::Kind::kSendSide
+                                                   : SimInstr::Kind::kRecvSide;
+          instr.transfer = DeclIndex(ref.task.value, m, nmb);
+          instr.overhead = PerPrimitiveOverhead(compiled, cost, false);
+          sim_tb.program.push_back(instr);
+        }
+      }
+      out.program.tbs.push_back(std::move(sim_tb));
+    }
+    return out;
+  }
+
+  // Algorithm-level and stage-level walk micro-batches in the outer loop
+  // and synchronize at a barrier after each one: a global barrier for
+  // algorithm-level (the synthesizer backends schedule one micro-batch at a
+  // time, Eq. 3), a per-stage barrier for stage-level (algorithm-level
+  // execution *within* each stage, stages pipelining against each other,
+  // Eq. 4).
+  const int nstages = mode == ExecutionMode::kStageLevel ? compiled.nstages : 1;
+  // Stage of each TB (every ref of a TB shares a stage by construction).
+  std::vector<int> tb_stage(compiled.tbs.tbs.size(), 0);
+  std::vector<int> stage_tb_count(static_cast<std::size_t>(nstages), 0);
+  for (std::size_t i = 0; i < compiled.tbs.tbs.size(); ++i) {
+    const TbPlan::Tb& tb = compiled.tbs.tbs[i];
+    RESCCL_CHECK(!tb.refs.empty());
+    int stage = 0;
+    if (mode == ExecutionMode::kStageLevel) {
+      stage = compiled.stage_of_task[static_cast<std::size_t>(
+          tb.refs.front().task.value)];
+      for (const TbTaskRef& ref : tb.refs) {
+        RESCCL_CHECK_MSG(
+            compiled.stage_of_task[static_cast<std::size_t>(ref.task.value)] ==
+                stage,
+            "TB spans stages — allocation must key streams by stage");
+      }
+    }
+    tb_stage[i] = stage;
+    ++stage_tb_count[static_cast<std::size_t>(stage)];
+  }
+
+  // Barrier ids: (stage, mb) -> dense id. Algorithm-level is the nstages==1
+  // special case, where the sole stage spans all TBs.
+  out.program.barrier_parties.assign(
+      static_cast<std::size_t>(nstages) * static_cast<std::size_t>(nmb), 0);
+  const auto barrier_id = [&](int stage, int m) {
+    return stage * nmb + m;
+  };
+  for (int s = 0; s < nstages; ++s) {
+    for (int m = 0; m < nmb; ++m) {
+      out.program.barrier_parties[static_cast<std::size_t>(barrier_id(s, m))] =
+          stage_tb_count[static_cast<std::size_t>(s)];
+    }
+  }
+
+  for (std::size_t i = 0; i < compiled.tbs.tbs.size(); ++i) {
+    const TbPlan::Tb& tb = compiled.tbs.tbs[i];
+    SimTb sim_tb;
+    sim_tb.rank = tb.rank;
+    sim_tb.warps = compiled.options.warps_per_tb;
+    if (compiled.options.engine == RuntimeEngine::kInterpreter) {
+      sim_tb.injection_scale = 1.0 - cost.interp_throughput_tax;
+    }
+    for (int m = 0; m < nmb; ++m) {
+      bool first = true;
+      for (const TbTaskRef& ref : tb.refs) {
+        SimInstr instr;
+        instr.kind = ref.dir == Direction::kSend ? SimInstr::Kind::kSendSide
+                                                 : SimInstr::Kind::kRecvSide;
+        instr.transfer = DeclIndex(ref.task.value, m, nmb);
+        instr.overhead = PerPrimitiveOverhead(compiled, cost, first);
+        first = false;
+        sim_tb.program.push_back(instr);
+      }
+      SimInstr barrier;
+      barrier.kind = SimInstr::Kind::kBarrier;
+      barrier.barrier = barrier_id(tb_stage[i], m);
+      sim_tb.program.push_back(barrier);
+    }
+    out.program.tbs.push_back(std::move(sim_tb));
+  }
+  return out;
+}
+
+}  // namespace resccl

@@ -1,0 +1,69 @@
+// Lowering: CompiledCollective → SimProgram.
+//
+// This is where the three execution granularities of §2.1/§3 take physical
+// shape. All modes share the same transfer declarations — one per
+// (task, micro-batch) invocation, carrying the per-micro-batch data
+// dependencies — and differ only in how each TB's instruction stream walks
+// them:
+//
+//   task-level       per TB:  for task (pipeline order): for mb: issue
+//                    No barriers; micro-batches stream through sub-pipeline
+//                    chains (Eq. 5's bubble masking).
+//   algorithm-level  per TB:  for mb: for task: issue; global barrier
+//                    The lazy schedule of Eq. 3 — bubbles repeat every
+//                    micro-batch.
+//   stage-level      per TB (bound to one stage): for mb: for task: issue;
+//                    per-stage barrier. Stages pipeline against each other
+//                    but contend for links (Eq. 4).
+//
+// The interpreter engine adds a per-primitive decode cost and a
+// per-micro-batch algorithm reload (Fig. 3); generated kernels pay only the
+// launch cost (§4.5).
+#pragma once
+
+#include "core/compiler.h"
+#include "sim/cost_model.h"
+#include "sim/machine.h"
+#include "topology/topology.h"
+
+namespace resccl {
+
+// Transport protocol (Table 2). Simple maximizes sustained bandwidth, LL
+// minimizes latency, LL128 recovers most of the bandwidth at low latency.
+enum class Protocol { kSimple, kLL, kLL128 };
+
+[[nodiscard]] constexpr const char* ProtocolName(Protocol p) {
+  switch (p) {
+    case Protocol::kSimple: return "Simple";
+    case Protocol::kLL: return "LL";
+    case Protocol::kLL128: return "LL128";
+  }
+  return "?";
+}
+
+struct LaunchConfig {
+  Size buffer = Size::MiB(64);   // bytes synchronized per rank
+  Size chunk = Size::MiB(1);     // transfer granularity (Table 2: 1MB)
+  Protocol protocol = Protocol::kSimple;
+
+  // Derived micro-batch count: the buffer splits into micro-batches of
+  // nchunks × chunk bytes each (§2.1), never fewer than one.
+  [[nodiscard]] int MicroBatches(int nchunks) const {
+    const std::int64_t mb_bytes = chunk.bytes() * nchunks;
+    const std::int64_t n = buffer.bytes() / mb_bytes;
+    return static_cast<int>(n < 1 ? 1 : n);
+  }
+};
+
+struct LoweredProgram {
+  SimProgram program;
+  int nmicrobatches = 1;
+  // transfer declaration index -> (task, micro-batch).
+  std::vector<std::pair<int, int>> invocation_of;
+};
+
+[[nodiscard]] LoweredProgram Lower(const CompiledCollective& compiled,
+                                   const CostModel& cost,
+                                   const LaunchConfig& launch);
+
+}  // namespace resccl

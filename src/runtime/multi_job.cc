@@ -1,0 +1,121 @@
+#include "runtime/multi_job.h"
+
+#include <stdexcept>
+
+#include "common/check.h"
+#include "runtime/data_engine.h"
+#include "runtime/lowering.h"
+#include "sim/machine.h"
+
+namespace resccl {
+
+namespace {
+
+struct PreparedJob {
+  CompiledCollective compiled;
+  LoweredProgram lowered;
+  // Slices of the merged program owned by this job.
+  std::size_t transfer_begin = 0;
+  std::size_t transfer_count = 0;
+  std::size_t tb_begin = 0;
+  std::size_t tb_count = 0;
+};
+
+// Appends `job`'s program to `merged`, rebasing transfer, dependency, and
+// barrier indices.
+void Append(SimProgram& merged, PreparedJob& job) {
+  const int transfer_base = static_cast<int>(merged.transfers.size());
+  const int barrier_base = static_cast<int>(merged.barrier_parties.size());
+  job.transfer_begin = merged.transfers.size();
+  job.transfer_count = job.lowered.program.transfers.size();
+  job.tb_begin = merged.tbs.size();
+  job.tb_count = job.lowered.program.tbs.size();
+
+  for (SimTransferDecl decl : job.lowered.program.transfers) {
+    for (int& d : decl.deps) d += transfer_base;
+    merged.transfers.push_back(std::move(decl));
+  }
+  for (SimTb tb : job.lowered.program.tbs) {
+    for (SimInstr& instr : tb.program) {
+      if (instr.transfer >= 0) instr.transfer += transfer_base;
+      if (instr.barrier >= 0) instr.barrier += barrier_base;
+    }
+    merged.tbs.push_back(std::move(tb));
+  }
+  for (int parties : job.lowered.program.barrier_parties) {
+    merged.barrier_parties.push_back(parties);
+  }
+}
+
+SimTime JobCompletion(const SimRunReport& report, const PreparedJob& job) {
+  SimTime finish = SimTime::Zero();
+  for (std::size_t i = job.tb_begin; i < job.tb_begin + job.tb_count; ++i) {
+    finish = std::max(finish, report.tbs[i].finish);
+  }
+  return finish;
+}
+
+// Extracts the job's slice of the merged report so the data engine can
+// verify it with job-local indices.
+SimRunReport SliceReport(const SimRunReport& merged, const PreparedJob& job) {
+  SimRunReport out;
+  out.makespan = JobCompletion(merged, job);
+  out.transfers.assign(
+      merged.transfers.begin() + static_cast<std::ptrdiff_t>(job.transfer_begin),
+      merged.transfers.begin() +
+          static_cast<std::ptrdiff_t>(job.transfer_begin + job.transfer_count));
+  out.tbs.assign(merged.tbs.begin() + static_cast<std::ptrdiff_t>(job.tb_begin),
+                 merged.tbs.begin() +
+                     static_cast<std::ptrdiff_t>(job.tb_begin + job.tb_count));
+  return out;
+}
+
+}  // namespace
+
+CoRunReport RunConcurrently(const std::vector<JobSpec>& jobs,
+                            const Topology& topo, const CostModel& cost) {
+  RESCCL_CHECK_MSG(!jobs.empty(), "need at least one job");
+
+  std::vector<PreparedJob> prepared;
+  prepared.reserve(jobs.size());
+  SimProgram merged;
+  for (const JobSpec& spec : jobs) {
+    Result<CompiledCollective> compiled =
+        Compile(spec.algorithm, topo, spec.options);
+    if (!compiled.ok()) {
+      throw std::invalid_argument("job '" + spec.name +
+                                  "': " + compiled.status().ToString());
+    }
+    PreparedJob job;
+    job.compiled = std::move(compiled).value();
+    job.lowered = Lower(job.compiled, cost, spec.launch);
+    Append(merged, job);
+    prepared.push_back(std::move(job));
+  }
+
+  SimMachine machine(topo, cost);
+  const SimRunReport co = machine.Run(merged);
+
+  CoRunReport report;
+  report.makespan = co.makespan;
+  for (std::size_t j = 0; j < prepared.size(); ++j) {
+    const PreparedJob& job = prepared[j];
+    JobOutcome outcome;
+    outcome.name = jobs[j].name;
+    outcome.co_run = JobCompletion(co, job);
+
+    const SimRunReport slice = SliceReport(co, job);
+    outcome.verified =
+        VerifyLoweredExecution(job.compiled, job.lowered, slice).ok;
+
+    SimMachine alone(topo, cost);
+    outcome.isolated = alone.Run(job.lowered.program).makespan;
+    outcome.slowdown = outcome.isolated > SimTime::Zero()
+                           ? outcome.co_run / outcome.isolated
+                           : 0.0;
+    report.jobs.push_back(std::move(outcome));
+  }
+  return report;
+}
+
+}  // namespace resccl

@@ -1,0 +1,46 @@
+// Multi-job co-execution.
+//
+// §4.4 argues that ResCCL's schedule-level limit on simultaneous
+// connections per link makes collectives degrade gracefully under
+// intra-job *and* cross-job network contention. This module makes that
+// measurable: several independent collectives (separate communicators,
+// separate TBs) are lowered individually and merged into one simulated
+// machine run, sharing the physical cluster. Per-job completion times are
+// reported next to each job's isolated runtime.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/backend.h"
+
+namespace resccl {
+
+struct JobSpec {
+  std::string name;
+  Algorithm algorithm;
+  CompileOptions options;
+  LaunchConfig launch;
+};
+
+struct JobOutcome {
+  std::string name;
+  SimTime co_run;        // completion time when sharing the cluster
+  SimTime isolated;      // completion time alone on the cluster
+  double slowdown = 0;   // co_run / isolated
+  bool verified = false;
+};
+
+struct CoRunReport {
+  SimTime makespan;
+  std::vector<JobOutcome> jobs;
+};
+
+// Runs all jobs concurrently on `topo` (kick-off at t=0). Every job is also
+// run in isolation for the slowdown baseline, and each job's data movement
+// is verified through the data engine. Throws on compile errors.
+[[nodiscard]] CoRunReport RunConcurrently(const std::vector<JobSpec>& jobs,
+                                          const Topology& topo,
+                                          const CostModel& cost = {});
+
+}  // namespace resccl

@@ -1,0 +1,95 @@
+#include "runtime/selector.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "algorithms/hierarchical.h"
+#include "algorithms/recursive.h"
+#include "algorithms/ring.h"
+#include "algorithms/rooted.h"
+#include "algorithms/tree.h"
+
+namespace resccl {
+
+namespace {
+
+bool IsPowerOfTwo(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+std::vector<Algorithm> CandidateAlgorithms(CollectiveOp op,
+                                           const Topology& topo) {
+  const int n = topo.nranks();
+  const int channels = topo.spec().nics_per_node;
+  std::vector<Algorithm> out;
+  switch (op) {
+    case CollectiveOp::kAllGather:
+      out.push_back(algorithms::HierarchicalMeshAllGather(topo));
+      out.push_back(algorithms::MultiChannelRingAllGather(topo, channels));
+      out.push_back(algorithms::OneShotAllGather(n));
+      if (IsPowerOfTwo(n)) {
+        out.push_back(algorithms::RecursiveDoublingAllGather(n));
+      }
+      break;
+    case CollectiveOp::kReduceScatter:
+      out.push_back(algorithms::HierarchicalMeshReduceScatter(topo));
+      out.push_back(algorithms::MultiChannelRingReduceScatter(topo, channels));
+      break;
+    case CollectiveOp::kAllReduce:
+      out.push_back(algorithms::HierarchicalMeshAllReduce(topo));
+      out.push_back(algorithms::MultiChannelRingAllReduce(topo, channels));
+      out.push_back(algorithms::DoubleBinaryTreeAllReduce(n));
+      if (IsPowerOfTwo(n)) {
+        out.push_back(algorithms::RecursiveHalvingDoublingAllReduce(n));
+      }
+      break;
+    case CollectiveOp::kBroadcast:
+      out.push_back(algorithms::ChainBroadcast(n));
+      out.push_back(algorithms::BinomialTreeBroadcast(n));
+      break;
+    case CollectiveOp::kReduce:
+      out.push_back(algorithms::ChainReduce(n));
+      out.push_back(algorithms::BinomialTreeReduce(n));
+      break;
+  }
+  return out;
+}
+
+SelectionResult SelectAlgorithm(CollectiveOp op, const Topology& topo,
+                                BackendKind backend,
+                                const RunRequest& request) {
+  std::vector<Algorithm> candidates = CandidateAlgorithms(op, topo);
+  if (candidates.empty()) {
+    throw std::invalid_argument("no candidate algorithm for this collective");
+  }
+
+  SelectionResult result;
+  bool have_best = false;
+  CollectiveReport best_report;
+  Algorithm best_algo;
+
+  for (Algorithm& algo : candidates) {
+    Result<CollectiveReport> run = RunCollective(algo, topo, backend, request);
+    if (!run.ok()) {
+      throw std::invalid_argument("candidate '" + algo.name +
+                                  "' failed: " + run.status().ToString());
+    }
+    CollectiveReport report = std::move(run).value();
+    result.scoreboard.push_back(
+        {algo.name, report.algo_bw.gbps(), report.elapsed});
+    if (!have_best || report.elapsed < best_report.elapsed) {
+      have_best = true;
+      best_report = std::move(report);
+      best_algo = std::move(algo);
+    }
+  }
+  std::sort(result.scoreboard.begin(), result.scoreboard.end(),
+            [](const CandidateScore& a, const CandidateScore& b) {
+              return a.elapsed < b.elapsed;
+            });
+  result.algorithm = std::move(best_algo);
+  result.report = std::move(best_report);
+  return result;
+}
+
+}  // namespace resccl

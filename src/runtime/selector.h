@@ -1,0 +1,42 @@
+// Algorithm auto-selection.
+//
+// CCLs pick the algorithm per (collective, topology, message size) — NCCL
+// switches between ring and tree, latency and bandwidth protocols, by tuned
+// thresholds. ResCCL's simulator makes the tuner trivial: run every
+// candidate algorithm from the library under the requested backend and keep
+// the fastest. The full scoreboard is returned so callers can inspect the
+// crossovers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/backend.h"
+
+namespace resccl {
+
+struct CandidateScore {
+  std::string name;
+  double gbps = 0;
+  SimTime elapsed;
+};
+
+struct SelectionResult {
+  Algorithm algorithm;              // the winner
+  CollectiveReport report;          // its full run report
+  std::vector<CandidateScore> scoreboard;  // all candidates, best first
+};
+
+// Candidate algorithms from the library for `op` on `topo` (power-of-two
+// only entries are skipped when they do not apply).
+[[nodiscard]] std::vector<Algorithm> CandidateAlgorithms(CollectiveOp op,
+                                                         const Topology& topo);
+
+// Simulates every candidate and returns the fastest. Throws
+// std::invalid_argument if no candidate applies.
+[[nodiscard]] SelectionResult SelectAlgorithm(CollectiveOp op,
+                                              const Topology& topo,
+                                              BackendKind backend,
+                                              const RunRequest& request);
+
+}  // namespace resccl

@@ -1,0 +1,78 @@
+#include "runtime/trace.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace resccl {
+
+namespace {
+
+void EmitEvent(std::ostringstream& os, bool& first, const std::string& name,
+               int pid, int tid, double ts_us, double dur_us,
+               const std::string& args) {
+  if (!first) os << ",\n";
+  first = false;
+  os << R"(  {"name":")" << name << R"(","ph":"X","pid":)" << pid
+     << R"(,"tid":)" << tid << R"(,"ts":)" << ts_us << R"(,"dur":)" << dur_us;
+  if (!args.empty()) os << R"(,"args":{)" << args << "}";
+  os << "}";
+}
+
+}  // namespace
+
+std::string ExportChromeTrace(const CompiledCollective& compiled,
+                              const LoweredProgram& lowered,
+                              const SimRunReport& report) {
+  RESCCL_CHECK(report.transfers.size() == lowered.invocation_of.size());
+
+  std::ostringstream os;
+  os << "[\n";
+  bool first = true;
+
+  // Process/thread naming metadata: pid = rank, tid = TB index on the rank.
+  // Compute a rank-local TB numbering for readable rows.
+  std::vector<int> tb_local(lowered.program.tbs.size(), 0);
+  {
+    std::vector<int> next_per_rank(
+        static_cast<std::size_t>(compiled.algo.nranks), 0);
+    for (std::size_t i = 0; i < lowered.program.tbs.size(); ++i) {
+      const Rank r = lowered.program.tbs[i].rank;
+      tb_local[i] = next_per_rank[static_cast<std::size_t>(r)]++;
+    }
+  }
+  for (Rank r = 0; r < compiled.algo.nranks; ++r) {
+    if (!first) os << ",\n";
+    first = false;
+    os << R"(  {"name":"process_name","ph":"M","pid":)" << r
+       << R"(,"args":{"name":"rank )" << r << R"("}})";
+  }
+
+  // One slice per transfer, on both participating TB rows.
+  for (std::size_t i = 0; i < report.transfers.size(); ++i) {
+    const TransferStats& stats = report.transfers[i];
+    const double dur = (stats.complete - stats.start).us();
+    if (dur <= 0) continue;
+    const auto [task, mb] = lowered.invocation_of[i];
+    const Transfer& t =
+        compiled.algo.transfers[static_cast<std::size_t>(task)];
+    std::ostringstream name;
+    name << TransferOpName(t.op) << " c" << t.chunk << " mb" << mb;
+    std::ostringstream args;
+    args << R"("task":)" << task << R"(,"mb":)" << mb << R"(,"src":)" << t.src
+         << R"(,"dst":)" << t.dst << R"(,"wave":)"
+         << compiled.wave_of_task[static_cast<std::size_t>(task)];
+    const int send_tb = compiled.tbs.send_tb[static_cast<std::size_t>(task)];
+    const int recv_tb = compiled.tbs.recv_tb[static_cast<std::size_t>(task)];
+    EmitEvent(os, first, name.str(), t.src,
+              tb_local[static_cast<std::size_t>(send_tb)], stats.start.us(),
+              dur, args.str());
+    EmitEvent(os, first, name.str(), t.dst,
+              tb_local[static_cast<std::size_t>(recv_tb)], stats.start.us(),
+              dur, args.str());
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+}  // namespace resccl

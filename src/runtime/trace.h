@@ -1,0 +1,24 @@
+// Execution trace export (Chrome trace-event JSON).
+//
+// Converts a simulated run into the `chrome://tracing` / Perfetto JSON
+// format: one row per thread block (grouped by rank), one slice per
+// transfer the TB participated in, plus counter tracks for link activity.
+// The result is the visual counterpart of Fig. 5(d)'s pipeline — open it in
+// a trace viewer to see sub-pipelines streaming micro-batches.
+#pragma once
+
+#include <string>
+
+#include "core/compiler.h"
+#include "runtime/lowering.h"
+#include "sim/machine.h"
+
+namespace resccl {
+
+// Renders the run as trace-event JSON. `lowered` must be the program the
+// report came from (it maps transfers back to tasks and micro-batches).
+[[nodiscard]] std::string ExportChromeTrace(const CompiledCollective& compiled,
+                                            const LoweredProgram& lowered,
+                                            const SimRunReport& report);
+
+}  // namespace resccl

@@ -1,0 +1,75 @@
+// Execution cost model (paper §3, Eq. 1).
+//
+// A task invocation costs α + c·β: α is the path's startup latency, β the
+// inverse of the achieved bandwidth. Achieved bandwidth is bounded by three
+// things:
+//   1. the fluid fair share of every resource on the path (capacity / z for
+//      z concurrent flows), degraded by the contention penalty γ·L(z) — this
+//      realizes Eq. 1's L(z)·γ term and the Fig. 4 collapse beyond 4 TBs;
+//   2. the thread block's own injection capability: a TB with w warps copies
+//      at w × per-warp throughput, so ~4 default-width TBs are needed to
+//      saturate a NIC (Fig. 4) while a full 16-warp TB can drive a link
+//      alone — the property ResCCL's one-TB-per-link allocation relies on;
+//   3. for recvReduceCopy, the arithmetic of the reduction adds a small
+//      multiplicative cost over a plain copy.
+//
+// The interpreter overheads model MSCCL-style runtimes that re-parse the
+// algorithm every execution (§2.2, Fig. 3): a per-primitive decode plus a
+// per-micro-batch reload. ResCCL's generated kernels pay neither.
+#pragma once
+
+#include "common/units.h"
+#include "topology/topology.h"
+
+namespace resccl {
+
+struct CostModel {
+  // Per-warp copy throughput. Intra-node warps move data over the NVSwitch
+  // fabric; inter-node warps stage into the proxy FIFO feeding the NIC.
+  // Calibrated so a full 16-warp TB can drive one NVSwitch port (320 ≥ 300
+  // GB/s) or one 200 Gbps NIC (25.6 ≥ 25 GB/s) alone, while the narrow
+  // 4-warp TBs of the Fig. 4 experiment need four to saturate a NIC.
+  Bandwidth warp_intra = Bandwidth::GBps(20.0);
+  Bandwidth warp_inter = Bandwidth::GBps(1.6);
+
+  // NOTE: the contention penalty γ lives on each topology Resource
+  // (TopologySpec::fabric_gamma / nic_gamma) so NVSwitch crossbars and NICs
+  // can degrade differently under sharing.
+
+  // Fixed cost of issuing one primitive from a generated kernel.
+  SimTime primitive_launch = SimTime::Us(0.12);
+  // Extra per-primitive decode cost when executing via a runtime
+  // interpreter (MSCCL-style), and per-micro-batch algorithm reload.
+  SimTime interp_decode = SimTime::Us(0.6);
+  SimTime interp_reload = SimTime::Us(3.0);
+  // Interpreted kernels also burn warp cycles on control flow inside the
+  // primitive loop, cutting the TB's attainable copy throughput — the
+  // dominant component of Fig. 3's ~17% loss on TB-rate-bound links.
+  double interp_throughput_tax = 0.15;
+
+  // recvReduceCopy transfers run at 1/(1+reduce_overhead) of copy speed.
+  double reduce_overhead = 0.05;
+
+  // FIFO slot synchronization between consecutive micro-batch invocations
+  // of one primitive under task-level execution (§4.5): the handshake of
+  // invocation m+1 overlaps invocation m's drain, leaving only this cost.
+  SimTime pipelined_handshake = SimTime::Us(0.3);
+
+  // Transport protocols (Table 2): Simple posts full buffers and
+  // synchronizes per chunk (full α, full bandwidth); LL embeds 4-byte flags
+  // in every 8 bytes (tiny latency, half bandwidth); LL128 amortizes the
+  // flag over 128-byte lines (low latency, ~95% bandwidth).
+  double ll_latency_factor = 0.25;
+  double ll_bandwidth_factor = 0.5;
+  double ll128_latency_factor = 0.35;
+  double ll128_bandwidth_factor = 120.0 / 128.0;
+
+  [[nodiscard]] Bandwidth TbInjectionCap(PathKind kind, int warps) const {
+    const Bandwidth per_warp =
+        kind == PathKind::kIntraNode ? warp_intra : warp_inter;
+    return per_warp * static_cast<double>(warps);
+  }
+
+};
+
+}  // namespace resccl

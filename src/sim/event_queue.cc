@@ -1,0 +1,58 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace resccl {
+
+void EventQueue::Schedule(SimTime when, Callback cb) {
+  RESCCL_CHECK_MSG(when >= now_, "event scheduled in the past");
+  queue_.push(Entry{when, next_seq_++, kNoSlot, 0, std::move(cb)});
+  ++size_;
+}
+
+EventQueue::Slot EventQueue::NewSlot() {
+  slot_generation_.push_back(0);
+  slot_pending_.push_back(false);
+  return slot_generation_.size() - 1;
+}
+
+void EventQueue::ScheduleSlot(Slot slot, SimTime when, Callback cb) {
+  RESCCL_CHECK(slot < slot_generation_.size());
+  RESCCL_CHECK_MSG(when >= now_, "event scheduled in the past");
+  const std::uint64_t gen = ++slot_generation_[slot];
+  queue_.push(Entry{when, next_seq_++, slot, gen, std::move(cb)});
+  if (!slot_pending_[slot]) {
+    slot_pending_[slot] = true;
+    ++size_;
+  }
+}
+
+void EventQueue::CancelSlot(Slot slot) {
+  RESCCL_CHECK(slot < slot_generation_.size());
+  ++slot_generation_[slot];
+  if (slot_pending_[slot]) {
+    slot_pending_[slot] = false;
+    --size_;
+  }
+}
+
+bool EventQueue::RunOne() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; moving the callback out is safe because
+    // the entry is popped immediately afterwards.
+    Entry e = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    const bool live =
+        e.slot == kNoSlot || slot_generation_[e.slot] == e.generation;
+    if (!live) continue;  // stale entry — its slot was rescheduled/cancelled
+    if (e.slot != kNoSlot) slot_pending_[e.slot] = false;
+    --size_;
+    RESCCL_CHECK(e.when >= now_);
+    now_ = e.when;
+    e.cb(now_);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace resccl

@@ -1,0 +1,64 @@
+// Discrete-event queue with cancellation.
+//
+// The fluid link model reschedules a flow's completion every time the set of
+// flows sharing one of its resources changes; instead of erasing queue
+// entries, each logical event carries a generation number and stale entries
+// are skipped on pop (lazy invalidation).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace resccl {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void(SimTime now)>;
+
+  // Immediately schedules `cb` at `when` (must be >= now). Events at equal
+  // times fire in insertion order, keeping the simulation deterministic.
+  void Schedule(SimTime when, Callback cb);
+
+  // Handle-based scheduling for cancellable events. `slot` identifies a
+  // logical event source (e.g. a flow); rescheduling a slot invalidates any
+  // previously scheduled entry for it.
+  using Slot = std::size_t;
+  [[nodiscard]] Slot NewSlot();
+  void ScheduleSlot(Slot slot, SimTime when, Callback cb);
+  void CancelSlot(Slot slot);
+
+  // Pops and fires the next event; returns false when the queue is empty.
+  bool RunOne();
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] SimTime now() const { return now_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;          // global tie-break, preserves FIFO at equal t
+    Slot slot;                  // npos for one-shot events
+    std::uint64_t generation;   // must match slot generation to be live
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+  static constexpr Slot kNoSlot = static_cast<Slot>(-1);
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::vector<std::uint64_t> slot_generation_;
+  std::vector<bool> slot_pending_;  // slot has a live queued entry
+  std::uint64_t next_seq_ = 0;
+  std::size_t size_ = 0;  // live events only
+  SimTime now_ = SimTime::Zero();
+};
+
+}  // namespace resccl

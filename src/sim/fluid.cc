@@ -1,0 +1,146 @@
+#include "sim/fluid.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace resccl {
+
+FluidNetwork::FluidNetwork(const Topology& topo, const CostModel& cost,
+                           EventQueue& queue)
+    : topo_(topo), cost_(cost), queue_(queue) {
+  const std::size_t n = topo_.resources().size();
+  resource_active_.assign(n, 0);
+  resource_flows_.assign(n, {});
+  usage_.assign(n, {});
+  resource_busy_since_.assign(n, SimTime::Zero());
+}
+
+FlowId FluidNetwork::StartFlow(const Path& path, std::int64_t bytes,
+                               Bandwidth cap, CompletionFn on_complete) {
+  RESCCL_CHECK_MSG(bytes > 0, "flow must carry at least one byte");
+  const SimTime now = queue_.now();
+
+  Flow f;
+  f.path = &path;
+  f.remaining = static_cast<double>(bytes);
+  f.cap = cap.bytes_per_us();
+  f.last_update = now;
+  f.slot = queue_.NewSlot();
+  f.on_complete = std::move(on_complete);
+  f.active = true;
+
+  flows_.push_back(std::move(f));
+  const std::size_t index = flows_.size() - 1;
+  const FlowId id(static_cast<std::int32_t>(index));
+
+  UpdateResourceCounts(flows_[index], +1, now);
+  for (ResourceId r : path.resources) {
+    resource_flows_[static_cast<std::size_t>(r.value)].push_back(index);
+    usage_[static_cast<std::size_t>(r.value)].bytes += bytes;
+  }
+  ++active_count_;
+  RecomputeAffected(path, now);
+  return id;
+}
+
+double FluidNetwork::CurrentRate(const Flow& f) const {
+  // Per-resource fair share degraded by that resource's own contention
+  // penalty; the flow runs at the tightest constraint along its path,
+  // bounded by the driving TB's injection capability.
+  double rate = f.cap;
+  for (ResourceId r : f.path->resources) {
+    const auto ri = static_cast<std::size_t>(r.value);
+    const int z = resource_active_[ri];
+    const Resource& res = topo_.resource(r);
+    const double eff =
+        1.0 / (1.0 + res.contention_gamma * static_cast<double>(z - 1));
+    const double share =
+        res.capacity.bytes_per_us() / static_cast<double>(z) * eff;
+    rate = std::min(rate, share);
+  }
+  return rate;
+}
+
+void FluidNetwork::UpdateResourceCounts(const Flow& f, int delta,
+                                        SimTime now) {
+  for (ResourceId r : f.path->resources) {
+    const auto ri = static_cast<std::size_t>(r.value);
+    const int before = resource_active_[ri];
+    resource_active_[ri] += delta;
+    RESCCL_CHECK(resource_active_[ri] >= 0);
+    if (before == 0 && delta > 0) {
+      resource_busy_since_[ri] = now;
+    } else if (resource_active_[ri] == 0 && delta < 0) {
+      usage_[ri].active += now - resource_busy_since_[ri];
+    }
+  }
+}
+
+void FluidNetwork::RecomputeAffected(const Path& path, SimTime now) {
+  // Collect flows sharing any resource with `path`; rates depend only on
+  // per-resource counts, so nothing else can have changed.
+  for (ResourceId r : path.resources) {
+    const auto ri = static_cast<std::size_t>(r.value);
+    // Copy: RecomputeFlow can complete a flow and mutate the lists.
+    const std::vector<std::size_t> affected = resource_flows_[ri];
+    for (std::size_t fi : affected) {
+      if (flows_[fi].active) RecomputeFlow(fi, now);
+    }
+  }
+}
+
+void FluidNetwork::RecomputeFlow(std::size_t index, SimTime now) {
+  Flow& f = flows_[index];
+  RESCCL_CHECK(f.active);
+  // Integrate progress at the old rate.
+  const double elapsed_us = (now - f.last_update).us();
+  f.remaining -= f.rate * elapsed_us;
+  f.last_update = now;
+  // Sub-millibyte residue is floating-point noise from the rate
+  // integrations, not payload; treat it as drained.
+  if (f.remaining <= 1e-3) {
+    Complete(index, now);
+    return;
+  }
+  f.rate = CurrentRate(f);
+  RESCCL_CHECK_MSG(f.rate > 0.0, "flow starved: zero rate");
+  const SimTime done = now + SimTime::Us(f.remaining / f.rate);
+  // If the residue would drain in less than one representable time
+  // increment, the completion event would fire at `now` again with zero
+  // elapsed time and the flow would never progress — finish it here.
+  if (done <= now) {
+    Complete(index, now);
+    return;
+  }
+  queue_.ScheduleSlot(f.slot, done,
+                      [this, index](SimTime t) { RecomputeFlow(index, t); });
+}
+
+void FluidNetwork::Complete(std::size_t index, SimTime now) {
+  Flow& f = flows_[index];
+  f.active = false;
+  f.remaining = 0.0;
+  f.rate = 0.0;
+  queue_.CancelSlot(f.slot);
+  UpdateResourceCounts(f, -1, now);
+  for (ResourceId r : f.path->resources) {
+    auto& list = resource_flows_[static_cast<std::size_t>(r.value)];
+    list.erase(std::remove(list.begin(), list.end(), index), list.end());
+  }
+  --active_count_;
+  // Peers sharing resources speed up now that this flow is gone.
+  RecomputeAffected(*f.path, now);
+  // Fire completion last: the callback may start new flows.
+  auto cb = std::move(f.on_complete);
+  if (cb) cb(now);
+}
+
+double FluidNetwork::FlowRate(FlowId id) const {
+  const auto i = static_cast<std::size_t>(id.value);
+  RESCCL_CHECK(i < flows_.size());
+  return flows_[i].active ? flows_[i].rate : 0.0;
+}
+
+}  // namespace resccl

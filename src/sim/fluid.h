@@ -1,0 +1,86 @@
+// Fluid-flow network model.
+//
+// Active transfers are fluid flows over the topology's resource pools. Each
+// flow's instantaneous rate is
+//
+//     rate(f) = min( cap(f),  min_{r ∈ path(f)}  capacity(r) / z(r) )
+//               × 1 / (1 + γ·(z_max(f) − 1))
+//
+// where z(r) is the number of active flows on resource r, z_max(f) the
+// maximum such count along f's path, and cap(f) the thread block's injection
+// capability. Rates therefore depend only on per-resource counts, so when a
+// flow starts or finishes only flows sharing one of its resources need a
+// rate update — each update integrates the bytes moved at the old rate and
+// reschedules the flow's completion event.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+#include "sim/cost_model.h"
+#include "sim/event_queue.h"
+#include "topology/topology.h"
+
+namespace resccl {
+
+struct FlowTag {};
+using FlowId = Id<FlowTag>;
+
+class FluidNetwork {
+ public:
+  using CompletionFn = std::function<void(SimTime now)>;
+
+  FluidNetwork(const Topology& topo, const CostModel& cost, EventQueue& queue);
+
+  // Starts a flow of `bytes` over `path` with injection cap `cap`;
+  // `on_complete` fires exactly once, when the last byte drains.
+  FlowId StartFlow(const Path& path, std::int64_t bytes, Bandwidth cap,
+                   CompletionFn on_complete);
+
+  // Diagnostics for tests: current rate in bytes/us (0 if finished).
+  [[nodiscard]] double FlowRate(FlowId id) const;
+  [[nodiscard]] int ActiveFlowCount() const { return active_count_; }
+
+  // Per-resource accounting, used for link-utilization metrics.
+  struct ResourceUsage {
+    std::int64_t bytes = 0;     // total bytes carried
+    SimTime active;             // total time with >= 1 active flow
+  };
+  [[nodiscard]] const ResourceUsage& usage(ResourceId r) const {
+    return usage_[static_cast<std::size_t>(r.value)];
+  }
+
+ private:
+  struct Flow {
+    const Path* path = nullptr;
+    double remaining = 0.0;   // bytes
+    double rate = 0.0;        // bytes/us
+    double cap = 0.0;         // bytes/us
+    SimTime last_update;
+    EventQueue::Slot slot = 0;
+    CompletionFn on_complete;
+    bool active = false;
+  };
+
+  void UpdateResourceCounts(const Flow& f, int delta, SimTime now);
+  void RecomputeAffected(const Path& path, SimTime now);
+  void RecomputeFlow(std::size_t index, SimTime now);
+  void Complete(std::size_t index, SimTime now);
+  [[nodiscard]] double CurrentRate(const Flow& f) const;
+
+  const Topology& topo_;
+  const CostModel& cost_;
+  EventQueue& queue_;
+  std::vector<Flow> flows_;
+  std::vector<int> resource_active_;                 // per-resource flow count
+  std::vector<std::vector<std::size_t>> resource_flows_;  // active flow ids
+  std::vector<ResourceUsage> usage_;
+  std::vector<SimTime> resource_busy_since_;
+  int active_count_ = 0;
+};
+
+}  // namespace resccl

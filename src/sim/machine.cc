@@ -1,0 +1,294 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/check.h"
+
+namespace resccl {
+
+struct SimMachine::TransferState {
+  const Path* path = nullptr;
+  int deps_remaining = 0;
+  std::vector<int> dependents;       // transfers waiting on this one
+  // Rendezvous bookkeeping: which TB arrived on each side, and when.
+  std::size_t send_tb = SIZE_MAX;
+  std::size_t recv_tb = SIZE_MAX;
+  SimTime send_arrival;
+  SimTime recv_arrival;
+  Bandwidth injection_cap;           // min of the two TBs' capability
+  bool started = false;
+  bool completed = false;
+  TransferStats stats;
+};
+
+struct SimMachine::TbState {
+  std::size_t pc = 0;                // next instruction
+  bool blocked = false;              // waiting inside a transfer or barrier
+  TbStats stats;
+};
+
+struct SimMachine::BarrierState {
+  int waiting = 0;
+  std::vector<std::size_t> parked;   // TB indices blocked at the barrier
+  std::vector<SimTime> parked_since;
+};
+
+SimMachine::SimMachine(const Topology& topo, const CostModel& cost)
+    : topo_(topo), cost_(cost) {}
+
+SimMachine::~SimMachine() = default;
+
+const FluidNetwork& SimMachine::network() const {
+  RESCCL_CHECK_MSG(net_.has_value(), "network() before Run()");
+  return *net_;
+}
+
+SimRunReport SimMachine::Run(const SimProgram& program) {
+  program_ = &program;
+  queue_.emplace();
+  net_.emplace(topo_, cost_, *queue_);
+
+  transfers_.assign(program.transfers.size(), {});
+  for (std::size_t t = 0; t < program.transfers.size(); ++t) {
+    const SimTransferDecl& decl = program.transfers[t];
+    RESCCL_CHECK_MSG(decl.src != decl.dst, "transfer " << t << " is a self-loop");
+    RESCCL_CHECK(decl.bytes > 0);
+    TransferState& st = transfers_[t];
+    st.path = &topo_.PathBetween(decl.src, decl.dst);
+    st.deps_remaining = static_cast<int>(decl.deps.size());
+    for (int d : decl.deps) {
+      RESCCL_CHECK(d >= 0 && static_cast<std::size_t>(d) < transfers_.size());
+      transfers_[static_cast<std::size_t>(d)].dependents.push_back(
+          static_cast<int>(t));
+    }
+  }
+
+  tbs_.assign(program.tbs.size(), {});
+  for (std::size_t i = 0; i < program.tbs.size(); ++i) {
+    tbs_[i].stats.rank = program.tbs[i].rank;
+  }
+  barriers_.assign(program.barrier_parties.size(), {});
+  unfinished_tbs_ = static_cast<int>(program.tbs.size());
+
+  // Kick every TB off at t = 0.
+  for (std::size_t i = 0; i < tbs_.size(); ++i) {
+    queue_->Schedule(SimTime::Zero(),
+                     [this, i](SimTime now) { AdvanceTb(i, now); });
+  }
+
+  std::uint64_t events = 0;
+  const bool trace = std::getenv("RESCCL_SIM_TRACE") != nullptr;
+  while (queue_->RunOne()) {
+    if (trace && (++events % 10'000'000) == 0) {
+      std::fprintf(stderr, "[sim] %llu events, t=%.3f ms, %d TBs open\n",
+                   static_cast<unsigned long long>(events),
+                   queue_->now().ms(), unfinished_tbs_);
+    }
+  }
+
+  if (unfinished_tbs_ != 0) {
+    throw std::runtime_error("SimMachine deadlock: " + DescribeDeadlock());
+  }
+
+  SimRunReport report;
+  report.makespan = SimTime::Zero();
+  report.tbs.reserve(tbs_.size());
+  for (const TbState& tb : tbs_) {
+    report.makespan = std::max(report.makespan, tb.stats.finish);
+    report.tbs.push_back(tb.stats);
+  }
+  report.transfers.reserve(transfers_.size());
+  for (const TransferState& t : transfers_) {
+    report.transfers.push_back(t.stats);
+  }
+  return report;
+}
+
+void SimMachine::AdvanceTb(std::size_t tb, SimTime now) {
+  TbState& state = tbs_[tb];
+  state.blocked = false;
+  const SimTb& decl = program_->tbs[tb];
+  if (state.pc >= decl.program.size()) {
+    state.stats.finish = now;
+    --unfinished_tbs_;
+    return;
+  }
+  const SimInstr& instr = decl.program[state.pc];
+  ++state.pc;
+  if (instr.overhead > SimTime::Zero()) {
+    state.stats.overhead += instr.overhead;
+    const std::size_t pc = state.pc - 1;
+    queue_->Schedule(now + instr.overhead, [this, tb, pc](SimTime t) {
+      Arrive(tb, pc, t);
+    });
+  } else {
+    Arrive(tb, state.pc - 1, now);
+  }
+}
+
+void SimMachine::Arrive(std::size_t tb, std::size_t instr_index, SimTime now) {
+  const SimInstr& instr = program_->tbs[tb].program[instr_index];
+  TbState& state = tbs_[tb];
+
+  if (instr.kind == SimInstr::Kind::kBarrier) {
+    RESCCL_CHECK(instr.barrier >= 0 &&
+                 static_cast<std::size_t>(instr.barrier) < barriers_.size());
+    BarrierState& bar = barriers_[static_cast<std::size_t>(instr.barrier)];
+    bar.parked.push_back(tb);
+    bar.parked_since.push_back(now);
+    state.blocked = true;
+    ++bar.waiting;
+    const int parties =
+        program_->barrier_parties[static_cast<std::size_t>(instr.barrier)];
+    RESCCL_CHECK_MSG(bar.waiting <= parties, "barrier over-subscribed");
+    if (bar.waiting == parties) {
+      for (std::size_t i = 0; i < bar.parked.size(); ++i) {
+        const std::size_t peer = bar.parked[i];
+        tbs_[peer].stats.sync += now - bar.parked_since[i];
+        queue_->Schedule(now,
+                         [this, peer](SimTime t) { AdvanceTb(peer, t); });
+      }
+      bar.parked.clear();
+      bar.parked_since.clear();
+      bar.waiting = 0;
+    }
+    return;
+  }
+
+  RESCCL_CHECK(instr.transfer >= 0 &&
+               static_cast<std::size_t>(instr.transfer) < transfers_.size());
+  const auto tid = static_cast<std::size_t>(instr.transfer);
+  TransferState& tr = transfers_[tid];
+  RESCCL_CHECK_MSG(!tr.started, "transfer joined after it started");
+  const SimTransferDecl& decl = program_->transfers[tid];
+  const Bandwidth tb_cap =
+      cost_.TbInjectionCap(tr.path->kind, program_->tbs[tb].warps) *
+      program_->tbs[tb].injection_scale;
+  if (instr.kind == SimInstr::Kind::kSendSide) {
+    RESCCL_CHECK_MSG(tr.send_tb == SIZE_MAX,
+                     "two send sides for one transfer");
+    RESCCL_CHECK_MSG(program_->tbs[tb].rank == decl.src,
+                     "send side on wrong rank");
+    tr.send_tb = tb;
+    tr.send_arrival = now;
+  } else {
+    RESCCL_CHECK_MSG(tr.recv_tb == SIZE_MAX,
+                     "two recv sides for one transfer");
+    RESCCL_CHECK_MSG(program_->tbs[tb].rank == decl.dst,
+                     "recv side on wrong rank");
+    tr.recv_tb = tb;
+    tr.recv_arrival = now;
+  }
+  if (tr.injection_cap == Bandwidth()) {
+    tr.injection_cap = tb_cap;
+  } else {
+    tr.injection_cap = std::min(tr.injection_cap, tb_cap);
+  }
+  state.blocked = true;
+  TryStart(tid, now);
+}
+
+void SimMachine::TryStart(std::size_t transfer, SimTime now) {
+  TransferState& tr = transfers_[transfer];
+  if (tr.started || tr.send_tb == SIZE_MAX || tr.recv_tb == SIZE_MAX ||
+      tr.deps_remaining > 0) {
+    return;
+  }
+  tr.started = true;
+  tr.stats.start = now;
+  // Charge the rendezvous/dependency wait as sync time on both sides.
+  tbs_[tr.send_tb].stats.sync += now - tr.send_arrival;
+  tbs_[tr.recv_tb].stats.sync += now - tr.recv_arrival;
+
+  const SimTransferDecl& decl = program_->transfers[transfer];
+  // recvReduceCopy runs the reduction inline with the copy; model it as
+  // proportionally more bytes through the same pipe.
+  const double inflate = decl.is_reduce ? 1.0 + cost_.reduce_overhead : 1.0;
+  const auto bytes = static_cast<std::int64_t>(
+      static_cast<double>(decl.bytes) * inflate);
+
+  // Startup latency α, then the fluid byte phase.
+  const SimTime latency = decl.latency_us >= 0.0
+                              ? SimTime::Us(decl.latency_us)
+                              : tr.path->latency * decl.latency_scale;
+  queue_->Schedule(now + latency, [this, transfer, bytes](SimTime t0) {
+    TransferState& state = transfers_[transfer];
+    net_->StartFlow(*state.path, bytes, state.injection_cap,
+                    [this, transfer](SimTime t1) {
+                      OnTransferComplete(transfer, t1);
+                    });
+    (void)t0;
+  });
+}
+
+void SimMachine::OnTransferComplete(std::size_t transfer, SimTime now) {
+  TransferState& tr = transfers_[transfer];
+  tr.completed = true;
+  tr.stats.complete = now;
+  const SimTime busy = now - tr.stats.start;
+  tbs_[tr.send_tb].stats.busy += busy;
+  tbs_[tr.recv_tb].stats.busy += busy;
+
+  for (int dep : tr.dependents) {
+    TransferState& d = transfers_[static_cast<std::size_t>(dep)];
+    --d.deps_remaining;
+    RESCCL_CHECK(d.deps_remaining >= 0);
+    TryStart(static_cast<std::size_t>(dep), now);
+  }
+  const std::size_t send_tb = tr.send_tb;
+  const std::size_t recv_tb = tr.recv_tb;
+  queue_->Schedule(now, [this, send_tb](SimTime t) { AdvanceTb(send_tb, t); });
+  queue_->Schedule(now, [this, recv_tb](SimTime t) { AdvanceTb(recv_tb, t); });
+}
+
+std::string SimMachine::DescribeDeadlock() const {
+  std::ostringstream os;
+  os << unfinished_tbs_ << " TB(s) never finished;";
+  int listed = 0;
+  for (std::size_t t = 0; t < transfers_.size() && listed < 8; ++t) {
+    const TransferState& tr = transfers_[t];
+    if (tr.completed) continue;
+    const SimTransferDecl& decl = program_->transfers[t];
+    os << " transfer#" << t << "(r" << decl.src << "->r" << decl.dst
+       << (tr.send_tb == SIZE_MAX ? ", no sender" : "")
+       << (tr.recv_tb == SIZE_MAX ? ", no receiver" : "");
+    if (tr.deps_remaining > 0) os << ", " << tr.deps_remaining << " deps open";
+    os << ")";
+    ++listed;
+  }
+  return os.str();
+}
+
+double SimRunReport::AvgIdleRatio() const {
+  if (tbs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const TbStats& tb : tbs) {
+    if (tb.finish > SimTime::Zero()) sum += tb.sync / tb.finish;
+  }
+  return sum / static_cast<double>(tbs.size());
+}
+
+double SimRunReport::MaxIdleRatio() const {
+  double best = 0.0;
+  for (const TbStats& tb : tbs) {
+    if (tb.finish > SimTime::Zero()) {
+      best = std::max(best, tb.sync / tb.finish);
+    }
+  }
+  return best;
+}
+
+double SimRunReport::AvgBusyRatio() const {
+  if (tbs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const TbStats& tb : tbs) {
+    if (tb.finish > SimTime::Zero()) sum += tb.busy / tb.finish;
+  }
+  return sum / static_cast<double>(tbs.size());
+}
+
+}  // namespace resccl

@@ -1,0 +1,135 @@
+// Thread-block execution machine.
+//
+// Executes a SimProgram: a set of thread blocks, each running a straight-line
+// sequence of primitive instructions, plus the transfer declarations those
+// instructions realize. A transfer needs its sender-side and receiver-side
+// instructions to rendezvous and its data dependencies (predecessor
+// transfers of the same micro-batch) to complete before it can occupy the
+// network; while blocked the TB accrues *sync* time — the busy-wait the
+// paper charges against rigid TB allocation (§2.2, Fig. 2b).
+//
+// The machine is deliberately independent of the scheduler: backends lower
+// their execution strategy (algorithm-, stage-, or task-level) into this one
+// IR, so all three run on identical mechanics and differ only in program
+// shape — exactly the comparison the paper draws.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+#include "sim/cost_model.h"
+#include "sim/event_queue.h"
+#include "sim/fluid.h"
+#include "topology/topology.h"
+
+namespace resccl {
+
+// One chunk movement between two GPUs for one micro-batch.
+struct SimTransferDecl {
+  Rank src = kInvalidRank;
+  Rank dst = kInvalidRank;
+  std::int64_t bytes = 0;
+  bool is_reduce = false;           // receiver runs recvReduceCopy
+  // Startup latency override in us; negative means "use the path's α
+  // scaled by latency_scale". ResCCL's generated kernels run all
+  // micro-batch invocations of one primitive in a single pass (§4.5), so
+  // invocations after the first only pay a FIFO slot-sync, not the full
+  // handshake; flag-based protocols (LL/LL128) scale the handshake down.
+  double latency_us = -1.0;
+  double latency_scale = 1.0;
+  std::vector<int> deps;            // indices of transfers that must finish first
+};
+
+// One instruction in a TB's program.
+struct SimInstr {
+  enum class Kind { kSendSide, kRecvSide, kBarrier };
+  Kind kind = Kind::kSendSide;
+  int transfer = -1;                // for send/recv sides
+  int barrier = -1;                 // for barriers
+  SimTime overhead;                 // issue/decode cost paid before arrival
+};
+
+struct SimTb {
+  Rank rank = kInvalidRank;
+  int warps = 16;
+  // Fraction of the TB's copy throughput available to data movement; an
+  // interpreted runtime spends the rest on control flow (Fig. 3).
+  double injection_scale = 1.0;
+  std::vector<SimInstr> program;
+};
+
+struct SimProgram {
+  std::vector<SimTransferDecl> transfers;
+  std::vector<SimTb> tbs;
+  std::vector<int> barrier_parties;  // barrier index -> participant count
+};
+
+struct TbStats {
+  Rank rank = kInvalidRank;
+  SimTime busy;       // transfers in flight (α + byte phase)
+  SimTime sync;       // blocked on rendezvous / dependencies / barriers
+  SimTime overhead;   // primitive issue + interpreter decode
+  SimTime finish;     // completion (= release) time of the TB's last instr
+};
+
+struct TransferStats {
+  SimTime start;      // network occupation begins (after sync resolved)
+  SimTime complete;
+};
+
+struct SimRunReport {
+  SimTime makespan;
+  std::vector<TbStats> tbs;
+  std::vector<TransferStats> transfers;
+
+  // Per-TB idle fraction: sync / finish (§5.4's "idle ratio").
+  [[nodiscard]] double AvgIdleRatio() const;
+  [[nodiscard]] double MaxIdleRatio() const;
+  // Mean busy fraction: busy / finish ("comm time" in Table 3).
+  [[nodiscard]] double AvgBusyRatio() const;
+};
+
+class SimMachine {
+ public:
+  SimMachine(const Topology& topo, const CostModel& cost);
+  ~SimMachine();  // out-of-line: members hold nested types private to the .cc
+  SimMachine(const SimMachine&) = delete;
+  SimMachine& operator=(const SimMachine&) = delete;
+
+  // Runs the program to completion. Throws std::runtime_error with a
+  // diagnostic if the program deadlocks (a transfer never becomes eligible).
+  [[nodiscard]] SimRunReport Run(const SimProgram& program);
+
+  // Resource accounting of the last Run (valid until the next Run).
+  [[nodiscard]] const FluidNetwork& network() const;
+
+ private:
+  struct TransferState;
+  struct TbState;
+  struct BarrierState;
+
+  void AdvanceTb(std::size_t tb, SimTime now);
+  void Arrive(std::size_t tb, std::size_t instr, SimTime now);
+  void TryStart(std::size_t transfer, SimTime now);
+  void OnTransferComplete(std::size_t transfer, SimTime now);
+  void AccumulateBusy(std::size_t tb, SimTime start, SimTime end);
+  void ReleaseTb(std::size_t tb, SimTime now);
+  [[nodiscard]] std::string DescribeDeadlock() const;
+
+  const Topology& topo_;
+  const CostModel& cost_;
+  const SimProgram* program_ = nullptr;
+
+  std::optional<EventQueue> queue_;
+  std::optional<FluidNetwork> net_;
+  std::vector<TransferState> transfers_;
+  std::vector<TbState> tbs_;
+  std::vector<BarrierState> barriers_;
+  int unfinished_tbs_ = 0;
+};
+
+}  // namespace resccl

@@ -1,0 +1,176 @@
+#include "topology/topology.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace resccl {
+
+Topology::Topology(TopologySpec spec) : spec_(std::move(spec)) {
+  RESCCL_CHECK_MSG(spec_.nodes >= 1, "cluster needs at least one node");
+  RESCCL_CHECK_MSG(spec_.gpus_per_node >= 1, "node needs at least one GPU");
+  RESCCL_CHECK_MSG(spec_.nics_per_node >= 1, "node needs at least one NIC");
+  RESCCL_CHECK_MSG(spec_.gpus_per_node % spec_.nics_per_node == 0,
+                   "GPUs must stripe evenly across NICs");
+  RESCCL_CHECK_MSG(spec_.nodes_per_rack >= 1, "rack needs at least one node");
+
+  const int n = nranks();
+  gpu_out_.reserve(static_cast<std::size_t>(n));
+  gpu_in_.reserve(static_cast<std::size_t>(n));
+  pcie_out_.reserve(static_cast<std::size_t>(n));
+  pcie_in_.reserve(static_cast<std::size_t>(n));
+  for (Rank r = 0; r < n; ++r) {
+    const std::string tag = "gpu" + std::to_string(r);
+    gpu_out_.push_back(
+        AddResource(tag + ".fabric_out", spec_.gpu_fabric, spec_.fabric_gamma,
+                    ResourceKind::kFabric));
+    gpu_in_.push_back(
+        AddResource(tag + ".fabric_in", spec_.gpu_fabric, spec_.fabric_gamma,
+                    ResourceKind::kFabric));
+    pcie_out_.push_back(
+        AddResource(tag + ".pcie_out", spec_.pcie, spec_.fabric_gamma,
+                    ResourceKind::kPcie));
+    pcie_in_.push_back(
+        AddResource(tag + ".pcie_in", spec_.pcie, spec_.fabric_gamma,
+                    ResourceKind::kPcie));
+  }
+  for (NodeId node = 0; node < spec_.nodes; ++node) {
+    for (NicId nic = 0; nic < spec_.nics_per_node; ++nic) {
+      const std::string tag =
+          "node" + std::to_string(node) + ".nic" + std::to_string(nic);
+      nic_up_.push_back(AddResource(tag + ".up", spec_.nic, spec_.nic_gamma, ResourceKind::kNic));
+      nic_down_.push_back(
+          AddResource(tag + ".down", spec_.nic, spec_.nic_gamma, ResourceKind::kNic));
+    }
+  }
+  const int racks = (spec_.nodes + spec_.nodes_per_rack - 1) /
+                    spec_.nodes_per_rack;
+  // Each ToR's trunk to the aggregation tier carries at most the sum of the
+  // NIC uplinks below it (non-blocking Clos).
+  const Bandwidth trunk =
+      spec_.nic * static_cast<double>(spec_.nics_per_node *
+                                      spec_.nodes_per_rack);
+  for (int t = 0; t < racks; ++t) {
+    const std::string tag = "tor" + std::to_string(t);
+    tor_up_.push_back(AddResource(tag + ".up", trunk, spec_.nic_gamma, ResourceKind::kTrunk));
+    tor_down_.push_back(AddResource(tag + ".down", trunk, spec_.nic_gamma, ResourceKind::kTrunk));
+  }
+
+  paths_.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  for (Rank src = 0; src < n; ++src) {
+    for (Rank dst = 0; dst < n; ++dst) {
+      if (src == dst) continue;
+      paths_[static_cast<std::size_t>(src) * static_cast<std::size_t>(n) +
+             static_cast<std::size_t>(dst)] = MakePath(src, dst);
+    }
+  }
+}
+
+ResourceId Topology::AddResource(std::string name, Bandwidth capacity,
+                                 double gamma, ResourceKind kind) {
+  resources_.push_back({std::move(name), capacity, gamma, kind});
+  return ResourceId(static_cast<std::int32_t>(resources_.size() - 1));
+}
+
+Path Topology::MakePath(Rank src, Rank dst) const {
+  Path p;
+  if (SameNode(src, dst)) {
+    p.kind = PathKind::kIntraNode;
+    p.resources = {gpu_out_[static_cast<std::size_t>(src)],
+                   gpu_in_[static_cast<std::size_t>(dst)]};
+    p.latency = spec_.intra_latency;
+    p.bottleneck = spec_.gpu_fabric;
+    return p;
+  }
+  p.kind = PathKind::kInterNode;
+  const auto nic_index = [&](Rank r) {
+    return static_cast<std::size_t>(NodeOf(r)) *
+               static_cast<std::size_t>(spec_.nics_per_node) +
+           static_cast<std::size_t>(NicOf(r));
+  };
+  p.resources = {pcie_out_[static_cast<std::size_t>(src)],
+                 nic_up_[nic_index(src)]};
+  p.latency = spec_.inter_latency;
+  const int src_rack = RackOf(NodeOf(src));
+  const int dst_rack = RackOf(NodeOf(dst));
+  if (src_rack != dst_rack) {
+    p.resources.push_back(tor_up_[static_cast<std::size_t>(src_rack)]);
+    p.resources.push_back(tor_down_[static_cast<std::size_t>(dst_rack)]);
+    p.latency += spec_.cross_rack_extra;
+  }
+  p.resources.push_back(nic_down_[nic_index(dst)]);
+  p.resources.push_back(pcie_in_[static_cast<std::size_t>(dst)]);
+
+  p.bottleneck = spec_.nic;
+  for (ResourceId r : p.resources) {
+    p.bottleneck = std::min(p.bottleneck, resource(r).capacity);
+  }
+  return p;
+}
+
+const Path& Topology::PathBetween(Rank src, Rank dst) const {
+  BoundsCheck(src);
+  BoundsCheck(dst);
+  RESCCL_CHECK_MSG(src != dst, "no path from a GPU to itself");
+  return paths_[static_cast<std::size_t>(src) *
+                    static_cast<std::size_t>(nranks()) +
+                static_cast<std::size_t>(dst)];
+}
+
+namespace presets {
+
+TopologySpec A100(int nodes, int gpus_per_node) {
+  TopologySpec s;
+  s.name = "a100-" + std::to_string(nodes) + "x" +
+           std::to_string(gpus_per_node);
+  s.nodes = nodes;
+  s.gpus_per_node = gpus_per_node;
+  s.nics_per_node = std::min(4, gpus_per_node);
+  return s;
+}
+
+TopologySpec V100(int nodes, int gpus_per_node) {
+  TopologySpec s;
+  s.name = "v100-" + std::to_string(nodes) + "x" +
+           std::to_string(gpus_per_node);
+  s.nodes = nodes;
+  s.gpus_per_node = gpus_per_node;
+  s.nics_per_node = std::min(4, gpus_per_node);
+  s.gpu_fabric = Bandwidth::GBps(130);  // NVLink2 hybrid mesh, aggregate
+  s.pcie = Bandwidth::GBps(14);         // PCIe Gen3 x16
+  s.nic = Bandwidth::Gbps(100);
+  s.intra_latency = SimTime::Us(3.0);
+  s.inter_latency = SimTime::Us(7.5);
+  return s;
+}
+
+TopologySpec H100(int nodes, int gpus_per_node) {
+  TopologySpec s;
+  s.name = "h100-" + std::to_string(nodes) + "x" +
+           std::to_string(gpus_per_node);
+  s.nodes = nodes;
+  s.gpus_per_node = gpus_per_node;
+  s.nics_per_node = std::min(8, gpus_per_node);  // one 400G NIC per GPU
+  s.gpu_fabric = Bandwidth::GBps(450);           // NVLink4 per-GPU
+  s.pcie = Bandwidth::GBps(60);                  // PCIe Gen5 x16
+  s.nic = Bandwidth::Gbps(400);
+  s.intra_latency = SimTime::Us(1.5);
+  s.inter_latency = SimTime::Us(4.0);
+  return s;
+}
+
+TopologySpec Table3Topo(int index) {
+  switch (index) {
+    case 1: return A100(2, 4);
+    case 2: return A100(2, 8);
+    case 3: return A100(4, 4);
+    case 4: return A100(4, 8);
+    default:
+      RESCCL_CHECK_MSG(false, "Table 3 defines topologies 1..4, got "
+                                  << index);
+  }
+  return {};
+}
+
+}  // namespace presets
+
+}  // namespace resccl

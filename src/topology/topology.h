@@ -1,0 +1,169 @@
+// Cluster topology model.
+//
+// Mirrors the paper's testbed (§5.1): servers with `gpus_per_node` GPUs on an
+// NVSwitch-class intra-node fabric, `nics_per_node` NICs shared by the local
+// GPUs, servers grouped into racks under ToR switches, and racks joined by a
+// second aggregation tier (two-tier Clos).
+//
+// Transfers consume *resources* — capacity pools such as a GPU's fabric
+// egress, a NIC uplink, or a ToR↔aggregation trunk. The fluid simulator
+// (src/sim) shares each resource's capacity among concurrently active
+// transfers; the scheduler (src/core) declares a communication dependency
+// between two tasks when they use the same GPU-pair link or share a
+// serializing resource — a NIC or trunk (§3's "same link" condition plus
+// §4.4's NIC-sharing congestion).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "common/units.h"
+
+namespace resccl {
+
+struct ResourceTag {};
+using ResourceId = Id<ResourceTag>;
+
+enum class ResourceKind { kFabric, kPcie, kNic, kTrunk };
+
+// One capacity pool in the cluster (GPU egress, NIC uplink, ...).
+// `contention_gamma` scales the sharing penalty: z concurrent flows run at
+// fair-share × 1/(1 + γ(z−1)). NVSwitch-class crossbars multiplex almost
+// for free (small γ); NICs and trunks lose real throughput to QP and
+// scheduler thrash under fan-in (larger γ — the Fig. 4 collapse).
+//
+// The scheduler treats kNic/kTrunk resources as *serializing*: two tasks
+// sharing one have a communication dependency (§4.4 singles out connections
+// sharing a NIC). Fabric/PCIe pools are shared fairly in the simulator but
+// do not serialize the schedule.
+struct Resource {
+  std::string name;
+  Bandwidth capacity;
+  double contention_gamma = 0.0;
+  ResourceKind kind = ResourceKind::kFabric;
+};
+
+// Whether a path stays inside one server or crosses the network. Determines
+// startup latency (λ_inter ≥ 2.5 × λ_intra, §4.3) and per-warp copy
+// throughput in the cost model.
+enum class PathKind { kIntraNode, kInterNode };
+
+// A resolved route between two GPUs: the ordered resource set it occupies,
+// the startup latency α, and the zero-contention bottleneck bandwidth.
+struct Path {
+  PathKind kind = PathKind::kIntraNode;
+  std::vector<ResourceId> resources;
+  SimTime latency;
+  Bandwidth bottleneck;
+};
+
+// Parameters describing one cluster configuration. Defaults model the
+// paper's A100 testbed: 300 GB/s per-GPU fabric bandwidth via NVSwitch,
+// 200 Gbps RoCE NICs (four per server, two GPUs per NIC), two servers per
+// rack under a ToR, non-blocking aggregation.
+struct TopologySpec {
+  std::string name = "a100";
+  int nodes = 2;
+  int gpus_per_node = 8;
+  int nics_per_node = 4;
+  int nodes_per_rack = 2;
+
+  Bandwidth gpu_fabric = Bandwidth::GBps(300);   // per-GPU NVSwitch in/egress
+  Bandwidth pcie = Bandwidth::GBps(30);          // per-GPU PCIe to the NIC
+  Bandwidth nic = Bandwidth::Gbps(200);          // per-NIC up/down link
+  SimTime intra_latency = SimTime::Us(2.0);
+  SimTime inter_latency = SimTime::Us(5.0);      // = 2.5 × intra (§4.3)
+  SimTime cross_rack_extra = SimTime::Us(2.0);   // extra hop through agg tier
+
+  double fabric_gamma = 0.01;  // NVSwitch / PCIe sharing penalty
+  double nic_gamma = 0.08;     // NIC / trunk sharing penalty (Fig. 4)
+};
+
+class Topology {
+ public:
+  explicit Topology(TopologySpec spec);
+
+  [[nodiscard]] const TopologySpec& spec() const { return spec_; }
+  [[nodiscard]] int nranks() const { return spec_.nodes * spec_.gpus_per_node; }
+  [[nodiscard]] int nodes() const { return spec_.nodes; }
+  [[nodiscard]] int gpus_per_node() const { return spec_.gpus_per_node; }
+
+  [[nodiscard]] NodeId NodeOf(Rank r) const {
+    BoundsCheck(r);
+    return r / spec_.gpus_per_node;
+  }
+  [[nodiscard]] int LocalIndex(Rank r) const {
+    BoundsCheck(r);
+    return r % spec_.gpus_per_node;
+  }
+  [[nodiscard]] bool SameNode(Rank a, Rank b) const {
+    return NodeOf(a) == NodeOf(b);
+  }
+  // NIC serving `r` for inter-node traffic (GPUs are striped across NICs).
+  [[nodiscard]] NicId NicOf(Rank r) const {
+    return LocalIndex(r) / GpusPerNic();
+  }
+  [[nodiscard]] int GpusPerNic() const {
+    return spec_.gpus_per_node / spec_.nics_per_node;
+  }
+  [[nodiscard]] int RackOf(NodeId n) const { return n / spec_.nodes_per_rack; }
+
+  // The peer with the same local index on the next node — the "ring-aligned"
+  // peer used by hierarchical algorithms (Appendix A).
+  [[nodiscard]] Rank RingAlignedNext(Rank r) const {
+    return (r + spec_.gpus_per_node) % nranks();
+  }
+
+  // Route between two distinct GPUs. Precomputed; O(1).
+  [[nodiscard]] const Path& PathBetween(Rank src, Rank dst) const;
+
+  [[nodiscard]] const std::vector<Resource>& resources() const {
+    return resources_;
+  }
+  [[nodiscard]] const Resource& resource(ResourceId id) const {
+    RESCCL_CHECK(id.valid() &&
+                 static_cast<std::size_t>(id.value) < resources_.size());
+    return resources_[static_cast<std::size_t>(id.value)];
+  }
+
+ private:
+  void BoundsCheck(Rank r) const {
+    RESCCL_CHECK_MSG(r >= 0 && r < nranks(), "rank " << r << " out of range");
+  }
+  ResourceId AddResource(std::string name, Bandwidth capacity, double gamma,
+                         ResourceKind kind);
+  [[nodiscard]] Path MakePath(Rank src, Rank dst) const;
+
+  TopologySpec spec_;
+  std::vector<Resource> resources_;
+  // Per-rank resource handles.
+  std::vector<ResourceId> gpu_out_, gpu_in_, pcie_out_, pcie_in_;
+  // Per (node, nic) resource handles, indexed node * nics_per_node + nic.
+  std::vector<ResourceId> nic_up_, nic_down_;
+  // Per-rack ToR↔aggregation trunks.
+  std::vector<ResourceId> tor_up_, tor_down_;
+  // Dense (src, dst) path table; diagonal entries are unused.
+  std::vector<Path> paths_;
+};
+
+namespace presets {
+
+// The paper's main testbed: A100 servers, NVSwitch, 200 Gbps RoCE, Clos.
+[[nodiscard]] TopologySpec A100(int nodes, int gpus_per_node = 8);
+
+// The heterogeneous V100 cluster of §5.2 (Fig. 11): 100 Gbps RoCE.
+[[nodiscard]] TopologySpec V100(int nodes, int gpus_per_node = 8);
+
+// Forward-looking DGX-H100-class preset (the §1 motivation cites DGX-H100
+// with 400 Gbps InfiniBand): NVLink4 at 450 GB/s per GPU, one 400 Gbps NIC
+// per GPU pair replaced by eight ConnectX-7s — modelled as 8 NICs/node.
+[[nodiscard]] TopologySpec H100(int nodes, int gpus_per_node = 8);
+
+// Table 3 topologies: Topo1 = 2×4, Topo2 = 2×8, Topo3 = 4×4, Topo4 = 4×8.
+[[nodiscard]] TopologySpec Table3Topo(int index);
+
+}  // namespace presets
+
+}  // namespace resccl

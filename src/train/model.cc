@@ -1,0 +1,24 @@
+#include "train/model.h"
+
+namespace resccl::train {
+
+std::vector<ModelSpec> Gpt3Family() {
+  // Megatron-style (layers, hidden) configurations; parameter counts follow
+  // P ≈ 12·L·H² plus embeddings.
+  return {
+      {"GPT-3 6.7B", 6.7, 32, 4096, 2048, 2},
+      {"GPT-3 13B", 13.0, 40, 5120, 2048, 2},
+      {"GPT-3 22B", 22.0, 48, 6144, 2048, 2},
+      {"GPT-3 44B", 44.0, 64, 7424, 2048, 2},
+  };
+}
+
+std::vector<ModelSpec> T5Family() {
+  return {
+      {"T5 220M", 0.22, 12, 768, 512, 2},
+      {"T5 770M", 0.77, 24, 1024, 512, 2},
+      {"T5 3B", 3.0, 24, 2048, 512, 2},
+  };
+}
+
+}  // namespace resccl::train

@@ -1,0 +1,28 @@
+// Transformer model specifications for the end-to-end training simulation
+// (§5.5): the GPT-3 and T5 size grid of Fig. 13.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace resccl::train {
+
+struct ModelSpec {
+  std::string name;
+  double params_billion = 0;  // total parameter count
+  int layers = 0;
+  int hidden = 0;
+  int seq_len = 2048;
+  int bytes_per_value = 2;  // bf16 activations and gradients
+
+  [[nodiscard]] double params() const { return params_billion * 1e9; }
+};
+
+// Fig. 13's GPT-3 grid (tensor parallelism): 6.7B–44B.
+[[nodiscard]] std::vector<ModelSpec> Gpt3Family();
+
+// Fig. 13's T5 grid (data parallelism): 220M–3B.
+[[nodiscard]] std::vector<ModelSpec> T5Family();
+
+}  // namespace resccl::train

@@ -1,0 +1,56 @@
+// Megatron-style training-iteration simulator (§5.5, Fig. 13).
+//
+// One training iteration decomposes into
+//   compute      — forward+backward FLOPs at the GPU's sustained rate;
+//   TP comm      — Megatron tensor parallelism: 4 activation AllReduces per
+//                  layer per micro-batch inside each TP group (one server);
+//   DP comm      — the gradient AllReduce across data-parallel replicas,
+//                  partially overlapped with the backward pass;
+//   PP comm      — point-to-point activation handoffs between pipeline
+//                  stages, plus the 1F1B fill/drain bubble
+//                  (pp−1)/(n_micro) of the per-replica compute.
+// Collective latencies come from the ResCCL runtime simulator — the same
+// backends the communication benchmarks measure — so end-to-end gains stem
+// entirely from the communication fraction, as in the paper.
+#pragma once
+
+#include <string>
+
+#include "runtime/backend.h"
+#include "train/model.h"
+
+namespace resccl::train {
+
+struct TrainConfig {
+  ModelSpec model;
+  int tp = 1;                      // tensor-parallel width (one server)
+  int dp = 1;                      // data-parallel replica count
+  int pp = 1;                      // pipeline-parallel stage count
+  int gpus_per_node = 8;
+  int global_batch = 32;
+  int micro_batch = 1;             // sequences per micro-batch per replica
+  BackendKind backend = BackendKind::kResCCL;
+
+  double gpu_tflops = 312.0;       // A100 bf16 peak
+  double compute_efficiency = 0.45;
+  double dp_overlap = 0.6;         // fraction of DP comm hidden by backward
+};
+
+struct IterationReport {
+  std::string model;
+  std::string backend;
+  SimTime compute;
+  SimTime tp_comm;                 // exposed tensor-parallel time
+  SimTime dp_comm;                 // exposed data-parallel time
+  SimTime pp_comm;                 // exposed pipeline p2p time
+  SimTime pp_bubble;               // 1F1B pipeline fill/drain bubble
+  SimTime iteration;
+  double samples_per_sec = 0;
+  double comm_fraction = 0;        // exposed comm / iteration
+};
+
+// Simulates one iteration. Throws std::invalid_argument on inconsistent
+// configurations (tp larger than a server, batch not divisible, ...).
+[[nodiscard]] IterationReport SimulateIteration(const TrainConfig& config);
+
+}  // namespace resccl::train

@@ -1,0 +1,170 @@
+// Unit tests for src/common: units, status/result, rng, table, checks, ids.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/table.h"
+#include "common/types.h"
+#include "common/units.h"
+
+namespace resccl {
+namespace {
+
+TEST(SimTimeTest, ConstructorsAndAccessors) {
+  EXPECT_DOUBLE_EQ(SimTime::Us(1500).ms(), 1.5);
+  EXPECT_DOUBLE_EQ(SimTime::Ms(2).us(), 2000.0);
+  EXPECT_DOUBLE_EQ(SimTime::Sec(1).us(), 1e6);
+  EXPECT_DOUBLE_EQ(SimTime::Zero().us(), 0.0);
+  EXPECT_TRUE(SimTime::Infinity().is_infinite());
+  EXPECT_FALSE(SimTime::Sec(1e6).is_infinite());
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  const SimTime a = SimTime::Us(10);
+  const SimTime b = SimTime::Us(4);
+  EXPECT_DOUBLE_EQ((a + b).us(), 14.0);
+  EXPECT_DOUBLE_EQ((a - b).us(), 6.0);
+  EXPECT_DOUBLE_EQ((a * 2.5).us(), 25.0);
+  EXPECT_DOUBLE_EQ((2.5 * a).us(), 25.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  SimTime c = a;
+  c += b;
+  EXPECT_DOUBLE_EQ(c.us(), 14.0);
+  c -= b;
+  EXPECT_DOUBLE_EQ(c.us(), 10.0);
+  EXPECT_LT(b, a);
+  EXPECT_EQ(a, SimTime::Us(10));
+}
+
+TEST(SizeTest, UnitsAndArithmetic) {
+  EXPECT_EQ(Size::KiB(2).bytes(), 2048);
+  EXPECT_EQ(Size::MiB(1).bytes(), 1048576);
+  EXPECT_EQ(Size::GiB(1).bytes(), 1073741824LL);
+  EXPECT_DOUBLE_EQ(Size::MiB(3).mib(), 3.0);
+  EXPECT_EQ((Size::MiB(1) + Size::MiB(1)).bytes(), Size::MiB(2).bytes());
+  EXPECT_EQ((Size::MiB(4) / 2).bytes(), Size::MiB(2).bytes());
+  EXPECT_EQ((Size::MiB(2) * 3).bytes(), Size::MiB(6).bytes());
+  EXPECT_LT(Size::MiB(1), Size::MiB(2));
+}
+
+TEST(BandwidthTest, GbpsVsGBps) {
+  // 200 Gbit/s == 25 GB/s.
+  EXPECT_DOUBLE_EQ(Bandwidth::Gbps(200).gbps(), 25.0);
+  EXPECT_DOUBLE_EQ(Bandwidth::GBps(25).gbps(), 25.0);
+  // 1 GB/s == 1000 bytes/us.
+  EXPECT_DOUBLE_EQ(Bandwidth::GBps(1).bytes_per_us(), 1000.0);
+}
+
+TEST(BandwidthTest, TransferTime) {
+  // 1 MB at 25 GB/s: 1048576 / 25000 us ≈ 41.9 us.
+  const SimTime t = Bandwidth::GBps(25).TransferTime(Size::MiB(1));
+  EXPECT_NEAR(t.us(), 41.94, 0.01);
+}
+
+TEST(BandwidthTest, AlgoBandwidthInverse) {
+  const Size buffer = Size::GiB(1);
+  const SimTime elapsed = SimTime::Ms(10);
+  const Bandwidth bw = AlgoBandwidth(buffer, elapsed);
+  EXPECT_NEAR(bw.gbps(), 107.37, 0.01);
+  EXPECT_DOUBLE_EQ(AlgoBandwidth(buffer, SimTime::Zero()).gbps(), 0.0);
+}
+
+TEST(StatusTest, Codes) {
+  EXPECT_TRUE(Status::Ok().ok());
+  const Status s = Status::InvalidArgument("bad rank");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad rank");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad rank");
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok = 42;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_TRUE(ok.status().ok());
+
+  Result<int> err = Status::NotFound("nope");
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+  EXPECT_THROW((void)err.value(), std::logic_error);
+}
+
+TEST(ResultTest, RejectsOkStatus) {
+  EXPECT_THROW(Result<int>{Status::Ok()}, std::logic_error);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+  EXPECT_NE(a.NextU64(), c.NextU64());
+}
+
+TEST(RngTest, RangesRespected) {
+  Rng rng(123);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.NextInt(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+  EXPECT_EQ(rng.NextInt(4, 4), 4);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"name", "v"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer", "22"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("name    v"), std::string::npos);
+  EXPECT_NE(s.find("longer  22"), std::string::npos);
+}
+
+TEST(TextTableTest, RejectsMismatchedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only-one"}), std::logic_error);
+}
+
+TEST(FormatTest, FixedAndPercent) {
+  EXPECT_EQ(Fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(Fixed(2.0, 0), "2");
+  EXPECT_EQ(Percent(0.423), "42.3%");
+  EXPECT_EQ(Percent(1.0, 0), "100%");
+}
+
+TEST(CheckTest, ThrowsWithContext) {
+  try {
+    RESCCL_CHECK_MSG(1 == 2, "custom " << 42);
+    FAIL() << "expected throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("custom 42"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(IdTest, StrongTyping) {
+  const LinkId a(3), b(3), c(4);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+  EXPECT_TRUE(a.valid());
+  EXPECT_FALSE(LinkId().valid());
+  EXPECT_EQ(std::hash<LinkId>{}(a), std::hash<LinkId>{}(b));
+}
+
+}  // namespace
+}  // namespace resccl

@@ -1,0 +1,81 @@
+// Public API tests: the Communicator facade and default algorithm choice.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "lang/eval.h"
+#include "runtime/communicator.h"
+
+namespace resccl {
+namespace {
+
+RunRequest SmallRequest() {
+  RunRequest r;
+  r.launch.buffer = Size::MiB(16);
+  r.launch.chunk = Size::KiB(256);
+  r.verify = true;
+  return r;
+}
+
+TEST(CommunicatorTest, StandardCollectivesVerified) {
+  const Communicator comm(presets::A100(2, 8), BackendKind::kResCCL);
+  EXPECT_EQ(comm.topology().nranks(), 16);
+  for (const CollectiveReport& r :
+       {comm.AllGather(SmallRequest()), comm.AllReduce(SmallRequest()),
+        comm.ReduceScatter(SmallRequest())}) {
+    EXPECT_TRUE(r.verified) << r.verify_error;
+    EXPECT_GT(r.algo_bw.gbps(), 0.0);
+  }
+}
+
+TEST(CommunicatorTest, BackendSelectionChangesDefaults) {
+  const Topology topo(presets::A100(2, 8));
+  EXPECT_EQ(DefaultAlgorithm(BackendKind::kResCCL, CollectiveOp::kAllReduce,
+                             topo)
+                .name,
+            "hm_allreduce");
+  EXPECT_EQ(DefaultAlgorithm(BackendKind::kMscclLike, CollectiveOp::kAllGather,
+                             topo)
+                .name,
+            "hm_allgather");
+  EXPECT_EQ(DefaultAlgorithm(BackendKind::kNcclLike, CollectiveOp::kAllReduce,
+                             topo)
+                .name,
+            "ring_mc_allreduce");
+}
+
+TEST(CommunicatorTest, RunsCustomDslAlgorithm) {
+  const char* source = R"(
+def ResCCLAlgo(nRanks=8, AlgoName="my_algo", OpType="Allgather"):
+    N = 8
+    for c in range(0, N):
+        for s in range(0, N-1):
+            transfer((c+s)%N, (c+s+1)%N, s, c, recv)
+)";
+  auto algo = lang::CompileSource(source);
+  ASSERT_TRUE(algo.ok()) << algo.status().ToString();
+  const Communicator comm(presets::A100(2, 4), BackendKind::kResCCL);
+  const CollectiveReport r = comm.Run(algo.value(), SmallRequest());
+  EXPECT_TRUE(r.verified) << r.verify_error;
+  EXPECT_EQ(r.algorithm, "my_algo");
+}
+
+TEST(CommunicatorTest, MismatchedAlgorithmThrows) {
+  const Communicator comm(presets::A100(2, 8), BackendKind::kResCCL);
+  const Topology small(presets::A100(2, 4));
+  const Algorithm algo =
+      DefaultAlgorithm(BackendKind::kResCCL, CollectiveOp::kAllGather, small);
+  EXPECT_THROW((void)comm.Run(algo, SmallRequest()), std::invalid_argument);
+}
+
+TEST(CommunicatorTest, AllBackendsProduceVerifiedAllReduce) {
+  for (BackendKind kind : {BackendKind::kResCCL, BackendKind::kMscclLike,
+                           BackendKind::kNcclLike}) {
+    const Communicator comm(presets::A100(2, 4), kind);
+    const CollectiveReport r = comm.AllReduce(SmallRequest());
+    EXPECT_TRUE(r.verified) << BackendName(kind) << ": " << r.verify_error;
+  }
+}
+
+}  // namespace
+}  // namespace resccl

@@ -1,0 +1,128 @@
+// Compiler pipeline tests: options plumbing, stage partitioning, stats,
+// error handling.
+#include <gtest/gtest.h>
+
+#include "algorithms/hierarchical.h"
+#include "algorithms/ring.h"
+#include "core/compiler.h"
+#include "topology/topology.h"
+
+namespace resccl {
+namespace {
+
+TEST(CompilerTest, CompilesHmAllReduce) {
+  const Topology topo(presets::A100(2, 8));
+  const Algorithm algo = algorithms::HierarchicalMeshAllReduce(topo);
+  const Result<CompiledCollective> r = Compile(algo, topo, {});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const CompiledCollective& cc = r.value();
+  EXPECT_EQ(cc.algo.ntasks(), algo.ntasks());
+  EXPECT_EQ(cc.schedule.ntasks(), algo.ntasks());
+  EXPECT_EQ(static_cast<int>(cc.wave_of_task.size()), algo.ntasks());
+  EXPECT_EQ(cc.nstages, 1);
+  EXPECT_EQ(static_cast<int>(cc.preds.size()), algo.ntasks());
+  EXPECT_GT(cc.tbs.total_tbs(), 0);
+}
+
+TEST(CompilerTest, StatsArePopulated) {
+  const Topology topo(presets::A100(2, 8));
+  const Algorithm algo = algorithms::HierarchicalMeshAllReduce(topo);
+  const CompiledCollective cc = Compile(algo, topo, {}).value();
+  EXPECT_GT(cc.stats.analysis_us, 0.0);
+  EXPECT_GT(cc.stats.scheduling_us, 0.0);
+  EXPECT_GT(cc.stats.lowering_us, 0.0);
+  EXPECT_NEAR(cc.stats.total_us(),
+              cc.stats.analysis_us + cc.stats.scheduling_us +
+                  cc.stats.lowering_us,
+              1e-9);
+}
+
+TEST(CompilerTest, StageLevelStripesChunksAcrossInstances) {
+  const Topology topo(presets::A100(2, 8));
+  const Algorithm algo = algorithms::HierarchicalMeshAllReduce(topo);
+  CompileOptions opts;
+  opts.mode = ExecutionMode::kStageLevel;
+  opts.nstages = 3;
+  const CompiledCollective cc = Compile(algo, topo, opts).value();
+  EXPECT_EQ(cc.nstages, 3);
+  // MSCCL-style channel instances stripe the chunks: a task's instance is
+  // its chunk id mod nstages, so every task of one chunk stays together.
+  std::vector<int> seen(3, 0);
+  for (int t = 0; t < algo.ntasks(); ++t) {
+    const int s = cc.stage_of_task[static_cast<std::size_t>(t)];
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, 3);
+    EXPECT_EQ(s, algo.transfers[static_cast<std::size_t>(t)].chunk % 3);
+    ++seen[static_cast<std::size_t>(s)];
+  }
+  EXPECT_GT(seen[0], 0);
+  EXPECT_GT(seen[1], 0);
+  EXPECT_GT(seen[2], 0);
+}
+
+TEST(CompilerTest, TaskLevelIgnoresStageCount) {
+  const Topology topo(presets::A100(2, 4));
+  const Algorithm algo = algorithms::RingAllGather(8);
+  CompileOptions opts;
+  opts.mode = ExecutionMode::kTaskLevel;
+  opts.nstages = 4;
+  const CompiledCollective cc = Compile(algo, topo, opts).value();
+  EXPECT_EQ(cc.nstages, 1);
+  for (int s : cc.stage_of_task) EXPECT_EQ(s, 0);
+}
+
+TEST(CompilerTest, RankMismatchRejected) {
+  const Topology topo(presets::A100(2, 8));
+  const Algorithm algo = algorithms::RingAllGather(8);  // 8 ranks vs 16
+  const Result<CompiledCollective> r = Compile(algo, topo, {});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CompilerTest, InvalidAlgorithmRejected) {
+  const Topology topo(presets::A100(2, 4));
+  Algorithm bad;
+  bad.nranks = 8;
+  bad.nchunks = 8;
+  const Result<CompiledCollective> r = Compile(bad, topo, {});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CompilerTest, InvalidOptionsRejected) {
+  const Topology topo(presets::A100(2, 4));
+  const Algorithm algo = algorithms::RingAllGather(8);
+  CompileOptions opts;
+  opts.nstages = 0;
+  EXPECT_FALSE(Compile(algo, topo, opts).ok());
+  opts = {};
+  opts.warps_per_tb = 0;
+  EXPECT_FALSE(Compile(algo, topo, opts).ok());
+}
+
+TEST(CompilerTest, SchedulerChoiceChangesSchedule) {
+  const Topology topo(presets::A100(2, 8));
+  const Algorithm algo = algorithms::HierarchicalMeshAllReduce(topo);
+  CompileOptions hpds;
+  hpds.scheduler = SchedulerKind::kHpds;
+  CompileOptions rr;
+  rr.scheduler = SchedulerKind::kRoundRobin;
+  const int hpds_waves = Compile(algo, topo, hpds).value().schedule.nwaves();
+  const int rr_waves = Compile(algo, topo, rr).value().schedule.nwaves();
+  EXPECT_LT(hpds_waves, rr_waves);  // chain coalescing shrinks the pipeline
+}
+
+TEST(CompilerTest, DeterministicAcrossRuns) {
+  const Topology topo(presets::A100(2, 8));
+  const Algorithm algo = algorithms::HierarchicalMeshAllReduce(topo);
+  const CompiledCollective a = Compile(algo, topo, {}).value();
+  const CompiledCollective b = Compile(algo, topo, {}).value();
+  ASSERT_EQ(a.schedule.nwaves(), b.schedule.nwaves());
+  for (int w = 0; w < a.schedule.nwaves(); ++w) {
+    EXPECT_EQ(a.schedule.sub_pipelines[static_cast<std::size_t>(w)],
+              b.schedule.sub_pipelines[static_cast<std::size_t>(w)]);
+  }
+  EXPECT_EQ(a.tbs.total_tbs(), b.tbs.total_tbs());
+}
+
+}  // namespace
+}  // namespace resccl

@@ -1,0 +1,112 @@
+// Unit tests for the discrete-event queue: ordering, FIFO ties, slots.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace resccl {
+namespace {
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.Schedule(SimTime::Us(30), [&](SimTime) { fired.push_back(3); });
+  q.Schedule(SimTime::Us(10), [&](SimTime) { fired.push_back(1); });
+  q.Schedule(SimTime::Us(20), [&](SimTime) { fired.push_back(2); });
+  while (q.RunOne()) {
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now().us(), 30.0);
+}
+
+TEST(EventQueueTest, EqualTimesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    q.Schedule(SimTime::Us(7), [&fired, i](SimTime) { fired.push_back(i); });
+  }
+  while (q.RunOne()) {
+  }
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, CallbackMaySchedule) {
+  EventQueue q;
+  int count = 0;
+  EventQueue::Callback chain = [&](SimTime now) {
+    if (++count < 4) {
+      q.Schedule(now + SimTime::Us(5), [&](SimTime t) {
+        if (++count < 4) q.Schedule(t + SimTime::Us(5), [&](SimTime) { ++count; });
+      });
+    }
+  };
+  q.Schedule(SimTime::Us(1), chain);
+  while (q.RunOne()) {
+  }
+  EXPECT_GE(count, 3);
+  EXPECT_GT(q.now().us(), 10.0);
+}
+
+TEST(EventQueueTest, PastSchedulingRejected) {
+  EventQueue q;
+  q.Schedule(SimTime::Us(10), [](SimTime) {});
+  ASSERT_TRUE(q.RunOne());
+  EXPECT_THROW(q.Schedule(SimTime::Us(5), [](SimTime) {}), std::logic_error);
+}
+
+TEST(EventQueueTest, SlotRescheduleInvalidatesOldEntry) {
+  EventQueue q;
+  int fired_at = -1;
+  const EventQueue::Slot slot = q.NewSlot();
+  q.ScheduleSlot(slot, SimTime::Us(10), [&](SimTime) { fired_at = 10; });
+  q.ScheduleSlot(slot, SimTime::Us(20), [&](SimTime) { fired_at = 20; });
+  int events = 0;
+  while (q.RunOne()) ++events;
+  EXPECT_EQ(events, 1);  // the stale 10us entry is skipped silently
+  EXPECT_EQ(fired_at, 20);
+}
+
+TEST(EventQueueTest, SlotCancel) {
+  EventQueue q;
+  bool fired = false;
+  const EventQueue::Slot slot = q.NewSlot();
+  q.ScheduleSlot(slot, SimTime::Us(10), [&](SimTime) { fired = true; });
+  q.CancelSlot(slot);
+  EXPECT_TRUE(q.empty());
+  while (q.RunOne()) {
+  }
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, EmptyTracksLiveEventsOnly) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  const EventQueue::Slot slot = q.NewSlot();
+  q.ScheduleSlot(slot, SimTime::Us(5), [](SimTime) {});
+  EXPECT_FALSE(q.empty());
+  q.ScheduleSlot(slot, SimTime::Us(6), [](SimTime) {});  // replaces, not adds
+  EXPECT_FALSE(q.empty());
+  ASSERT_TRUE(q.RunOne());
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.RunOne());
+}
+
+TEST(EventQueueTest, MixedSlotsAndOneShots) {
+  EventQueue q;
+  std::vector<int> fired;
+  const EventQueue::Slot a = q.NewSlot();
+  const EventQueue::Slot b = q.NewSlot();
+  q.ScheduleSlot(a, SimTime::Us(3), [&](SimTime) { fired.push_back(1); });
+  q.Schedule(SimTime::Us(2), [&](SimTime) { fired.push_back(0); });
+  q.ScheduleSlot(b, SimTime::Us(4), [&](SimTime) { fired.push_back(2); });
+  q.CancelSlot(b);
+  q.ScheduleSlot(b, SimTime::Us(5), [&](SimTime) { fired.push_back(3); });
+  while (q.RunOne()) {
+  }
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 3}));
+}
+
+}  // namespace
+}  // namespace resccl

@@ -1,0 +1,129 @@
+// Plan serialization tests: round trips, runtime equivalence, corruption
+// rejection.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "algorithms/hierarchical.h"
+#include "core/plan_io.h"
+#include "runtime/backend.h"
+#include "runtime/lowering.h"
+#include "sim/machine.h"
+#include "topology/topology.h"
+
+namespace resccl {
+namespace {
+
+CompiledCollective CompileHm(const Topology& topo) {
+  const Algorithm algo = algorithms::HierarchicalMeshAllReduce(topo);
+  return Compile(algo, topo, DefaultCompileOptions(BackendKind::kResCCL))
+      .value();
+}
+
+TEST(PlanIoTest, RoundTripPreservesEverything) {
+  const Topology topo(presets::A100(2, 4));
+  const CompiledCollective plan = CompileHm(topo);
+  const std::string text = SavePlanToString(plan);
+  const Result<CompiledCollective> loaded = LoadPlanFromString(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const CompiledCollective& back = loaded.value();
+
+  EXPECT_EQ(back.algo.name, plan.algo.name);
+  EXPECT_EQ(back.algo.collective, plan.algo.collective);
+  EXPECT_EQ(back.algo.transfers, plan.algo.transfers);
+  EXPECT_EQ(back.options.scheduler, plan.options.scheduler);
+  EXPECT_EQ(back.options.mode, plan.options.mode);
+  EXPECT_EQ(back.options.warps_per_tb, plan.options.warps_per_tb);
+  EXPECT_EQ(back.schedule.sub_pipelines, plan.schedule.sub_pipelines);
+  EXPECT_EQ(back.stage_of_task, plan.stage_of_task);
+  EXPECT_EQ(back.preds, plan.preds);
+  EXPECT_EQ(back.tbs.send_tb, plan.tbs.send_tb);
+  EXPECT_EQ(back.tbs.recv_tb, plan.tbs.recv_tb);
+  EXPECT_EQ(back.wave_of_task, plan.wave_of_task);
+  ASSERT_EQ(back.tbs.tbs.size(), plan.tbs.tbs.size());
+}
+
+TEST(PlanIoTest, LoadedPlanExecutesIdentically) {
+  const Topology topo(presets::A100(2, 4));
+  const CompiledCollective plan = CompileHm(topo);
+  const CompiledCollective loaded =
+      LoadPlanFromString(SavePlanToString(plan)).value();
+
+  const CostModel cost;
+  LaunchConfig launch;
+  launch.buffer = Size::MiB(64);
+  const LoweredProgram a = Lower(plan, cost, launch);
+  const LoweredProgram b = Lower(loaded, cost, launch);
+  SimMachine machine(topo, cost);
+  const SimTime ta = machine.Run(a.program).makespan;
+  const SimTime tb = machine.Run(b.program).makespan;
+  EXPECT_EQ(ta, tb);
+}
+
+TEST(PlanIoTest, SecondRoundTripIsIdentityOnText) {
+  const Topology topo(presets::A100(1, 8));
+  const CompiledCollective plan = CompileHm(topo);
+  const std::string once = SavePlanToString(plan);
+  const std::string twice =
+      SavePlanToString(LoadPlanFromString(once).value());
+  EXPECT_EQ(once, twice);
+}
+
+TEST(PlanIoTest, RejectsCorruption) {
+  const Topology topo(presets::A100(1, 8));
+  const std::string good = SavePlanToString(CompileHm(topo));
+
+  EXPECT_FALSE(LoadPlanFromString("").ok());
+  EXPECT_FALSE(LoadPlanFromString("not-a-plan v1\n").ok());
+
+  // Truncation.
+  EXPECT_FALSE(
+      LoadPlanFromString(good.substr(0, good.size() / 2)).ok());
+
+  // Out-of-range task id inside a wave.
+  std::string bad = good;
+  const std::size_t pos = bad.find("\nw ");
+  ASSERT_NE(pos, std::string::npos);
+  bad.replace(pos, 4, "\nw 1 99999 ");
+  EXPECT_FALSE(LoadPlanFromString(bad).ok());
+
+  // Broken transfer record.
+  std::string bad2 = good;
+  const std::size_t tp = bad2.find("\nt ");
+  ASSERT_NE(tp, std::string::npos);
+  bad2.replace(tp, 3, "\nt x");
+  EXPECT_FALSE(LoadPlanFromString(bad2).ok());
+}
+
+TEST(PlanIoTest, RootedPlanPreservesRoot) {
+  const Topology topo(presets::A100(1, 8));
+  Algorithm bcast;
+  bcast.name = "bcast";
+  bcast.collective = CollectiveOp::kBroadcast;
+  bcast.nranks = 8;
+  bcast.nchunks = 8;
+  bcast.root = 5;
+  for (Rank r = 0; r < 8; ++r) {
+    if (r == 5) continue;
+    for (ChunkId c = 0; c < 8; ++c) {
+      bcast.transfers.push_back({5, r, r, c, TransferOp::kRecv});
+    }
+  }
+  const CompiledCollective plan =
+      Compile(bcast, topo, DefaultCompileOptions(BackendKind::kResCCL))
+          .value();
+  const CompiledCollective back =
+      LoadPlanFromString(SavePlanToString(plan)).value();
+  EXPECT_EQ(back.algo.root, 5);
+  EXPECT_EQ(back.algo.collective, CollectiveOp::kBroadcast);
+}
+
+TEST(PlanIoTest, ErrorsCarryLineNumbers) {
+  const Result<CompiledCollective> r =
+      LoadPlanFromString("resccl-plan v1\nalgorithm broken\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace resccl

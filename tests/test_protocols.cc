@@ -1,0 +1,94 @@
+// Transport protocol tests (Table 2): Simple vs LL vs LL128 trade latency
+// against bandwidth, producing the classic crossover across message sizes.
+#include <gtest/gtest.h>
+
+#include "algorithms/recursive.h"
+#include "algorithms/ring.h"
+#include "runtime/communicator.h"
+#include "topology/topology.h"
+
+namespace resccl {
+namespace {
+
+SimTime Elapsed(const Topology& topo, const Algorithm& algo, Protocol proto,
+                Size buffer, Size chunk) {
+  RunRequest request;
+  request.launch.buffer = buffer;
+  request.launch.chunk = chunk;
+  request.launch.protocol = proto;
+  request.verify = true;
+  const Result<CollectiveReport> r =
+      RunCollective(algo, topo, BackendKind::kResCCL, request);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().verified) << r.value().verify_error;
+  return r.value().elapsed;
+}
+
+TEST(ProtocolTest, NamesAreStable) {
+  EXPECT_STREQ(ProtocolName(Protocol::kSimple), "Simple");
+  EXPECT_STREQ(ProtocolName(Protocol::kLL), "LL");
+  EXPECT_STREQ(ProtocolName(Protocol::kLL128), "LL128");
+}
+
+TEST(ProtocolTest, LlWinsAtSmallMessages) {
+  // Latency-dominated regime: a long forwarding chain of tiny chunks, where
+  // each hop's handshake dominates its byte time.
+  const Topology topo(presets::A100(2, 8));
+  const Algorithm algo = algorithms::RingAllGather(16);
+  const Size buffer = Size::KiB(64);
+  const Size chunk = Size::KiB(4);
+  const SimTime simple =
+      Elapsed(topo, algo, Protocol::kSimple, buffer, chunk);
+  const SimTime ll = Elapsed(topo, algo, Protocol::kLL, buffer, chunk);
+  EXPECT_LT(ll, simple);
+}
+
+TEST(ProtocolTest, SimpleWinsAtLargeMessages) {
+  const Topology topo(presets::A100(2, 8));
+  const Algorithm algo =
+      algorithms::MultiChannelRingAllGather(topo, 4);
+  const Size buffer = Size::MiB(512);
+  const SimTime simple =
+      Elapsed(topo, algo, Protocol::kSimple, buffer, Size::MiB(1));
+  const SimTime ll = Elapsed(topo, algo, Protocol::kLL, buffer, Size::MiB(1));
+  // LL halves effective bandwidth: roughly 2x slower when bandwidth-bound.
+  EXPECT_GT(ll / simple, 1.5);
+}
+
+TEST(ProtocolTest, Ll128SitsBetween) {
+  const Topology topo(presets::A100(2, 8));
+  const Algorithm algo =
+      algorithms::MultiChannelRingAllGather(topo, 4);
+  const Size buffer = Size::MiB(256);
+  const SimTime simple =
+      Elapsed(topo, algo, Protocol::kSimple, buffer, Size::MiB(1));
+  const SimTime ll128 =
+      Elapsed(topo, algo, Protocol::kLL128, buffer, Size::MiB(1));
+  const SimTime ll = Elapsed(topo, algo, Protocol::kLL, buffer, Size::MiB(1));
+  EXPECT_LT(ll128, ll);            // far better bandwidth than LL
+  EXPECT_LT(ll128 / simple, 1.15); // within ~15% of Simple when bw-bound
+}
+
+TEST(ProtocolTest, AllProtocolsVerifyEveryCollective) {
+  const Topology topo(presets::A100(2, 4));
+  for (Protocol proto : {Protocol::kSimple, Protocol::kLL, Protocol::kLL128}) {
+    for (CollectiveOp op : {CollectiveOp::kAllGather, CollectiveOp::kAllReduce,
+                            CollectiveOp::kReduceScatter}) {
+      const Algorithm algo = DefaultAlgorithm(BackendKind::kResCCL, op, topo);
+      RunRequest request;
+      request.launch.buffer = Size::MiB(8);
+      request.launch.chunk = Size::KiB(256);
+      request.launch.protocol = proto;
+      request.verify = true;
+      const Result<CollectiveReport> r =
+          RunCollective(algo, topo, BackendKind::kResCCL, request);
+      ASSERT_TRUE(r.ok());
+      EXPECT_TRUE(r.value().verified)
+          << ProtocolName(proto) << " " << CollectiveOpName(op) << ": "
+          << r.value().verify_error;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace resccl

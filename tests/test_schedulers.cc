@@ -1,0 +1,233 @@
+// Scheduler tests: HPDS and RR invariants across the algorithm library
+// (parameterized), plus targeted behavioural checks.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "algorithms/hierarchical.h"
+#include "algorithms/ring.h"
+#include "algorithms/synthesized.h"
+#include "algorithms/tree.h"
+#include "core/hpds.h"
+#include "core/round_robin.h"
+#include "core/schedule.h"
+#include "topology/topology.h"
+
+namespace resccl {
+namespace {
+
+struct SchedulerCase {
+  std::string name;
+  int nodes;
+  int gpus;
+  Algorithm (*make)(const Topology&);
+};
+
+Algorithm MakeRingAg(const Topology& t) {
+  return algorithms::RingAllGather(t.nranks());
+}
+Algorithm MakeRingAr(const Topology& t) {
+  return algorithms::RingAllReduce(t.nranks());
+}
+Algorithm MakeTree(const Topology& t) {
+  return algorithms::DoubleBinaryTreeAllReduce(t.nranks());
+}
+Algorithm MakeMcRing(const Topology& t) {
+  return algorithms::MultiChannelRingAllReduce(t, t.spec().nics_per_node);
+}
+
+std::vector<SchedulerCase> Cases() {
+  std::vector<SchedulerCase> cases;
+  for (const auto& [nodes, gpus] : {std::pair{2, 4}, {2, 8}, {4, 4}}) {
+    cases.push_back({"hm_ag", nodes, gpus, algorithms::HierarchicalMeshAllGather});
+    cases.push_back({"hm_ar", nodes, gpus, algorithms::HierarchicalMeshAllReduce});
+    cases.push_back({"hm_rs", nodes, gpus, algorithms::HierarchicalMeshReduceScatter});
+    cases.push_back({"taccl_ag", nodes, gpus, algorithms::TacclLikeAllGather});
+    cases.push_back({"teccl_ar", nodes, gpus, algorithms::TecclLikeAllReduce});
+    cases.push_back({"ring_ag", nodes, gpus, MakeRingAg});
+    cases.push_back({"ring_ar", nodes, gpus, MakeRingAr});
+    cases.push_back({"tree_ar", nodes, gpus, MakeTree});
+    cases.push_back({"mc_ring_ar", nodes, gpus, MakeMcRing});
+  }
+  return cases;
+}
+
+class SchedulerInvariantTest
+    : public ::testing::TestWithParam<std::tuple<SchedulerCase, int>> {};
+
+TEST_P(SchedulerInvariantTest, ScheduleIsValid) {
+  const auto& [c, sched_kind] = GetParam();
+  const Topology topo(presets::A100(c.nodes, c.gpus));
+  const Algorithm algo = c.make(topo);
+  ASSERT_TRUE(algo.Validate().ok());
+
+  ConnectionTable conns(topo);
+  DependencyGraph dag(algo, conns);
+  std::unique_ptr<Scheduler> scheduler;
+  if (sched_kind == 0) {
+    scheduler = std::make_unique<HpdsScheduler>();
+  } else {
+    scheduler = std::make_unique<RoundRobinScheduler>();
+  }
+  const Schedule schedule = scheduler->Build(dag, conns);
+  const Status valid = ValidateSchedule(schedule, dag, conns);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+  EXPECT_EQ(schedule.ntasks(), dag.ntasks());
+  EXPECT_GE(schedule.nwaves(), 1);
+}
+
+std::string CaseName(
+    const ::testing::TestParamInfo<std::tuple<SchedulerCase, int>>& info) {
+  const auto& [c, kind] = info.param;
+  return c.name + "_" + std::to_string(c.nodes) + "x" +
+         std::to_string(c.gpus) + (kind == 0 ? "_hpds" : "_rr");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, SchedulerInvariantTest,
+                         ::testing::Combine(::testing::ValuesIn(Cases()),
+                                            ::testing::Values(0, 1)),
+                         CaseName);
+
+class SchedulerBehaviourTest : public ::testing::Test {
+ protected:
+  SchedulerBehaviourTest() : topo_(presets::A100(2, 4)), conns_(topo_) {}
+  Topology topo_;
+  ConnectionTable conns_;
+};
+
+TEST_F(SchedulerBehaviourTest, RingWavesMatchSteps) {
+  // For a plain ring, every wave is one ring step: N−1 waves of N tasks.
+  const Algorithm algo = algorithms::RingAllGather(8);
+  DependencyGraph dag(algo, conns_);
+  HpdsScheduler hpds;
+  const Schedule s = hpds.Build(dag, conns_);
+  // Inter-node hops share NICs with only one flow each on 2×4 (one GPU per
+  // NIC), so each step's 8 tasks coexist in one wave.
+  EXPECT_EQ(s.nwaves(), 7);
+  for (const auto& wave : s.sub_pipelines) {
+    EXPECT_EQ(wave.size(), 8u);
+  }
+}
+
+TEST_F(SchedulerBehaviourTest, HpdsCoalescesDependentChainsAcrossLinks) {
+  // A 3-hop forwarding chain on distinct links fits one sub-pipeline.
+  Algorithm a;
+  a.name = "chain";
+  a.collective = CollectiveOp::kAllGather;
+  a.nranks = 8;
+  a.nchunks = 8;
+  a.transfers = {{0, 1, 0, 0, TransferOp::kRecv},
+                 {1, 2, 1, 0, TransferOp::kRecv},
+                 {2, 3, 2, 0, TransferOp::kRecv}};
+  DependencyGraph dag(a, conns_);
+  HpdsScheduler hpds;
+  const Schedule s = hpds.Build(dag, conns_);
+  EXPECT_EQ(s.nwaves(), 1);
+  EXPECT_EQ(s.sub_pipelines[0].size(), 3u);
+}
+
+TEST_F(SchedulerBehaviourTest, RoundRobinHeadOfLineBlocks) {
+  // Chunks 0 and 1 both need link (0->1); chunk 2 is independent on (2->3).
+  // RR's immutable sequence hits the conflict at chunk 1 and closes the
+  // sub-pipeline, pushing the perfectly schedulable chunk-2 task out of
+  // wave 0. HPDS skips the conflicting chunk and fills the wave.
+  Algorithm a;
+  a.name = "holb";
+  a.collective = CollectiveOp::kAllGather;
+  a.nranks = 8;
+  a.nchunks = 8;
+  a.transfers = {{0, 1, 0, 0, TransferOp::kRecv},
+                 {0, 1, 0, 1, TransferOp::kRecv},
+                 {2, 3, 0, 2, TransferOp::kRecv}};
+  DependencyGraph dag(a, conns_);
+  HpdsScheduler hpds;
+  const Schedule hs = hpds.Build(dag, conns_);
+  ASSERT_EQ(hs.nwaves(), 2);
+  EXPECT_EQ(hs.sub_pipelines[0].size(), 2u);  // chunk 0 + chunk 2 together
+  RoundRobinScheduler rr;
+  const Schedule rs = rr.Build(dag, conns_);
+  ASSERT_EQ(rs.nwaves(), 2);
+  EXPECT_EQ(rs.sub_pipelines[0].size(), 1u);  // head-of-line blocked
+}
+
+TEST_F(SchedulerBehaviourTest, SameLinkTasksNeverShareWave) {
+  Algorithm a;
+  a.name = "samelink";
+  a.collective = CollectiveOp::kAllGather;
+  a.nranks = 8;
+  a.nchunks = 8;
+  a.transfers = {{0, 1, 0, 0, TransferOp::kRecv},
+                 {0, 1, 0, 1, TransferOp::kRecv}};  // independent chunks
+  DependencyGraph dag(a, conns_);
+  HpdsScheduler hpds;
+  const Schedule s = hpds.Build(dag, conns_);
+  EXPECT_EQ(s.nwaves(), 2);
+}
+
+TEST_F(SchedulerBehaviourTest, LatencyClassesSplitWaves) {
+  // An intra-node task depending on an inter-node task is pushed out of the
+  // producer's sub-pipeline (§4.3 bubble avoidance).
+  Algorithm a;
+  a.name = "mixed";
+  a.collective = CollectiveOp::kAllGather;
+  a.nranks = 8;
+  a.nchunks = 8;
+  a.transfers = {{0, 4, 0, 0, TransferOp::kRecv},    // inter
+                 {4, 5, 1, 0, TransferOp::kRecv}};   // intra, depends on it
+  DependencyGraph dag(a, conns_);
+  HpdsScheduler hpds;
+  const Schedule s = hpds.Build(dag, conns_);
+  ASSERT_EQ(s.nwaves(), 2);
+  EXPECT_EQ(s.sub_pipelines[0].size(), 1u);
+  EXPECT_EQ(s.sub_pipelines[0][0], TaskId(0));
+}
+
+TEST_F(SchedulerBehaviourTest, WavesAreStepSorted) {
+  const Topology topo(presets::A100(2, 8));
+  ConnectionTable conns(topo);
+  const Algorithm algo = algorithms::HierarchicalMeshAllReduce(topo);
+  DependencyGraph dag(algo, conns);
+  HpdsScheduler hpds;
+  const Schedule s = hpds.Build(dag, conns);
+  for (const auto& wave : s.sub_pipelines) {
+    for (std::size_t i = 1; i < wave.size(); ++i) {
+      EXPECT_LE(dag.node(wave[i - 1]).transfer.step,
+                dag.node(wave[i]).transfer.step);
+    }
+  }
+}
+
+TEST_F(SchedulerBehaviourTest, ValidateScheduleCatchesViolations) {
+  const Algorithm algo = algorithms::RingAllGather(8);
+  DependencyGraph dag(algo, conns_);
+  HpdsScheduler hpds;
+  Schedule s = hpds.Build(dag, conns_);
+
+  // Duplicate a task.
+  Schedule dup = s;
+  dup.sub_pipelines.back().push_back(s.sub_pipelines[0][0]);
+  EXPECT_FALSE(ValidateSchedule(dup, dag, conns_).ok());
+
+  // Drop a task.
+  Schedule missing = s;
+  missing.sub_pipelines.back().pop_back();
+  EXPECT_FALSE(ValidateSchedule(missing, dag, conns_).ok());
+
+  // Reverse the waves: data deps now point backwards.
+  Schedule reversed = s;
+  std::reverse(reversed.sub_pipelines.begin(), reversed.sub_pipelines.end());
+  const Status st = ValidateSchedule(reversed, dag, conns_);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("data dependency"), std::string::npos);
+
+  // Merge two waves that share links: communication conflict.
+  Schedule merged = s;
+  auto& first = merged.sub_pipelines[0];
+  first.insert(first.end(), merged.sub_pipelines[1].begin(),
+               merged.sub_pipelines[1].end());
+  merged.sub_pipelines.erase(merged.sub_pipelines.begin() + 1);
+  EXPECT_FALSE(ValidateSchedule(merged, dag, conns_).ok());
+}
+
+}  // namespace
+}  // namespace resccl

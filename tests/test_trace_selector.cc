@@ -1,0 +1,101 @@
+// Tests for the trace exporter and the algorithm auto-selector.
+#include <gtest/gtest.h>
+
+#include "algorithms/hierarchical.h"
+#include "runtime/selector.h"
+#include "runtime/trace.h"
+#include "topology/topology.h"
+
+namespace resccl {
+namespace {
+
+TEST(TraceTest, ExportsValidSkeleton) {
+  const Topology topo(presets::A100(2, 4));
+  const Algorithm algo = algorithms::HierarchicalMeshAllReduce(topo);
+  const CompiledCollective compiled =
+      Compile(algo, topo, DefaultCompileOptions(BackendKind::kResCCL)).value();
+  const CostModel cost;
+  LaunchConfig launch;
+  launch.buffer = Size::MiB(32);
+  const LoweredProgram lowered = Lower(compiled, cost, launch);
+  SimMachine machine(topo, cost);
+  const SimRunReport report = machine.Run(lowered.program);
+
+  const std::string json = ExportChromeTrace(compiled, lowered, report);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');
+  // Process metadata for every rank.
+  for (Rank r = 0; r < topo.nranks(); ++r) {
+    EXPECT_NE(json.find("\"name\":\"rank " + std::to_string(r) + "\""),
+              std::string::npos);
+  }
+  // Every transfer appears twice (sender + receiver rows).
+  const std::string needle = "\"ph\":\"X\"";
+  std::size_t count = 0;
+  for (std::size_t pos = json.find(needle); pos != std::string::npos;
+       pos = json.find(needle, pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 2 * report.transfers.size());
+  EXPECT_NE(json.find("rrc"), std::string::npos);
+  EXPECT_NE(json.find("\"wave\":"), std::string::npos);
+}
+
+TEST(SelectorTest, CandidatesCoverEveryCollective) {
+  const Topology topo(presets::A100(2, 8));
+  for (CollectiveOp op :
+       {CollectiveOp::kAllGather, CollectiveOp::kReduceScatter,
+        CollectiveOp::kAllReduce, CollectiveOp::kBroadcast,
+        CollectiveOp::kReduce}) {
+    const auto candidates = CandidateAlgorithms(op, topo);
+    EXPECT_GE(candidates.size(), 2u) << CollectiveOpName(op);
+    for (const Algorithm& a : candidates) {
+      EXPECT_TRUE(a.Validate().ok()) << a.name;
+      EXPECT_EQ(a.collective, op) << a.name;
+    }
+  }
+}
+
+TEST(SelectorTest, PowerOfTwoOnlyCandidatesSkipped) {
+  TopologySpec spec = presets::A100(3, 4);  // 12 ranks
+  const Topology topo(spec);
+  for (const Algorithm& a :
+       CandidateAlgorithms(CollectiveOp::kAllReduce, topo)) {
+    EXPECT_EQ(a.name.find("rhd"), std::string::npos);
+  }
+}
+
+TEST(SelectorTest, PicksFastestAndSortsScoreboard) {
+  const Topology topo(presets::A100(2, 8));
+  RunRequest request;
+  request.launch.buffer = Size::MiB(256);
+  const SelectionResult sel =
+      SelectAlgorithm(CollectiveOp::kAllGather, topo, BackendKind::kResCCL,
+                      request);
+  ASSERT_GE(sel.scoreboard.size(), 3u);
+  EXPECT_EQ(sel.algorithm.name, sel.scoreboard.front().name);
+  for (std::size_t i = 1; i < sel.scoreboard.size(); ++i) {
+    EXPECT_LE(sel.scoreboard[i - 1].elapsed, sel.scoreboard[i].elapsed);
+  }
+  // At a bandwidth-heavy size on this topology the hierarchical mesh wins.
+  EXPECT_EQ(sel.algorithm.name, "hm_allgather");
+}
+
+TEST(SelectorTest, RootedBroadcastScoreboard) {
+  // Chunk-pipelined chains amortize depth, so the chain dominates the
+  // binomial tree once micro-batches stream (the tree re-sends the whole
+  // buffer per level). Both candidates must be scored.
+  const Topology topo(presets::A100(2, 8));
+  RunRequest large;
+  large.launch.buffer = Size::MiB(512);
+  const SelectionResult l =
+      SelectAlgorithm(CollectiveOp::kBroadcast, topo, BackendKind::kResCCL,
+                      large);
+  EXPECT_EQ(l.algorithm.name, "chain_broadcast");
+  ASSERT_EQ(l.scoreboard.size(), 2u);
+  EXPECT_EQ(l.scoreboard[1].name, "binomial_broadcast");
+  EXPECT_GT(l.scoreboard[0].gbps, l.scoreboard[1].gbps);
+}
+
+}  // namespace
+}  // namespace resccl

@@ -1,0 +1,362 @@
+// resccl — command-line front end to the library.
+//
+//   resccl list
+//       Show the built-in algorithm registry and topology presets.
+//   resccl run --algo hm_allreduce --topo a100 --nodes 2 --gpus 8
+//              [--backend resccl|msccl|nccl] [--buffer-mb N] [--chunk-kb N]
+//              [--protocol simple|ll|ll128] [--verify] [--trace out.json]
+//       Simulate one collective and print the report.
+//   resccl compile <program.resccl> [--nodes N] [--gpus G] [--out stem]
+//       Compile ResCCLang source into a .plan artifact + kernel listing.
+//   resccl select --op allreduce --topo a100 --nodes 2 --gpus 8
+//              [--buffer-mb N] [--backend ...]
+//       Run the auto-selector and print the scoreboard.
+//   resccl emit --algo ring_allgather --nodes 2 --gpus 8
+//       Export a library algorithm as ResCCLang source on stdout.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algorithms/hierarchical.h"
+#include "algorithms/recursive.h"
+#include "algorithms/ring.h"
+#include "algorithms/rooted.h"
+#include "algorithms/synthesized.h"
+#include "algorithms/tree.h"
+#include "core/kernel_gen.h"
+#include "core/plan_io.h"
+#include "lang/emit.h"
+#include "lang/eval.h"
+#include "runtime/communicator.h"
+#include "runtime/selector.h"
+#include "runtime/trace.h"
+
+namespace {
+
+using namespace resccl;
+
+using AlgoFactory = std::function<Algorithm(const Topology&)>;
+
+const std::map<std::string, AlgoFactory>& Registry() {
+  static const std::map<std::string, AlgoFactory> kRegistry = {
+      {"ring_allgather",
+       [](const Topology& t) { return algorithms::RingAllGather(t.nranks()); }},
+      {"ring_reducescatter",
+       [](const Topology& t) {
+         return algorithms::RingReduceScatter(t.nranks());
+       }},
+      {"ring_allreduce",
+       [](const Topology& t) { return algorithms::RingAllReduce(t.nranks()); }},
+      {"mc_ring_allgather",
+       [](const Topology& t) {
+         return algorithms::MultiChannelRingAllGather(t,
+                                                      t.spec().nics_per_node);
+       }},
+      {"mc_ring_allreduce",
+       [](const Topology& t) {
+         return algorithms::MultiChannelRingAllReduce(t,
+                                                      t.spec().nics_per_node);
+       }},
+      {"hm_allgather", algorithms::HierarchicalMeshAllGather},
+      {"hm_reducescatter", algorithms::HierarchicalMeshReduceScatter},
+      {"hm_allreduce", algorithms::HierarchicalMeshAllReduce},
+      {"tree_allreduce",
+       [](const Topology& t) {
+         return algorithms::DoubleBinaryTreeAllReduce(t.nranks());
+       }},
+      {"rhd_allreduce",
+       [](const Topology& t) {
+         return algorithms::RecursiveHalvingDoublingAllReduce(t.nranks());
+       }},
+      {"rd_allgather",
+       [](const Topology& t) {
+         return algorithms::RecursiveDoublingAllGather(t.nranks());
+       }},
+      {"oneshot_allgather",
+       [](const Topology& t) {
+         return algorithms::OneShotAllGather(t.nranks());
+       }},
+      {"chain_broadcast",
+       [](const Topology& t) { return algorithms::ChainBroadcast(t.nranks()); }},
+      {"chain_reduce",
+       [](const Topology& t) { return algorithms::ChainReduce(t.nranks()); }},
+      {"binomial_broadcast",
+       [](const Topology& t) {
+         return algorithms::BinomialTreeBroadcast(t.nranks());
+       }},
+      {"taccl_allgather", algorithms::TacclLikeAllGather},
+      {"taccl_allreduce", algorithms::TacclLikeAllReduce},
+      {"teccl_allgather", algorithms::TecclLikeAllGather},
+      {"teccl_allreduce", algorithms::TecclLikeAllReduce},
+  };
+  return kRegistry;
+}
+
+struct Args {
+  std::map<std::string, std::string> options;
+  std::vector<std::string> positional;
+
+  [[nodiscard]] std::string Get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  [[nodiscard]] int GetInt(const std::string& key, int fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::atoi(it->second.c_str());
+  }
+  [[nodiscard]] bool Has(const std::string& key) const {
+    return options.count(key) != 0;
+  }
+};
+
+Args ParseArgs(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::string key = arg.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        args.options[key] = argv[++i];
+      } else {
+        args.options[key] = "1";
+      }
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+TopologySpec MakeSpec(const Args& args) {
+  const std::string topo = args.Get("topo", "a100");
+  const int nodes = args.GetInt("nodes", 2);
+  const int gpus = args.GetInt("gpus", 8);
+  if (topo == "a100") return presets::A100(nodes, gpus);
+  if (topo == "v100") return presets::V100(nodes, gpus);
+  if (topo == "h100") return presets::H100(nodes, gpus);
+  std::fprintf(stderr, "unknown --topo '%s' (a100|v100|h100)\n", topo.c_str());
+  std::exit(2);
+}
+
+BackendKind MakeBackend(const Args& args) {
+  const std::string backend = args.Get("backend", "resccl");
+  if (backend == "resccl") return BackendKind::kResCCL;
+  if (backend == "msccl") return BackendKind::kMscclLike;
+  if (backend == "nccl") return BackendKind::kNcclLike;
+  std::fprintf(stderr, "unknown --backend '%s' (resccl|msccl|nccl)\n",
+               backend.c_str());
+  std::exit(2);
+}
+
+RunRequest MakeRequest(const Args& args) {
+  RunRequest request;
+  request.launch.buffer = Size::MiB(args.GetInt("buffer-mb", 256));
+  request.launch.chunk = Size::KiB(args.GetInt("chunk-kb", 1024));
+  const std::string proto = args.Get("protocol", "simple");
+  if (proto == "ll") request.launch.protocol = Protocol::kLL;
+  else if (proto == "ll128") request.launch.protocol = Protocol::kLL128;
+  request.verify = args.Has("verify");
+  return request;
+}
+
+Algorithm LoadAlgorithm(const Args& args, const Topology& topo) {
+  if (args.Has("dsl")) {
+    std::ifstream in(args.Get("dsl", ""));
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", args.Get("dsl", "").c_str());
+      std::exit(2);
+    }
+    std::ostringstream os;
+    os << in.rdbuf();
+    auto algo = lang::CompileSource(os.str());
+    if (!algo.ok()) {
+      std::fprintf(stderr, "ResCCLang error: %s\n",
+                   algo.status().ToString().c_str());
+      std::exit(2);
+    }
+    return std::move(algo).value();
+  }
+  const std::string name = args.Get("algo", "hm_allreduce");
+  const auto it = Registry().find(name);
+  if (it == Registry().end()) {
+    std::fprintf(stderr, "unknown --algo '%s'; try `resccl list`\n",
+                 name.c_str());
+    std::exit(2);
+  }
+  return it->second(topo);
+}
+
+int CmdList() {
+  std::printf("algorithms:\n");
+  for (const auto& [name, factory] : Registry()) {
+    (void)factory;
+    std::printf("  %s\n", name.c_str());
+  }
+  std::printf("topologies: a100 (default), v100, h100 "
+              "(--nodes N --gpus G)\n");
+  std::printf("backends: resccl (default), msccl, nccl\n");
+  return 0;
+}
+
+int CmdRun(const Args& args) {
+  const Topology topo(MakeSpec(args));
+  const Algorithm algo = LoadAlgorithm(args, topo);
+  const BackendKind backend = MakeBackend(args);
+  const RunRequest request = MakeRequest(args);
+
+  if (args.Has("trace")) {
+    // Trace needs the intermediate artifacts; run the pipeline by hand.
+    auto compiled = Compile(algo, topo, DefaultCompileOptions(backend));
+    if (!compiled.ok()) {
+      std::fprintf(stderr, "%s\n", compiled.status().ToString().c_str());
+      return 1;
+    }
+    const LoweredProgram lowered =
+        Lower(compiled.value(), request.cost, request.launch);
+    SimMachine machine(topo, request.cost);
+    const SimRunReport report = machine.Run(lowered.program);
+    std::ofstream out(args.Get("trace", "trace.json"));
+    out << ExportChromeTrace(compiled.value(), lowered, report);
+    std::printf("trace written to %s (makespan %.3f ms)\n",
+                args.Get("trace", "trace.json").c_str(), report.makespan.ms());
+    return 0;
+  }
+
+  const Result<CollectiveReport> r =
+      RunCollective(algo, topo, backend, request);
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+    return 1;
+  }
+  const CollectiveReport& rep = r.value();
+  std::printf("%s on %s (%s backend, %s, %d MiB/rank)\n",
+              rep.algorithm.c_str(), topo.spec().name.c_str(),
+              rep.backend.c_str(), ProtocolName(request.launch.protocol),
+              static_cast<int>(request.launch.buffer.mib()));
+  std::printf("  algorithm bandwidth : %8.2f GB/s\n", rep.algo_bw.gbps());
+  std::printf("  completion          : %8.3f ms (%d micro-batches)\n",
+              rep.elapsed.ms(), rep.nmicrobatches);
+  std::printf("  thread blocks       : %d total, max %d per GPU\n",
+              rep.total_tbs, rep.max_tbs_per_rank);
+  std::printf("  TB busy/idle        : %.1f%% / %.1f%% (max idle %.1f%%)\n",
+              rep.sim.AvgBusyRatio() * 100, rep.sim.AvgIdleRatio() * 100,
+              rep.sim.MaxIdleRatio() * 100);
+  std::printf("  link utilization    : %.1f%% avg over %d links\n",
+              rep.links.avg * 100, rep.links.carriers);
+  if (request.verify) {
+    std::printf("  verification        : %s%s\n",
+                rep.verified ? "OK" : "FAILED ",
+                rep.verified ? "" : rep.verify_error.c_str());
+    if (!rep.verified) return 1;
+  }
+  return 0;
+}
+
+int CmdCompile(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "usage: resccl compile <program.resccl> ...\n");
+    return 2;
+  }
+  std::ifstream in(args.positional[0]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", args.positional[0].c_str());
+    return 2;
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  auto algo = lang::CompileSource(os.str());
+  if (!algo.ok()) {
+    std::fprintf(stderr, "ResCCLang error: %s\n",
+                 algo.status().ToString().c_str());
+    return 1;
+  }
+  const Topology topo(MakeSpec(args));
+  auto compiled =
+      Compile(algo.value(), topo, DefaultCompileOptions(BackendKind::kResCCL));
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "%s\n", compiled.status().ToString().c_str());
+    return 1;
+  }
+  std::string stem = args.Get("out", "");
+  if (stem.empty()) {
+    stem = args.positional[0];
+    if (const auto dot = stem.rfind('.'); dot != std::string::npos) {
+      stem.resize(dot);
+    }
+  }
+  {
+    std::ofstream plan(stem + ".plan");
+    SavePlan(compiled.value(), plan);
+  }
+  {
+    std::ofstream kernels(stem + ".cu.txt");
+    kernels << EmitPseudoCuda(compiled.value());
+  }
+  std::printf("%s: %d tasks, %d sub-pipelines, %d TBs -> %s.plan, %s.cu.txt\n",
+              algo.value().name.c_str(), compiled.value().algo.ntasks(),
+              compiled.value().schedule.nwaves(),
+              compiled.value().tbs.total_tbs(), stem.c_str(), stem.c_str());
+  return 0;
+}
+
+int CmdSelect(const Args& args) {
+  const std::string op_name = args.Get("op", "allreduce");
+  CollectiveOp op = CollectiveOp::kAllReduce;
+  if (op_name == "allgather") op = CollectiveOp::kAllGather;
+  else if (op_name == "reducescatter") op = CollectiveOp::kReduceScatter;
+  else if (op_name == "allreduce") op = CollectiveOp::kAllReduce;
+  else if (op_name == "broadcast") op = CollectiveOp::kBroadcast;
+  else if (op_name == "reduce") op = CollectiveOp::kReduce;
+  else {
+    std::fprintf(stderr, "unknown --op '%s'\n", op_name.c_str());
+    return 2;
+  }
+  const Topology topo(MakeSpec(args));
+  const SelectionResult sel =
+      SelectAlgorithm(op, topo, MakeBackend(args), MakeRequest(args));
+  std::printf("%s on %s, %d MiB/rank:\n", CollectiveOpName(op),
+              topo.spec().name.c_str(), args.GetInt("buffer-mb", 256));
+  for (const CandidateScore& s : sel.scoreboard) {
+    std::printf("  %-24s %9.2f GB/s  %9.3f ms%s\n", s.name.c_str(), s.gbps,
+                s.elapsed.ms(),
+                s.name == sel.algorithm.name ? "   <- selected" : "");
+  }
+  return 0;
+}
+
+int CmdEmit(const Args& args) {
+  const Topology topo(MakeSpec(args));
+  const Algorithm algo = LoadAlgorithm(args, topo);
+  std::fputs(lang::EmitSource(algo).c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: resccl <list|run|compile|select|emit> [options]\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Args args = ParseArgs(argc, argv, 2);
+  try {
+    if (cmd == "list") return CmdList();
+    if (cmd == "run") return CmdRun(args);
+    if (cmd == "compile") return CmdCompile(args);
+    if (cmd == "select") return CmdSelect(args);
+    if (cmd == "emit") return CmdEmit(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return 2;
+}
