@@ -48,6 +48,28 @@ inline CollectiveReport MeasureWithOptions(const Algorithm& algo,
   return std::move(r).value();
 }
 
+// Compiles `algo` once for the sweep loops below; sweeping buffer sizes
+// re-executes the same artifact instead of recompiling per point.
+inline PreparedPlan PrepareOrDie(const Algorithm& algo, const Topology& topo,
+                                 BackendKind kind) {
+  Result<PreparedPlan> r = Prepare(algo, topo, kind);
+  if (!r.ok()) {
+    std::fprintf(stderr, "bench prepare failed: %s\n",
+                 r.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+inline CollectiveReport MeasurePrepared(const PreparedCollective& prepared,
+                                        Size buffer,
+                                        Size chunk = Size::MiB(1)) {
+  RunRequest request;
+  request.launch.buffer = buffer;
+  request.launch.chunk = chunk;
+  return Execute(prepared, request);
+}
+
 // The buffer-size grid of Fig. 6/7 (8 MB – 4 GB), optionally thinned to
 // keep multi-config sweeps fast.
 inline std::vector<Size> BufferGrid(bool coarse = false) {

@@ -24,17 +24,24 @@ void Panel(const char* label, int nodes, bool coarse) {
   };
   std::printf("--- %s (speedup of ResCCL over MSCCL = 1.0x baseline) ---\n",
               label);
+  // Compile each (algorithm, backend) pair once; sweep replays the plans.
+  struct Plans {
+    PreparedPlan msccl;
+    PreparedPlan resccl;
+  };
+  std::vector<Plans> plans;
+  for (const Algo& a : algos) {
+    plans.push_back({PrepareOrDie(a.algo, topo, BackendKind::kMscclLike),
+                     PrepareOrDie(a.algo, topo, BackendKind::kResCCL)});
+  }
   std::vector<std::string> header{"Buffer"};
   for (const Algo& a : algos) header.push_back(a.name);
   TextTable table(header);
   for (Size buffer : BufferGrid(coarse)) {
     std::vector<std::string> row{SizeLabel(buffer)};
-    for (const Algo& a : algos) {
-      const double msccl =
-          Measure(a.algo, topo, BackendKind::kMscclLike, buffer)
-              .algo_bw.gbps();
-      const double ours =
-          Measure(a.algo, topo, BackendKind::kResCCL, buffer).algo_bw.gbps();
+    for (const Plans& p : plans) {
+      const double msccl = MeasurePrepared(*p.msccl, buffer).algo_bw.gbps();
+      const double ours = MeasurePrepared(*p.resccl, buffer).algo_bw.gbps();
       row.push_back(Fixed(ours / msccl, 2) + "x");
     }
     table.AddRow(row);

@@ -98,9 +98,11 @@ int main(int argc, char** argv) {
   std::printf("  %d tasks, %d sub-pipelines, %d TBs (max %d/GPU)\n",
               plan.algo.ntasks(), plan.schedule.nwaves(),
               plan.tbs.total_tbs(), plan.tbs.MaxTbsPerRank(topo.nranks()));
-  std::printf("  phases: analyze %.2f ms, schedule %.2f ms, lower %.2f ms\n",
-              plan.stats.analysis_us / 1e3, plan.stats.scheduling_us / 1e3,
-              plan.stats.lowering_us / 1e3);
+  std::printf(
+      "  phases: analyze %.2f ms, schedule %.2f ms, alloc %.2f ms, "
+      "lower %.2f ms\n",
+      plan.stats.analysis_us / 1e3, plan.stats.scheduling_us / 1e3,
+      plan.stats.allocation_us / 1e3, plan.stats.lowering_us / 1e3);
   std::printf("wrote %s, %s, %s\n", plan_path.c_str(), kernel_path.c_str(),
               dsl_path.c_str());
 

@@ -74,15 +74,19 @@ Result<CompiledCollective> Compile(const Algorithm& algo,
   RESCCL_CHECK_MSG(valid.ok(), "scheduler produced an invalid schedule: "
                                    << valid.ToString());
 
-  // --- Lowering: TB allocation and plan assembly (Fig. 5(e)-(f)). ---
+  // --- Allocation: stage partition and the TB plan (Fig. 5(e)). ---
   t0 = std::chrono::steady_clock::now();
-  out.wave_of_task = out.schedule.WaveOf(dag.ntasks());
   out.nstages = options.mode == ExecutionMode::kStageLevel ? options.nstages : 1;
   out.stage_of_task = PartitionStages(algo, out.nstages);
   TbAllocParams alloc_params;
   alloc_params.policy = options.tb_alloc;
   out.tbs = AllocateTbs(dag, out.schedule, connections, alloc_params,
                         out.stage_of_task);
+  out.stats.allocation_us = ElapsedUs(t0);
+
+  // --- Lowering: plan assembly (Fig. 5(f)). ---
+  t0 = std::chrono::steady_clock::now();
+  out.wave_of_task = out.schedule.WaveOf(dag.ntasks());
   out.preds.resize(static_cast<std::size_t>(dag.ntasks()));
   for (int t = 0; t < dag.ntasks(); ++t) {
     for (TaskId p : dag.node(TaskId(t)).preds) {

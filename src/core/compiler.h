@@ -48,12 +48,15 @@ struct CompileOptions {
   int warps_per_tb = 16;
 };
 
+// Per-phase wall-clock of the offline pipeline — the four compiler phases of
+// Fig. 10(a): Analysis, Scheduling, Allocation, Lowering.
 struct CompileStats {
   double analysis_us = 0;    // DAG construction
   double scheduling_us = 0;  // HPDS / RR
-  double lowering_us = 0;    // TB allocation + plan assembly
+  double allocation_us = 0;  // stage partition + TB allocation
+  double lowering_us = 0;    // plan assembly (waves, predecessor lists)
   [[nodiscard]] double total_us() const {
-    return analysis_us + scheduling_us + lowering_us;
+    return analysis_us + scheduling_us + allocation_us + lowering_us;
   }
 };
 

@@ -1,11 +1,21 @@
 #include "runtime/backend.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/check.h"
 
 namespace resccl {
+
+namespace {
+
+double ElapsedUs(std::chrono::steady_clock::time_point start) {
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(end - start).count();
+}
+
+}  // namespace
 
 CompileOptions DefaultCompileOptions(BackendKind kind) {
   CompileOptions opts;
@@ -33,14 +43,40 @@ CompileOptions DefaultCompileOptions(BackendKind kind) {
   return opts;
 }
 
-Result<CollectiveReport> RunCollectiveWithOptions(const Algorithm& algo,
-                                                  const Topology& topo,
-                                                  const CompileOptions& options,
-                                                  const RunRequest& request,
-                                                  std::string backend_name) {
-  Result<CompiledCollective> compiled = Compile(algo, topo, options);
+Result<PreparedPlan> Prepare(const Algorithm& algo,
+                             std::shared_ptr<const Topology> topo,
+                             const CompileOptions& options,
+                             std::string_view backend_name) {
+  RESCCL_CHECK(topo != nullptr);
+  const auto t0 = std::chrono::steady_clock::now();
+  Result<CompiledCollective> compiled = Compile(algo, *topo, options);
   if (!compiled.ok()) return compiled.status();
-  const CompiledCollective& cc = compiled.value();
+
+  auto prepared = std::make_shared<PreparedCollective>();
+  prepared->topo = std::move(topo);
+  prepared->plan = std::move(compiled).value();
+  prepared->backend = std::string(backend_name);
+  prepared->prepare_us = ElapsedUs(t0);
+  return PreparedPlan(std::move(prepared));
+}
+
+Result<PreparedPlan> Prepare(const Algorithm& algo, const Topology& topo,
+                             const CompileOptions& options,
+                             std::string_view backend_name) {
+  return Prepare(algo, std::make_shared<const Topology>(topo), options,
+                 backend_name);
+}
+
+Result<PreparedPlan> Prepare(const Algorithm& algo, const Topology& topo,
+                             BackendKind kind) {
+  return Prepare(algo, topo, DefaultCompileOptions(kind), BackendName(kind));
+}
+
+CollectiveReport Execute(const PreparedCollective& prepared,
+                         const RunRequest& request) {
+  RESCCL_CHECK(prepared.topo != nullptr);
+  const Topology& topo = *prepared.topo;
+  const CompiledCollective& cc = prepared.plan;
 
   const LoweredProgram lowered = Lower(cc, request.cost, request.launch);
 
@@ -48,14 +84,15 @@ Result<CollectiveReport> RunCollectiveWithOptions(const Algorithm& algo,
   CollectiveReport report;
   report.sim = machine.Run(lowered.program);
 
-  report.backend = std::move(backend_name);
-  report.algorithm = algo.name;
+  report.backend = prepared.backend;
+  report.algorithm = cc.algo.name;
   report.elapsed = report.sim.makespan;
   report.algo_bw = AlgoBandwidth(request.launch.buffer, report.elapsed);
   report.nmicrobatches = lowered.nmicrobatches;
   report.total_tbs = cc.tbs.total_tbs();
-  report.max_tbs_per_rank = cc.tbs.MaxTbsPerRank(algo.nranks);
+  report.max_tbs_per_rank = cc.tbs.MaxTbsPerRank(cc.algo.nranks);
   report.compile = cc.stats;
+  report.prepare_us = prepared.prepare_us;
 
   // Link utilization over resources that carried data.
   const FluidNetwork& net = machine.network();
@@ -76,12 +113,20 @@ Result<CollectiveReport> RunCollectiveWithOptions(const Algorithm& algo,
   }
 
   if (request.verify) {
-    const VerifyResult v = VerifyLoweredExecution(cc, lowered, report.sim,
-                                                  request.verify_elems);
+    const VerifyResult v =
+        VerifyLoweredExecution(cc, lowered, report.sim, request.verify_elems);
     report.verified = v.ok;
     report.verify_error = v.error;
   }
   return report;
+}
+
+Result<CollectiveReport> RunCollectiveWithOptions(
+    const Algorithm& algo, const Topology& topo, const CompileOptions& options,
+    const RunRequest& request, std::string_view backend_name) {
+  Result<PreparedPlan> prepared = Prepare(algo, topo, options, backend_name);
+  if (!prepared.ok()) return prepared.status();
+  return Execute(*prepared.value(), request);
 }
 
 Result<CollectiveReport> RunCollective(const Algorithm& algo,

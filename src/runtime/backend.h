@@ -1,4 +1,19 @@
-// Backend facade: compile + lower + simulate + verify in one call.
+// Backend facade: the Prepare/Execute run path.
+//
+// ResCCL's workflow is offline (§4.1, §5.3): compile once per (algorithm,
+// topology), replay the artifact for the whole job. The run path mirrors
+// that split:
+//
+//   Prepare   compile + TB-allocate + lower — everything that depends only
+//             on (algorithm, topology, options). Returns an immutable
+//             shared artifact, PreparedCollective.
+//   Execute   simulate + verify one request against a prepared artifact.
+//             Const and thread-safe: any number of threads may Execute the
+//             same PreparedCollective concurrently.
+//
+// RunCollective / RunCollectiveWithOptions remain as one-shot conveniences
+// (Prepare + Execute back to back). Repeated traffic should Prepare once —
+// or go through Communicator / PlanCache, which memoize prepared plans.
 //
 // Three backend personalities reproduce the paper's comparison:
 //
@@ -13,7 +28,9 @@
 //               ring algorithms for a faithful NCCL baseline.
 #pragma once
 
+#include <memory>
 #include <string>
+#include <string_view>
 
 #include "core/compiler.h"
 #include "runtime/data_engine.h"
@@ -63,13 +80,49 @@ struct CollectiveReport {
   SimRunReport sim;          // per-TB busy/sync/overhead + transfer times
   LinkUtilization links;
   CompileStats compile;
+  bool plan_cache_hit = false;  // plan served without compiling in this call
+  double prepare_us = 0;        // wall-clock spent preparing for this call
   bool verified = false;     // only meaningful when RunRequest.verify
   std::string verify_error;
 };
 
-// Executes `algo` on `topo` under the given backend. Throws on internal
-// errors (invalid schedules, deadlocks); returns InvalidArgument for
-// malformed algorithms.
+// The immutable compiled artifact: the plan plus the topology it was
+// compiled for. Built once by Prepare, shared by reference thereafter —
+// nothing mutates it, so concurrent Execute calls need no synchronization.
+struct PreparedCollective {
+  std::shared_ptr<const Topology> topo;
+  CompiledCollective plan;
+  std::string backend;    // label stamped into reports ("ResCCL", ...)
+  double prepare_us = 0;  // wall-clock of the Prepare that built this
+};
+
+using PreparedPlan = std::shared_ptr<const PreparedCollective>;
+
+// Compiles `algo` for `topo` under `options` into a reusable artifact.
+// Returns InvalidArgument for malformed algorithms; throws on internal
+// errors. The overload taking `const Topology&` copies the topology into
+// the artifact; pass a shared_ptr to share one topology across many plans.
+[[nodiscard]] Result<PreparedPlan> Prepare(
+    const Algorithm& algo, std::shared_ptr<const Topology> topo,
+    const CompileOptions& options, std::string_view backend_name = "custom");
+[[nodiscard]] Result<PreparedPlan> Prepare(
+    const Algorithm& algo, const Topology& topo, const CompileOptions& options,
+    std::string_view backend_name = "custom");
+[[nodiscard]] Result<PreparedPlan> Prepare(const Algorithm& algo,
+                                           const Topology& topo,
+                                           BackendKind kind);
+
+// Simulates (and optionally verifies) one request against a prepared
+// artifact. Const and thread-safe on `prepared`; never recompiles. The
+// report's `prepare_us` carries the artifact's original build cost and
+// `plan_cache_hit` stays false — callers that memoize plans (Communicator,
+// PlanCache users) overwrite both with this-call values.
+[[nodiscard]] CollectiveReport Execute(const PreparedCollective& prepared,
+                                       const RunRequest& request);
+
+// One-shot conveniences: Prepare + Execute per call. Executes `algo` on
+// `topo` under the given backend. Throws on internal errors (invalid
+// schedules, deadlocks); returns InvalidArgument for malformed algorithms.
 [[nodiscard]] Result<CollectiveReport> RunCollective(const Algorithm& algo,
                                                      const Topology& topo,
                                                      BackendKind kind,
@@ -79,6 +132,6 @@ struct CollectiveReport {
 // TB policy, engine, stage count).
 [[nodiscard]] Result<CollectiveReport> RunCollectiveWithOptions(
     const Algorithm& algo, const Topology& topo, const CompileOptions& options,
-    const RunRequest& request, std::string backend_name = "custom");
+    const RunRequest& request, std::string_view backend_name = "custom");
 
 }  // namespace resccl

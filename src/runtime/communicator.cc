@@ -1,6 +1,7 @@
 #include "runtime/communicator.h"
 
 #include <stdexcept>
+#include <utility>
 
 #include "algorithms/hierarchical.h"
 #include "algorithms/ring.h"
@@ -48,9 +49,15 @@ Algorithm DefaultAlgorithm(BackendKind kind, CollectiveOp op,
   throw std::invalid_argument("unknown collective op");
 }
 
+Communicator::Communicator(TopologySpec spec, BackendKind kind,
+                           std::shared_ptr<PlanCache> cache)
+    : topo_(std::make_shared<const Topology>(std::move(spec))),
+      kind_(kind),
+      cache_(cache ? std::move(cache) : std::make_shared<PlanCache>()) {}
+
 CollectiveReport Communicator::RunOp(CollectiveOp op,
                                      const RunRequest& request) const {
-  return Run(DefaultAlgorithm(kind_, op, topo_), request);
+  return Run(DefaultAlgorithm(kind_, op, *topo_), request);
 }
 
 CollectiveReport Communicator::AllGather(const RunRequest& request) const {
@@ -75,11 +82,16 @@ CollectiveReport Communicator::Reduce(const RunRequest& request) const {
 
 CollectiveReport Communicator::Run(const Algorithm& algo,
                                    const RunRequest& request) const {
-  Result<CollectiveReport> result = RunCollective(algo, topo_, kind_, request);
-  if (!result.ok()) {
-    throw std::invalid_argument(result.status().ToString());
+  Result<PlanCache::Lookup> got = cache_->GetOrPrepare(
+      algo, topo_, DefaultCompileOptions(kind_), BackendName(kind_));
+  if (!got.ok()) {
+    throw std::invalid_argument(got.status().ToString());
   }
-  return std::move(result).value();
+  const PlanCache::Lookup& lookup = got.value();
+  CollectiveReport report = Execute(*lookup.plan, request);
+  report.plan_cache_hit = lookup.hit;
+  report.prepare_us = lookup.prepare_us;
+  return report;
 }
 
 }  // namespace resccl

@@ -9,12 +9,18 @@
 // ResCCL/MSCCL, multi-channel ring for NCCL-like) or on any custom
 // Algorithm — built programmatically, taken from resccl::algorithms, or
 // compiled from ResCCLang source with lang::CompileSource.
+//
+// Every communicator owns (or shares) a PlanCache, so repeated collectives
+// compile once and replay the prepared artifact: the second AllReduce of
+// the same shape reports plan_cache_hit == true with prepare_us ≈ 0.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "core/algorithm.h"
 #include "runtime/backend.h"
+#include "runtime/plan_cache.h"
 #include "topology/topology.h"
 
 namespace resccl {
@@ -25,11 +31,19 @@ namespace resccl {
 
 class Communicator {
  public:
-  Communicator(TopologySpec spec, BackendKind kind)
-      : topo_(std::move(spec)), kind_(kind) {}
+  // `spec` is deliberately a by-value sink: callers pass preset r-values and
+  // the spec is moved into the topology, so no heavy copy occurs. Pass a
+  // `cache` to share one compiled-plan cache across communicators (e.g. all
+  // jobs of a training run); by default each instance gets its own.
+  Communicator(TopologySpec spec, BackendKind kind,
+               std::shared_ptr<PlanCache> cache = nullptr);
 
-  [[nodiscard]] const Topology& topology() const { return topo_; }
+  [[nodiscard]] const Topology& topology() const { return *topo_; }
   [[nodiscard]] BackendKind backend() const { return kind_; }
+
+  // The compiled-plan cache serving this communicator (hit/miss counters,
+  // shared across instances when injected via the constructor).
+  [[nodiscard]] PlanCache& plan_cache() const { return *cache_; }
 
   // Standard collectives on the backend's default algorithm. Throws
   // std::invalid_argument if the request is malformed.
@@ -39,7 +53,8 @@ class Communicator {
   [[nodiscard]] CollectiveReport Broadcast(const RunRequest& request) const;
   [[nodiscard]] CollectiveReport Reduce(const RunRequest& request) const;
 
-  // Runs a custom algorithm under this communicator's backend.
+  // Runs a custom algorithm under this communicator's backend. The compiled
+  // plan is cached by fingerprint like the standard collectives.
   [[nodiscard]] CollectiveReport Run(const Algorithm& algo,
                                      const RunRequest& request) const;
 
@@ -47,8 +62,9 @@ class Communicator {
   [[nodiscard]] CollectiveReport RunOp(CollectiveOp op,
                                        const RunRequest& request) const;
 
-  Topology topo_;
+  std::shared_ptr<const Topology> topo_;
   BackendKind kind_;
+  std::shared_ptr<PlanCache> cache_;
 };
 
 }  // namespace resccl

@@ -1,6 +1,8 @@
 #include "runtime/multi_job.h"
 
+#include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "common/check.h"
 #include "runtime/data_engine.h"
@@ -12,8 +14,10 @@ namespace resccl {
 namespace {
 
 struct PreparedJob {
-  CompiledCollective compiled;
+  PreparedPlan prepared;
   LoweredProgram lowered;
+  bool plan_cache_hit = false;
+  double prepare_us = 0;
   // Slices of the merged program owned by this job.
   std::size_t transfer_begin = 0;
   std::size_t transfer_count = 0;
@@ -73,22 +77,38 @@ SimRunReport SliceReport(const SimRunReport& merged, const PreparedJob& job) {
 }  // namespace
 
 CoRunReport RunConcurrently(const std::vector<JobSpec>& jobs,
-                            const Topology& topo, const CostModel& cost) {
+                            const Topology& topo, const CostModel& cost,
+                            PlanCache* cache) {
   RESCCL_CHECK_MSG(!jobs.empty(), "need at least one job");
 
+  auto shared_topo = std::make_shared<const Topology>(topo);
   std::vector<PreparedJob> prepared;
   prepared.reserve(jobs.size());
   SimProgram merged;
   for (const JobSpec& spec : jobs) {
-    Result<CompiledCollective> compiled =
-        Compile(spec.algorithm, topo, spec.options);
-    if (!compiled.ok()) {
-      throw std::invalid_argument("job '" + spec.name +
-                                  "': " + compiled.status().ToString());
-    }
     PreparedJob job;
-    job.compiled = std::move(compiled).value();
-    job.lowered = Lower(job.compiled, cost, spec.launch);
+    if (cache != nullptr) {
+      Result<PlanCache::Lookup> got =
+          cache->GetOrPrepare(spec.algorithm, shared_topo, spec.options,
+                              spec.name);
+      if (!got.ok()) {
+        throw std::invalid_argument("job '" + spec.name +
+                                    "': " + got.status().ToString());
+      }
+      job.prepared = got.value().plan;
+      job.plan_cache_hit = got.value().hit;
+      job.prepare_us = got.value().prepare_us;
+    } else {
+      Result<PreparedPlan> got =
+          Prepare(spec.algorithm, shared_topo, spec.options, spec.name);
+      if (!got.ok()) {
+        throw std::invalid_argument("job '" + spec.name +
+                                    "': " + got.status().ToString());
+      }
+      job.prepared = std::move(got).value();
+      job.prepare_us = job.prepared->prepare_us;
+    }
+    job.lowered = Lower(job.prepared->plan, cost, spec.launch);
     Append(merged, job);
     prepared.push_back(std::move(job));
   }
@@ -103,10 +123,12 @@ CoRunReport RunConcurrently(const std::vector<JobSpec>& jobs,
     JobOutcome outcome;
     outcome.name = jobs[j].name;
     outcome.co_run = JobCompletion(co, job);
+    outcome.plan_cache_hit = job.plan_cache_hit;
+    outcome.prepare_us = job.prepare_us;
 
     const SimRunReport slice = SliceReport(co, job);
     outcome.verified =
-        VerifyLoweredExecution(job.compiled, job.lowered, slice).ok;
+        VerifyLoweredExecution(job.prepared->plan, job.lowered, slice).ok;
 
     SimMachine alone(topo, cost);
     outcome.isolated = alone.Run(job.lowered.program).makespan;

@@ -7,12 +7,17 @@
 // separate TBs) are lowered individually and merged into one simulated
 // machine run, sharing the physical cluster. Per-job completion times are
 // reported next to each job's isolated runtime.
+//
+// Jobs prepare through an optional shared PlanCache: co-scheduled jobs (and
+// repeated co-run experiments) running the same (algorithm, options) share
+// one compiled artifact instead of compiling per job.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "runtime/backend.h"
+#include "runtime/plan_cache.h"
 
 namespace resccl {
 
@@ -29,6 +34,8 @@ struct JobOutcome {
   SimTime isolated;      // completion time alone on the cluster
   double slowdown = 0;   // co_run / isolated
   bool verified = false;
+  bool plan_cache_hit = false;  // plan came from `cache` without compiling
+  double prepare_us = 0;        // prepare cost charged to this job
 };
 
 struct CoRunReport {
@@ -38,9 +45,12 @@ struct CoRunReport {
 
 // Runs all jobs concurrently on `topo` (kick-off at t=0). Every job is also
 // run in isolation for the slowdown baseline, and each job's data movement
-// is verified through the data engine. Throws on compile errors.
+// is verified through the data engine. When `cache` is given, all jobs
+// prepare through it (one compile per distinct plan across jobs and calls).
+// Throws on compile errors.
 [[nodiscard]] CoRunReport RunConcurrently(const std::vector<JobSpec>& jobs,
                                           const Topology& topo,
-                                          const CostModel& cost = {});
+                                          const CostModel& cost = {},
+                                          PlanCache* cache = nullptr);
 
 }  // namespace resccl

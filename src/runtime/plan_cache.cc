@@ -1,0 +1,182 @@
+#include "runtime/plan_cache.h"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <utility>
+
+#include "common/check.h"
+#include "core/plan_io.h"
+
+namespace resccl {
+
+namespace {
+
+double ElapsedUs(std::chrono::steady_clock::time_point start) {
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(end - start).count();
+}
+
+}  // namespace
+
+PlanCache::PlanCache() : PlanCache(Config()) {}
+
+PlanCache::PlanCache(Config config) : config_(std::move(config)) {
+  if (config_.shards == 0) config_.shards = 1;
+  if (config_.capacity == 0) config_.capacity = 1;
+  if (config_.shards > config_.capacity) config_.shards = config_.capacity;
+  per_shard_capacity_ =
+      (config_.capacity + config_.shards - 1) / config_.shards;
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+PlanCache::Shard& PlanCache::ShardFor(const Fingerprint& key) {
+  return *shards_[static_cast<std::size_t>(FingerprintHash{}(key)) %
+                  shards_.size()];
+}
+
+std::string PlanCache::DiskPath(const Fingerprint& key) const {
+  return (std::filesystem::path(config_.persist_dir) / (key.ToHex() + ".plan"))
+      .string();
+}
+
+PreparedPlan PlanCache::TryLoadFromDisk(const Fingerprint& key,
+                                        std::shared_ptr<const Topology> topo,
+                                        std::string_view backend_name) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::ifstream in(DiskPath(key));
+  if (!in) return nullptr;
+  Result<CompiledCollective> plan = LoadPlan(in);
+  if (!plan.ok()) return nullptr;  // truncated / corrupted → recompile
+  // Reject a file whose restored inputs do not hash back to the key (a
+  // tampered artifact or a renamed file from another configuration).
+  if (!(FingerprintOf(plan.value().algo, topo->spec(),
+                      plan.value().options) == key)) {
+    return nullptr;
+  }
+  auto prepared = std::make_shared<PreparedCollective>();
+  prepared->topo = std::move(topo);
+  prepared->plan = std::move(plan).value();
+  prepared->backend = std::string(backend_name);
+  prepared->prepare_us = ElapsedUs(t0);
+  return prepared;
+}
+
+void PlanCache::Persist(const Fingerprint& key,
+                        const PreparedCollective& prepared) {
+  // Best effort: persistence failures (read-only dir, disk full) must never
+  // fail the collective, so errors are swallowed here.
+  std::error_code ec;
+  std::filesystem::create_directories(config_.persist_dir, ec);
+  if (ec) return;
+  std::ofstream out(DiskPath(key));
+  if (!out) return;
+  SavePlan(prepared.plan, out);
+}
+
+Result<PlanCache::Lookup> PlanCache::GetOrPrepare(
+    const Algorithm& algo, std::shared_ptr<const Topology> topo,
+    const CompileOptions& options, std::string_view backend_name) {
+  RESCCL_CHECK(topo != nullptr);
+  const auto t0 = std::chrono::steady_clock::now();
+  const Fingerprint key = FingerprintOf(algo, topo->spec(), options);
+  Shard& shard = ShardFor(key);
+
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+      ++shard.counters.hits;
+      return Lookup{it->second.plan, true, ElapsedUs(t0)};
+    }
+  }
+
+  // Miss path, outside the shard lock: disk restore, then full Prepare.
+  if (!config_.persist_dir.empty()) {
+    if (PreparedPlan loaded = TryLoadFromDisk(key, topo, backend_name)) {
+      {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        ++shard.counters.disk_hits;
+      }
+      Put(key, loaded);
+      return Lookup{std::move(loaded), true, ElapsedUs(t0)};
+    }
+  }
+
+  Result<PreparedPlan> prepared = Prepare(algo, std::move(topo), options,
+                                          backend_name);
+  if (!prepared.ok()) return prepared.status();
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.counters.misses;
+  }
+  if (!config_.persist_dir.empty()) Persist(key, *prepared.value());
+  Put(key, prepared.value());
+  return Lookup{std::move(prepared).value(), false, ElapsedUs(t0)};
+}
+
+PreparedPlan PlanCache::Get(const Fingerprint& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return nullptr;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+  return it->second.plan;
+}
+
+void PlanCache::Put(const Fingerprint& key, PreparedPlan plan) {
+  RESCCL_CHECK(plan != nullptr);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    it->second.plan = std::move(plan);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+    return;
+  }
+  shard.lru.push_front(key);
+  shard.map.emplace(key, Entry{std::move(plan), shard.lru.begin()});
+  ++shard.counters.insertions;
+  while (shard.map.size() > per_shard_capacity_) {
+    shard.map.erase(shard.lru.back());
+    shard.lru.pop_back();
+    ++shard.counters.evictions;
+  }
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  Stats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->counters.hits;
+    total.disk_hits += shard->counters.disk_hits;
+    total.misses += shard->counters.misses;
+    total.insertions += shard->counters.insertions;
+    total.evictions += shard->counters.evictions;
+  }
+  return total;
+}
+
+std::size_t PlanCache::size() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->map.size();
+  }
+  return n;
+}
+
+void PlanCache::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->map.clear();
+    shard->lru.clear();
+  }
+}
+
+}  // namespace resccl

@@ -1,0 +1,114 @@
+// Thread-safe compiled-plan cache.
+//
+// The offline workflow (§4.1, §5.3) amortizes one compile over an entire
+// training job. PlanCache is the in-process realization: a mutex-sharded
+// LRU map from the deterministic input fingerprint (core/fingerprint.h) to
+// the immutable PreparedCollective artifact. Repeated traffic — a
+// Communicator re-running AllReduce, the selector sweeping message sizes,
+// several co-scheduled jobs compiling the same algorithm — pays the compile
+// once and replays the shared artifact thereafter.
+//
+// Concurrency model: keys are distributed over independent shards, each
+// guarded by one mutex held only for map/LRU bookkeeping. Compilation runs
+// outside any lock, so a miss never blocks hits on other keys; two threads
+// missing the same key concurrently may both compile (the artifacts are
+// identical — last insert wins), which trades a rare duplicate compile for
+// a lock-free hot path.
+//
+// Persistence: with `persist_dir` set, every compiled plan is also written
+// through SavePlan as "<fingerprint-hex>.plan", and a miss first tries
+// LoadPlan from that file — so a restarted process (or another process
+// sharing the directory) skips compilation entirely. A truncated, corrupted,
+// or mismatched file is rejected by LoadPlan's validation plus a fingerprint
+// re-check, and the plan is recompiled and rewritten.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/fingerprint.h"
+#include "runtime/backend.h"
+
+namespace resccl {
+
+class PlanCache {
+ public:
+  struct Config {
+    std::size_t capacity = 64;  // total entries, split across shards
+    std::size_t shards = 4;     // independent mutex-protected LRU shards
+    std::string persist_dir;    // non-empty: write-through/read via plan_io
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;       // served from memory
+    std::uint64_t disk_hits = 0;  // restored from persist_dir, no compile
+    std::uint64_t misses = 0;     // full Prepare performed
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;  // LRU entries dropped at capacity
+  };
+
+  // Outcome of one GetOrPrepare call. `hit` is true whenever no compilation
+  // happened (memory or disk); `prepare_us` is the wall-clock this call
+  // spent obtaining the plan — lookup-only (≈0) on a memory hit.
+  struct Lookup {
+    PreparedPlan plan;
+    bool hit = false;
+    double prepare_us = 0;
+  };
+
+  PlanCache();  // default Config
+  explicit PlanCache(Config config);
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  // Returns the cached artifact for (algo, topo, options), or prepares one,
+  // caches it (memory, plus disk when persistence is on), and returns it.
+  // Propagates compile errors for malformed algorithms.
+  [[nodiscard]] Result<Lookup> GetOrPrepare(
+      const Algorithm& algo, std::shared_ptr<const Topology> topo,
+      const CompileOptions& options, std::string_view backend_name = "custom");
+
+  // Direct probes (no disk access, no compile) for tests and tools.
+  [[nodiscard]] PreparedPlan Get(const Fingerprint& key);
+  void Put(const Fingerprint& key, PreparedPlan plan);
+
+  [[nodiscard]] Stats stats() const;       // aggregated across shards
+  [[nodiscard]] std::size_t size() const;  // live entries
+  void Clear();                            // drops entries, keeps counters
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  struct Entry {
+    PreparedPlan plan;
+    std::list<Fingerprint>::iterator lru_pos;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Fingerprint> lru;  // front = most recently used
+    std::unordered_map<Fingerprint, Entry, FingerprintHash> map;
+    Stats counters;
+  };
+
+  [[nodiscard]] Shard& ShardFor(const Fingerprint& key);
+  [[nodiscard]] std::string DiskPath(const Fingerprint& key) const;
+  // Best-effort restore of `key` from persist_dir; nullptr on any failure.
+  [[nodiscard]] PreparedPlan TryLoadFromDisk(
+      const Fingerprint& key, std::shared_ptr<const Topology> topo,
+      std::string_view backend_name);
+  void Persist(const Fingerprint& key, const PreparedCollective& prepared);
+
+  Config config_;
+  std::size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace resccl

@@ -1,7 +1,9 @@
 #include "runtime/selector.h"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "algorithms/hierarchical.h"
 #include "algorithms/recursive.h"
@@ -14,6 +16,83 @@ namespace resccl {
 namespace {
 
 bool IsPowerOfTwo(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+struct PreparedCandidate {
+  PreparedPlan plan;
+  double prepare_us = 0;        // this-sweep prepare cost
+  bool plan_cache_hit = false;  // served without compiling
+};
+
+// Prepares every candidate exactly once, through `cache` when given.
+std::vector<PreparedCandidate> PrepareCandidates(
+    const std::vector<Algorithm>& candidates, const Topology& topo,
+    BackendKind backend, PlanCache* cache, PrepareStats& stats) {
+  const CompileOptions options = DefaultCompileOptions(backend);
+  auto shared_topo = std::make_shared<const Topology>(topo);
+  std::vector<PreparedCandidate> prepared;
+  prepared.reserve(candidates.size());
+  for (const Algorithm& algo : candidates) {
+    PreparedCandidate c;
+    if (cache != nullptr) {
+      Result<PlanCache::Lookup> got =
+          cache->GetOrPrepare(algo, shared_topo, options, BackendName(backend));
+      if (!got.ok()) {
+        throw std::invalid_argument("candidate '" + algo.name +
+                                    "' failed: " + got.status().ToString());
+      }
+      c.plan = got.value().plan;
+      c.prepare_us = got.value().prepare_us;
+      c.plan_cache_hit = got.value().hit;
+    } else {
+      Result<PreparedPlan> got =
+          Prepare(algo, shared_topo, options, BackendName(backend));
+      if (!got.ok()) {
+        throw std::invalid_argument("candidate '" + algo.name +
+                                    "' failed: " + got.status().ToString());
+      }
+      c.plan = std::move(got).value();
+      c.prepare_us = c.plan->prepare_us;
+    }
+    if (c.plan_cache_hit) {
+      ++stats.cache_hits;
+    } else {
+      ++stats.prepares;
+    }
+    stats.prepare_us += c.prepare_us;
+    prepared.push_back(std::move(c));
+  }
+  return prepared;
+}
+
+// Scores every prepared candidate at one buffer size and keeps the fastest.
+// `first_point` charges the prepare cost; later sweep points report the
+// plans as reused (hit, zero prepare).
+SelectionResult SelectAtSize(const std::vector<PreparedCandidate>& prepared,
+                             RunRequest request, bool first_point) {
+  SelectionResult result;
+  bool have_best = false;
+  std::size_t best_index = 0;
+
+  for (const PreparedCandidate& c : prepared) {
+    CollectiveReport report = Execute(*c.plan, request);
+    report.plan_cache_hit = first_point ? c.plan_cache_hit : true;
+    report.prepare_us = first_point ? c.prepare_us : 0.0;
+    result.scoreboard.push_back({c.plan->plan.algo.name,
+                                 report.algo_bw.gbps(), report.elapsed,
+                                 report.prepare_us, report.plan_cache_hit});
+    if (!have_best || report.elapsed < result.report.elapsed) {
+      have_best = true;
+      best_index = result.scoreboard.size() - 1;
+      result.report = std::move(report);
+    }
+  }
+  std::sort(result.scoreboard.begin(), result.scoreboard.end(),
+            [](const CandidateScore& a, const CandidateScore& b) {
+              return a.elapsed < b.elapsed;
+            });
+  result.algorithm = prepared[best_index].plan->plan.algo;
+  return result;
+}
 
 }  // namespace
 
@@ -56,40 +135,40 @@ std::vector<Algorithm> CandidateAlgorithms(CollectiveOp op,
 }
 
 SelectionResult SelectAlgorithm(CollectiveOp op, const Topology& topo,
-                                BackendKind backend,
-                                const RunRequest& request) {
-  std::vector<Algorithm> candidates = CandidateAlgorithms(op, topo);
+                                BackendKind backend, const RunRequest& request,
+                                PlanCache* cache) {
+  SweepResult sweep = SelectAlgorithmSweep(op, topo, backend, request,
+                                           {request.launch.buffer}, cache);
+  SelectionResult result = std::move(sweep.points.front());
+  result.prepare_stats = sweep.prepare_stats;
+  return result;
+}
+
+SweepResult SelectAlgorithmSweep(CollectiveOp op, const Topology& topo,
+                                 BackendKind backend,
+                                 const RunRequest& base_request,
+                                 const std::vector<Size>& buffers,
+                                 PlanCache* cache) {
+  if (buffers.empty()) {
+    throw std::invalid_argument("sweep needs at least one buffer size");
+  }
+  const std::vector<Algorithm> candidates = CandidateAlgorithms(op, topo);
   if (candidates.empty()) {
     throw std::invalid_argument("no candidate algorithm for this collective");
   }
 
-  SelectionResult result;
-  bool have_best = false;
-  CollectiveReport best_report;
-  Algorithm best_algo;
+  SweepResult sweep;
+  const std::vector<PreparedCandidate> prepared = PrepareCandidates(
+      candidates, topo, backend, cache, sweep.prepare_stats);
 
-  for (Algorithm& algo : candidates) {
-    Result<CollectiveReport> run = RunCollective(algo, topo, backend, request);
-    if (!run.ok()) {
-      throw std::invalid_argument("candidate '" + algo.name +
-                                  "' failed: " + run.status().ToString());
-    }
-    CollectiveReport report = std::move(run).value();
-    result.scoreboard.push_back(
-        {algo.name, report.algo_bw.gbps(), report.elapsed});
-    if (!have_best || report.elapsed < best_report.elapsed) {
-      have_best = true;
-      best_report = std::move(report);
-      best_algo = std::move(algo);
-    }
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    RunRequest request = base_request;
+    request.launch.buffer = buffers[i];
+    SelectionResult point = SelectAtSize(prepared, request, i == 0);
+    point.prepare_stats = sweep.prepare_stats;
+    sweep.points.push_back(std::move(point));
   }
-  std::sort(result.scoreboard.begin(), result.scoreboard.end(),
-            [](const CandidateScore& a, const CandidateScore& b) {
-              return a.elapsed < b.elapsed;
-            });
-  result.algorithm = std::move(best_algo);
-  result.report = std::move(best_report);
-  return result;
+  return sweep;
 }
 
 }  // namespace resccl

@@ -6,12 +6,19 @@
 // candidate algorithm from the library under the requested backend and keep
 // the fastest. The full scoreboard is returned so callers can inspect the
 // crossovers.
+//
+// Selection follows the Prepare/Execute split: every candidate is prepared
+// exactly once (through a PlanCache when one is supplied) and the prepared
+// artifact is re-executed for each message size — SelectAlgorithmSweep pays
+// one compile per candidate no matter how many sizes it scores. The
+// PrepareStats in each result expose that amortization.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "runtime/backend.h"
+#include "runtime/plan_cache.h"
 
 namespace resccl {
 
@@ -19,12 +26,23 @@ struct CandidateScore {
   std::string name;
   double gbps = 0;
   SimTime elapsed;
+  double prepare_us = 0;        // prepare cost charged to this score (0 if
+                                // the plan was reused from an earlier size)
+  bool plan_cache_hit = false;  // true when no compile happened for it
+};
+
+// Compile-amortization counters for one selection or sweep.
+struct PrepareStats {
+  int prepares = 0;      // candidates compiled fresh
+  int cache_hits = 0;    // candidates served without compiling
+  double prepare_us = 0; // total wall-clock spent obtaining plans
 };
 
 struct SelectionResult {
   Algorithm algorithm;              // the winner
   CollectiveReport report;          // its full run report
   std::vector<CandidateScore> scoreboard;  // all candidates, best first
+  PrepareStats prepare_stats;
 };
 
 // Candidate algorithms from the library for `op` on `topo` (power-of-two
@@ -32,11 +50,27 @@ struct SelectionResult {
 [[nodiscard]] std::vector<Algorithm> CandidateAlgorithms(CollectiveOp op,
                                                          const Topology& topo);
 
-// Simulates every candidate and returns the fastest. Throws
-// std::invalid_argument if no candidate applies.
+// Simulates every candidate and returns the fastest. Plans are prepared
+// through `cache` when given (so repeated selections share compiles), or
+// freshly otherwise. Throws std::invalid_argument if no candidate applies.
 [[nodiscard]] SelectionResult SelectAlgorithm(CollectiveOp op,
                                               const Topology& topo,
                                               BackendKind backend,
-                                              const RunRequest& request);
+                                              const RunRequest& request,
+                                              PlanCache* cache = nullptr);
+
+// Scores every candidate at every buffer size in `buffers`, preparing each
+// candidate exactly once for the whole sweep. Returns one SelectionResult
+// per size (same order as `buffers`); `prepare_stats` aggregates the sweep.
+struct SweepResult {
+  std::vector<SelectionResult> points;
+  PrepareStats prepare_stats;
+};
+[[nodiscard]] SweepResult SelectAlgorithmSweep(CollectiveOp op,
+                                               const Topology& topo,
+                                               BackendKind backend,
+                                               const RunRequest& base_request,
+                                               const std::vector<Size>& buffers,
+                                               PlanCache* cache = nullptr);
 
 }  // namespace resccl

@@ -79,6 +79,33 @@ TEST(MultiJobTest, ResCCLStaysFasterUnderContention) {
             co_completion(BackendKind::kMscclLike));
 }
 
+TEST(MultiJobTest, JobsShareAPlanCache) {
+  const Topology topo(presets::A100(2, 4));
+  const Algorithm algo = algorithms::HierarchicalMeshAllReduce(topo);
+  const std::vector<JobSpec> jobs = {
+      MakeJob("a", algo, BackendKind::kResCCL, Size::MiB(64)),
+      MakeJob("b", algo, BackendKind::kResCCL, Size::MiB(64)),
+  };
+
+  PlanCache cache;
+  const CoRunReport first = RunConcurrently(jobs, topo, {}, &cache);
+  ASSERT_EQ(first.jobs.size(), 2u);
+  // Identical (algorithm, options): the second job reuses the first's plan.
+  EXPECT_FALSE(first.jobs[0].plan_cache_hit);
+  EXPECT_TRUE(first.jobs[1].plan_cache_hit);
+  EXPECT_GT(first.jobs[0].prepare_us, 0.0);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  for (const JobOutcome& job : first.jobs) EXPECT_TRUE(job.verified);
+
+  // Re-running the experiment compiles nothing and reproduces the makespan.
+  const CoRunReport second = RunConcurrently(jobs, topo, {}, &cache);
+  EXPECT_TRUE(second.jobs[0].plan_cache_hit);
+  EXPECT_TRUE(second.jobs[1].plan_cache_hit);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(second.makespan, first.makespan);
+}
+
 TEST(MultiJobTest, RejectsEmptyAndBadJobs) {
   const Topology topo(presets::A100(2, 4));
   EXPECT_THROW((void)RunConcurrently({}, topo), std::logic_error);

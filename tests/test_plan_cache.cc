@@ -1,0 +1,443 @@
+// Prepare/Execute split and compiled-plan cache: fingerprint stability,
+// prepared-vs-fresh equivalence, LRU eviction, concurrency, persistence.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "algorithms/hierarchical.h"
+#include "core/fingerprint.h"
+#include "core/plan_io.h"
+#include "runtime/backend.h"
+#include "runtime/communicator.h"
+#include "runtime/plan_cache.h"
+#include "topology/topology.h"
+
+namespace resccl {
+namespace {
+
+Algorithm HmAllReduce(const Topology& topo) {
+  return algorithms::HierarchicalMeshAllReduce(topo);
+}
+
+RunRequest SmallRequest(bool verify = false) {
+  RunRequest request;
+  request.launch.buffer = Size::MiB(64);
+  request.verify = verify;
+  return request;
+}
+
+std::string FreshTempDir(const char* tag) {
+  const std::filesystem::path dir =
+      std::filesystem::path(testing::TempDir()) / tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+// --- Fingerprint -----------------------------------------------------------
+
+TEST(FingerprintTest, DeterministicAcrossCalls) {
+  const Topology topo(presets::A100(2, 4));
+  const Algorithm algo = HmAllReduce(topo);
+  const CompileOptions options = DefaultCompileOptions(BackendKind::kResCCL);
+  const Fingerprint a = FingerprintOf(algo, topo.spec(), options);
+  const Fingerprint b = FingerprintOf(algo, topo.spec(), options);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.hi | a.lo, 0u);
+}
+
+TEST(FingerprintTest, ToHexIs32LowercaseChars) {
+  const Topology topo(presets::A100(2, 4));
+  const std::string hex =
+      FingerprintOf(HmAllReduce(topo), topo.spec(), {}).ToHex();
+  ASSERT_EQ(hex.size(), 32u);
+  for (char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << hex;
+  }
+}
+
+TEST(FingerprintTest, EveryInputFieldChangesTheKey) {
+  const Topology topo(presets::A100(2, 4));
+  const Algorithm algo = HmAllReduce(topo);
+  const TopologySpec spec = topo.spec();
+  const CompileOptions options = DefaultCompileOptions(BackendKind::kResCCL);
+  const Fingerprint base = FingerprintOf(algo, spec, options);
+
+  std::vector<Fingerprint> keys{base};
+  const auto add = [&keys](const Fingerprint& f) {
+    for (const Fingerprint& k : keys) EXPECT_FALSE(f == k);
+    keys.push_back(f);
+  };
+
+  // Algorithm fields.
+  {
+    Algorithm m = algo;
+    m.name += "x";
+    add(FingerprintOf(m, spec, options));
+  }
+  {
+    Algorithm m = algo;
+    m.root = 1;
+    add(FingerprintOf(m, spec, options));
+  }
+  {
+    Algorithm m = algo;
+    m.transfers[0].chunk += 1;
+    add(FingerprintOf(m, spec, options));
+  }
+  {
+    Algorithm m = algo;
+    m.transfers[0].step += 1;
+    add(FingerprintOf(m, spec, options));
+  }
+  {
+    Algorithm m = algo;
+    m.transfers.pop_back();
+    add(FingerprintOf(m, spec, options));
+  }
+
+  // Topology-spec fields.
+  {
+    TopologySpec m = spec;
+    m.name += "x";
+    add(FingerprintOf(algo, m, options));
+  }
+  {
+    TopologySpec m = spec;
+    m.nic = Bandwidth::Gbps(100);
+    add(FingerprintOf(algo, m, options));
+  }
+  {
+    TopologySpec m = spec;
+    m.nic_gamma += 0.01;
+    add(FingerprintOf(algo, m, options));
+  }
+  {
+    TopologySpec m = spec;
+    m.inter_latency = SimTime::Us(7.5);
+    add(FingerprintOf(algo, m, options));
+  }
+  {
+    TopologySpec m = spec;
+    m.nics_per_node = 2;
+    add(FingerprintOf(algo, m, options));
+  }
+
+  // Compile options.
+  {
+    CompileOptions m = options;
+    m.scheduler = SchedulerKind::kRoundRobin;
+    add(FingerprintOf(algo, spec, m));
+  }
+  {
+    CompileOptions m = options;
+    m.tb_alloc = TbAllocPolicy::kConnectionBased;
+    add(FingerprintOf(algo, spec, m));
+  }
+  {
+    CompileOptions m = options;
+    m.mode = ExecutionMode::kStageLevel;
+    add(FingerprintOf(algo, spec, m));
+  }
+  {
+    CompileOptions m = options;
+    m.engine = RuntimeEngine::kInterpreter;
+    add(FingerprintOf(algo, spec, m));
+  }
+  {
+    CompileOptions m = options;
+    m.warps_per_tb = 8;
+    add(FingerprintOf(algo, spec, m));
+  }
+}
+
+// --- Prepare / Execute -----------------------------------------------------
+
+TEST(PrepareExecuteTest, MatchesOneShotRunCollective) {
+  const Topology topo(presets::A100(2, 4));
+  const Algorithm algo = HmAllReduce(topo);
+  const RunRequest request = SmallRequest(/*verify=*/true);
+
+  const CollectiveReport fresh =
+      RunCollective(algo, topo, BackendKind::kResCCL, request).value();
+
+  const Result<PreparedPlan> prepared =
+      Prepare(algo, topo, BackendKind::kResCCL);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  const CollectiveReport replay = Execute(*prepared.value(), request);
+
+  EXPECT_EQ(replay.elapsed, fresh.elapsed);
+  EXPECT_EQ(replay.algo_bw.gbps(), fresh.algo_bw.gbps());
+  EXPECT_EQ(replay.total_tbs, fresh.total_tbs);
+  EXPECT_EQ(replay.nmicrobatches, fresh.nmicrobatches);
+  EXPECT_EQ(replay.backend, fresh.backend);
+  EXPECT_TRUE(replay.verified);
+}
+
+TEST(PrepareExecuteTest, OnePlanSweepsBufferSizes) {
+  const Topology topo(presets::A100(2, 4));
+  const PreparedPlan plan =
+      Prepare(HmAllReduce(topo), topo, BackendKind::kResCCL).value();
+  SimTime last = SimTime::Zero();
+  for (Size buffer : {Size::MiB(8), Size::MiB(64), Size::MiB(512)}) {
+    RunRequest request;
+    request.launch.buffer = buffer;
+    const CollectiveReport r = Execute(*plan, request);
+    EXPECT_GT(r.elapsed, last);  // bigger buffers take longer
+    last = r.elapsed;
+  }
+}
+
+TEST(PrepareExecuteTest, ConcurrentExecuteOfOneSharedPlan) {
+  const Topology topo(presets::A100(2, 4));
+  const PreparedPlan plan =
+      Prepare(HmAllReduce(topo), topo, BackendKind::kResCCL).value();
+  const RunRequest request = SmallRequest(/*verify=*/true);
+  const CollectiveReport reference = Execute(*plan, request);
+
+  constexpr int kThreads = 8;
+  std::vector<CollectiveReport> reports(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+      threads.emplace_back(
+          [&plan, &request, &reports, i] { reports[static_cast<std::size_t>(
+              i)] = Execute(*plan, request); });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  for (const CollectiveReport& r : reports) {
+    EXPECT_EQ(r.elapsed, reference.elapsed);
+    EXPECT_TRUE(r.verified);
+  }
+}
+
+TEST(PrepareExecuteTest, RestoredArtifactExecutesIdentically) {
+  const Topology topo(presets::A100(2, 4));
+  const PreparedPlan plan =
+      Prepare(HmAllReduce(topo), topo, BackendKind::kResCCL).value();
+
+  // Round-trip the compiled plan through the serializer and wrap the
+  // restored copy as a PreparedCollective, as the disk cache does.
+  const Result<CompiledCollective> loaded =
+      LoadPlanFromString(SavePlanToString(plan->plan));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  auto restored = std::make_shared<PreparedCollective>();
+  restored->topo = plan->topo;
+  restored->plan = loaded.value();
+  restored->backend = plan->backend;
+
+  const RunRequest request = SmallRequest(/*verify=*/true);
+  const CollectiveReport a = Execute(*plan, request);
+  const CollectiveReport b = Execute(*restored, request);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.total_tbs, b.total_tbs);
+  EXPECT_TRUE(b.verified);
+}
+
+// --- PlanCache -------------------------------------------------------------
+
+TEST(PlanCacheTest, SecondLookupIsAHit) {
+  const auto topo = std::make_shared<const Topology>(presets::A100(2, 4));
+  const Algorithm algo = HmAllReduce(*topo);
+  const CompileOptions options = DefaultCompileOptions(BackendKind::kResCCL);
+
+  PlanCache cache;
+  const PlanCache::Lookup cold =
+      cache.GetOrPrepare(algo, topo, options).value();
+  const PlanCache::Lookup warm =
+      cache.GetOrPrepare(algo, topo, options).value();
+
+  EXPECT_FALSE(cold.hit);
+  EXPECT_TRUE(warm.hit);
+  EXPECT_EQ(cold.plan.get(), warm.plan.get());  // the same shared artifact
+  EXPECT_LT(warm.prepare_us, cold.prepare_us);
+
+  const PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.disk_hits, 0u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCacheTest, PropagatesCompileErrors) {
+  const auto topo = std::make_shared<const Topology>(presets::A100(2, 4));
+  Algorithm broken = HmAllReduce(*topo);
+  broken.transfers[0].dst = broken.transfers[0].src;  // self-transfer
+  PlanCache cache;
+  const Result<PlanCache::Lookup> r =
+      cache.GetOrPrepare(broken, topo, {});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(PlanCacheTest, EvictsLeastRecentlyUsed) {
+  const auto topo = std::make_shared<const Topology>(presets::A100(2, 4));
+  const Algorithm algo = HmAllReduce(*topo);
+
+  PlanCache::Config config;
+  config.capacity = 2;
+  config.shards = 1;  // single shard so the LRU order is global
+  PlanCache cache(config);
+
+  // Three distinct keys from the same algorithm via differing options.
+  CompileOptions a = DefaultCompileOptions(BackendKind::kResCCL);
+  a.warps_per_tb = 16;
+  CompileOptions b = a;
+  b.warps_per_tb = 17;
+  CompileOptions c = a;
+  c.warps_per_tb = 18;
+
+  ASSERT_FALSE(cache.GetOrPrepare(algo, topo, a).value().hit);
+  ASSERT_FALSE(cache.GetOrPrepare(algo, topo, b).value().hit);
+  // Touch A so B becomes the least recently used, then insert C.
+  ASSERT_TRUE(cache.GetOrPrepare(algo, topo, a).value().hit);
+  ASSERT_FALSE(cache.GetOrPrepare(algo, topo, c).value().hit);
+
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_NE(cache.Get(FingerprintOf(algo, topo->spec(), a)), nullptr);
+  EXPECT_EQ(cache.Get(FingerprintOf(algo, topo->spec(), b)), nullptr);
+  EXPECT_NE(cache.Get(FingerprintOf(algo, topo->spec(), c)), nullptr);
+}
+
+TEST(PlanCacheTest, ClearDropsEntriesKeepsCounters) {
+  const auto topo = std::make_shared<const Topology>(presets::A100(2, 4));
+  const Algorithm algo = HmAllReduce(*topo);
+  PlanCache cache;
+  ASSERT_TRUE(cache.GetOrPrepare(algo, topo, {}).ok());
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  // Next lookup recompiles.
+  EXPECT_FALSE(cache.GetOrPrepare(algo, topo, {}).value().hit);
+}
+
+TEST(PlanCacheTest, PersistsAndRestoresAcrossInstances) {
+  const std::string dir = FreshTempDir("resccl_plan_cache_persist");
+  const auto topo = std::make_shared<const Topology>(presets::A100(2, 4));
+  const Algorithm algo = HmAllReduce(*topo);
+  const CompileOptions options = DefaultCompileOptions(BackendKind::kResCCL);
+  const RunRequest request = SmallRequest(/*verify=*/true);
+
+  PlanCache::Config config;
+  config.persist_dir = dir;
+
+  CollectiveReport compiled_report;
+  {
+    PlanCache cache(config);
+    const PlanCache::Lookup cold =
+        cache.GetOrPrepare(algo, topo, options).value();
+    EXPECT_FALSE(cold.hit);
+    compiled_report = Execute(*cold.plan, request);
+  }
+  const std::string path =
+      (std::filesystem::path(dir) /
+       (FingerprintOf(algo, topo->spec(), options).ToHex() + ".plan"))
+          .string();
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  // A new cache (fresh process, same directory) restores without compiling.
+  PlanCache cache2(config);
+  const PlanCache::Lookup restored =
+      cache2.GetOrPrepare(algo, topo, options).value();
+  EXPECT_TRUE(restored.hit);
+  EXPECT_EQ(cache2.stats().disk_hits, 1u);
+  EXPECT_EQ(cache2.stats().misses, 0u);
+
+  const CollectiveReport replay = Execute(*restored.plan, request);
+  EXPECT_EQ(replay.elapsed, compiled_report.elapsed);
+  EXPECT_TRUE(replay.verified);
+}
+
+TEST(PlanCacheTest, CorruptedDiskFileIsRecompiledNotCrashed) {
+  const std::string dir = FreshTempDir("resccl_plan_cache_corrupt");
+  const auto topo = std::make_shared<const Topology>(presets::A100(2, 4));
+  const Algorithm algo = HmAllReduce(*topo);
+  const CompileOptions options = DefaultCompileOptions(BackendKind::kResCCL);
+
+  PlanCache::Config config;
+  config.persist_dir = dir;
+  const std::string path =
+      (std::filesystem::path(dir) /
+       (FingerprintOf(algo, topo->spec(), options).ToHex() + ".plan"))
+          .string();
+
+  // Write the real artifact, then truncate it.
+  {
+    PlanCache cache(config);
+    ASSERT_TRUE(cache.GetOrPrepare(algo, topo, options).ok());
+  }
+  {
+    std::ifstream in(path);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    ASSERT_GT(text.size(), 10u);
+    std::ofstream out(path, std::ios::trunc);
+    out << text.substr(0, text.size() / 2);
+  }
+
+  PlanCache cache2(config);
+  const Result<PlanCache::Lookup> r = cache2.GetOrPrepare(algo, topo, options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r.value().hit);  // rejected and recompiled
+  EXPECT_EQ(cache2.stats().disk_hits, 0u);
+  EXPECT_EQ(cache2.stats().misses, 1u);
+
+  // Garbage content (valid header-less text) is likewise rejected.
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "not a plan at all\n";
+  }
+  PlanCache cache3(config);
+  EXPECT_FALSE(cache3.GetOrPrepare(algo, topo, options).value().hit);
+}
+
+// --- Communicator integration ---------------------------------------------
+
+TEST(PlanCacheTest, CommunicatorWarmCallHitsAndMatches) {
+  const Communicator comm(presets::A100(2, 4), BackendKind::kResCCL);
+  const RunRequest request = SmallRequest(/*verify=*/true);
+
+  const CollectiveReport cold = comm.AllReduce(request);
+  const CollectiveReport warm = comm.AllReduce(request);
+
+  EXPECT_FALSE(cold.plan_cache_hit);
+  EXPECT_TRUE(warm.plan_cache_hit);
+  EXPECT_LE(warm.prepare_us, cold.prepare_us);
+  EXPECT_EQ(warm.elapsed, cold.elapsed);
+  EXPECT_EQ(warm.total_tbs, cold.total_tbs);
+  EXPECT_TRUE(warm.verified);
+
+  // Different collectives are different keys; a different buffer size is not
+  // (lowering happens at Execute time).
+  const CollectiveReport other = comm.AllGather(request);
+  EXPECT_FALSE(other.plan_cache_hit);
+  RunRequest bigger = request;
+  bigger.launch.buffer = Size::MiB(256);
+  EXPECT_TRUE(comm.AllReduce(bigger).plan_cache_hit);
+}
+
+TEST(PlanCacheTest, CommunicatorsShareAnInjectedCache) {
+  auto cache = std::make_shared<PlanCache>();
+  const Communicator a(presets::A100(2, 4), BackendKind::kResCCL, cache);
+  const Communicator b(presets::A100(2, 4), BackendKind::kResCCL, cache);
+  const RunRequest request = SmallRequest();
+
+  EXPECT_FALSE(a.AllReduce(request).plan_cache_hit);
+  EXPECT_TRUE(b.AllReduce(request).plan_cache_hit);  // same spec, same key
+  EXPECT_EQ(&a.plan_cache(), &b.plan_cache());
+  EXPECT_EQ(cache->stats().misses, 1u);
+  EXPECT_EQ(cache->stats().hits, 1u);
+}
+
+}  // namespace
+}  // namespace resccl

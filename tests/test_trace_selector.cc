@@ -81,6 +81,60 @@ TEST(SelectorTest, PicksFastestAndSortsScoreboard) {
   EXPECT_EQ(sel.algorithm.name, "hm_allgather");
 }
 
+TEST(SelectorTest, SweepPreparesEachCandidateOnce) {
+  const Topology topo(presets::A100(2, 8));
+  const std::vector<Size> sizes = {Size::MiB(8), Size::MiB(128),
+                                   Size::MiB(1024)};
+  const std::size_t ncandidates =
+      CandidateAlgorithms(CollectiveOp::kAllReduce, topo).size();
+  ASSERT_GE(ncandidates, 2u);
+
+  PlanCache cache;
+  RunRequest request;
+  const SweepResult sweep = SelectAlgorithmSweep(
+      CollectiveOp::kAllReduce, topo, BackendKind::kResCCL, request, sizes,
+      &cache);
+
+  ASSERT_EQ(sweep.points.size(), sizes.size());
+  EXPECT_EQ(sweep.prepare_stats.prepares, static_cast<int>(ncandidates));
+  EXPECT_EQ(sweep.prepare_stats.cache_hits, 0);
+  EXPECT_EQ(cache.stats().misses, ncandidates);
+
+  // Each sweep point matches an independent selection at that size, and
+  // points after the first charge no prepare cost to their scoreboards.
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    RunRequest at;
+    at.launch.buffer = sizes[i];
+    const SelectionResult solo = SelectAlgorithm(
+        CollectiveOp::kAllReduce, topo, BackendKind::kResCCL, at);
+    EXPECT_EQ(sweep.points[i].algorithm.name, solo.algorithm.name);
+    EXPECT_EQ(sweep.points[i].report.elapsed, solo.report.elapsed);
+    for (const CandidateScore& score : sweep.points[i].scoreboard) {
+      if (i > 0) {
+        EXPECT_TRUE(score.plan_cache_hit);
+        EXPECT_EQ(score.prepare_us, 0.0);
+      }
+    }
+  }
+
+  // A second sweep through the same cache compiles nothing.
+  const SweepResult again = SelectAlgorithmSweep(
+      CollectiveOp::kAllReduce, topo, BackendKind::kResCCL, request, sizes,
+      &cache);
+  EXPECT_EQ(again.prepare_stats.prepares, 0);
+  EXPECT_EQ(again.prepare_stats.cache_hits, static_cast<int>(ncandidates));
+  EXPECT_EQ(again.points.back().algorithm.name,
+            sweep.points.back().algorithm.name);
+}
+
+TEST(SelectorTest, SweepRejectsEmptyInput) {
+  const Topology topo(presets::A100(2, 4));
+  RunRequest request;
+  EXPECT_THROW((void)SelectAlgorithmSweep(CollectiveOp::kAllReduce, topo,
+                                          BackendKind::kResCCL, request, {}),
+               std::invalid_argument);
+}
+
 TEST(SelectorTest, RootedBroadcastScoreboard) {
   // Chunk-pipelined chains amortize depth, so the chain dominates the
   // binomial tree once micro-batches stream (the tree re-sends the whole
