@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <utility>
+#include <vector>
 
 #include "common/check.h"
 
@@ -80,9 +81,49 @@ CollectiveReport Execute(const PreparedCollective& prepared,
 
   const LoweredProgram lowered = Lower(cc, request.cost, request.launch);
 
+  const bool faulted = !request.faults.empty();
   SimMachine machine(topo, request.cost);
   CollectiveReport report;
-  report.sim = machine.Run(lowered.program);
+  report.sim =
+      machine.Run(lowered.program, faulted ? &request.faults : nullptr);
+
+  if (faulted) {
+    // Replay the identical lowered program on an unperturbed fabric; the
+    // gap is the schedule's (in)ability to absorb the faults.
+    SimMachine clean_machine(topo, request.cost);
+    const SimRunReport clean = clean_machine.Run(lowered.program);
+    FaultImpact& impact = report.fault;
+    impact.faulted = true;
+    impact.clean_makespan = clean.makespan;
+    impact.slowdown_vs_clean = clean.makespan > SimTime::Zero()
+                                   ? report.sim.makespan / clean.makespan
+                                   : 1.0;
+    // Per-rank aggregation to find the straggling rank.
+    const int nranks = cc.algo.nranks;
+    std::vector<SimTime> finish(static_cast<std::size_t>(nranks));
+    std::vector<SimTime> stall(static_cast<std::size_t>(nranks));
+    std::vector<SimTime> sync(static_cast<std::size_t>(nranks));
+    std::vector<SimTime> lifetime(static_cast<std::size_t>(nranks));
+    for (const TbStats& tb : report.sim.tbs) {
+      const auto r = static_cast<std::size_t>(tb.rank);
+      finish[r] = std::max(finish[r], tb.finish);
+      stall[r] += tb.fault_stall;
+      sync[r] += tb.sync;
+      lifetime[r] += tb.finish;
+      impact.total_stall += tb.fault_stall;
+    }
+    for (Rank r = 0; r < nranks; ++r) {
+      const auto ri = static_cast<std::size_t>(r);
+      if (impact.worst_rank == kInvalidRank ||
+          finish[ri] > impact.worst_rank_finish) {
+        impact.worst_rank = r;
+        impact.worst_rank_finish = finish[ri];
+        impact.worst_rank_stall = stall[ri];
+        impact.worst_rank_idle =
+            lifetime[ri] > SimTime::Zero() ? sync[ri] / lifetime[ri] : 0.0;
+      }
+    }
+  }
 
   report.backend = prepared.backend;
   report.algorithm = cc.algo.name;

@@ -36,6 +36,7 @@
 #include "runtime/data_engine.h"
 #include "runtime/lowering.h"
 #include "sim/cost_model.h"
+#include "sim/faults.h"
 #include "sim/machine.h"
 #include "topology/topology.h"
 
@@ -60,6 +61,10 @@ struct RunRequest {
   CostModel cost;
   bool verify = false;       // run the data engine afterwards
   int verify_elems = 2;      // elements per chunk in the data engine
+  // Execute-time fabric perturbation (sim/faults.h). Empty = clean run.
+  // Faults never enter the compile fingerprint, so cached prepared plans
+  // are reused across fault scenarios.
+  FaultPlan faults;
 };
 
 struct LinkUtilization {
@@ -67,6 +72,21 @@ struct LinkUtilization {
   double min = 1;
   double max = 0;
   int carriers = 0; // links that carried any data
+};
+
+// Outcome of a faulted Execute (RunRequest.faults non-empty): the same
+// lowered program is also run clean so the report can state how much the
+// schedule absorbed. Worst-rank fields describe the straggling rank — the
+// rank whose last TB finishes latest.
+struct FaultImpact {
+  bool faulted = false;
+  SimTime clean_makespan;          // same plan + launch, no faults
+  double slowdown_vs_clean = 1.0;  // faulted makespan / clean makespan
+  SimTime total_stall;             // sum of per-TB fault_stall
+  Rank worst_rank = kInvalidRank;
+  SimTime worst_rank_finish;
+  SimTime worst_rank_stall;        // fault_stall summed over that rank's TBs
+  double worst_rank_idle = 0.0;    // sync / finish over that rank's TBs
 };
 
 struct CollectiveReport {
@@ -80,6 +100,7 @@ struct CollectiveReport {
   SimRunReport sim;          // per-TB busy/sync/overhead + transfer times
   LinkUtilization links;
   CompileStats compile;
+  FaultImpact fault;            // populated when RunRequest.faults non-empty
   bool plan_cache_hit = false;  // plan served without compiling in this call
   double prepare_us = 0;        // wall-clock spent preparing for this call
   bool verified = false;     // only meaningful when RunRequest.verify
@@ -116,7 +137,9 @@ using PreparedPlan = std::shared_ptr<const PreparedCollective>;
 // artifact. Const and thread-safe on `prepared`; never recompiles. The
 // report's `prepare_us` carries the artifact's original build cost and
 // `plan_cache_hit` stays false — callers that memoize plans (Communicator,
-// PlanCache users) overwrite both with this-call values.
+// PlanCache users) overwrite both with this-call values. A non-empty
+// `request.faults` perturbs this run only (the artifact is untouched) and
+// fills `report.fault` with the faulted-vs-clean comparison.
 [[nodiscard]] CollectiveReport Execute(const PreparedCollective& prepared,
                                        const RunRequest& request);
 

@@ -47,6 +47,13 @@ std::string ExportChromeTrace(const CompiledCollective& compiled,
     os << R"(  {"name":"process_name","ph":"M","pid":)" << r
        << R"(,"args":{"name":"rank )" << r << R"("}})";
   }
+  // One named row per TB, even for TBs that never carried a slice.
+  for (std::size_t i = 0; i < lowered.program.tbs.size(); ++i) {
+    const Rank r = lowered.program.tbs[i].rank;
+    os << ",\n"
+       << R"(  {"name":"thread_name","ph":"M","pid":)" << r << R"(,"tid":)"
+       << tb_local[i] << R"(,"args":{"name":"tb )" << tb_local[i] << R"("}})";
+  }
 
   // One slice per transfer, on both participating TB rows.
   for (std::size_t i = 0; i < report.transfers.size(); ++i) {
@@ -70,6 +77,16 @@ std::string ExportChromeTrace(const CompiledCollective& compiled,
     EmitEvent(os, first, name.str(), t.dst,
               tb_local[static_cast<std::size_t>(recv_tb)], stats.start.us(),
               dur, args.str());
+  }
+
+  // Injected straggler pauses get their own phase so fault time is visually
+  // distinct from sync (busy-wait) and transfer slices.
+  for (const SimRunReport::StallSlice& s : report.stalls) {
+    if (s.duration <= SimTime::Zero()) continue;
+    const auto tb = static_cast<std::size_t>(s.tb);
+    EmitEvent(os, first, "fault-stall", lowered.program.tbs[tb].rank,
+              tb_local[tb], s.start.us(), s.duration.us(),
+              R"("phase":"fault_stall")");
   }
   os << "\n]\n";
   return os.str();

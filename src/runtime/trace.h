@@ -2,7 +2,8 @@
 //
 // Converts a simulated run into the `chrome://tracing` / Perfetto JSON
 // format: one row per thread block (grouped by rank), one slice per
-// transfer the TB participated in, plus counter tracks for link activity.
+// transfer the TB participated in, and — on faulted runs — one slice per
+// injected straggler pause (phase "fault_stall").
 // The result is the visual counterpart of Fig. 5(d)'s pipeline — open it in
 // a trace viewer to see sub-pipelines streaming micro-batches.
 #pragma once

@@ -1,0 +1,142 @@
+#include "sim/faults.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace resccl {
+
+namespace {
+
+// Salts separating the independent random streams of one seed.
+constexpr std::uint64_t kPlanSalt = 0x6661756c7470616eULL;    // "faultpan"
+constexpr std::uint64_t kStallSalt = 0x7374616c6c2e2e2eULL;   // "stall..."
+constexpr std::uint64_t kJitterSalt = 0x6a69747465722e2eULL;  // "jitter.."
+
+// A degraded resource never drops below this fraction of its capacity, so
+// flows keep draining and the starvation check in the fluid model holds.
+constexpr double kMinCapacityScale = 0.05;
+
+}  // namespace
+
+std::uint64_t FaultPlan::SubSeed(std::uint64_t salt,
+                                 std::uint64_t index) const {
+  Rng outer(seed_ + 0x9e3779b97f4a7c15ULL * salt);
+  Rng inner(outer.NextU64() + index);
+  return inner.NextU64();
+}
+
+FaultPlan FaultPlan::Make(std::uint64_t seed, double intensity,
+                          const Topology& topo) {
+  FaultPlan plan;
+  plan.seed_ = seed;
+  plan.intensity_ = std::clamp(intensity, 0.0, 1.0);
+  if (plan.intensity_ <= 0.0) return plan;
+  const double level = plan.intensity_;
+
+  Rng rng(plan.SubSeed(kPlanSalt, 0));
+  const auto nresources = static_cast<int>(topo.resources().size());
+
+  // (a) Cluster-wide brown-out: every resource persistently loses a slice of
+  // its capacity, serializing resources (NICs, trunks) more than the
+  // near-free NVSwitch crossbars. This always-on component dominates the
+  // perturbation so faulted makespans degrade monotonically with intensity.
+  for (int r = 0; r < nresources; ++r) {
+    const Resource& res = topo.resource(ResourceId(r));
+    const bool serializing =
+        res.kind == ResourceKind::kNic || res.kind == ResourceKind::kTrunk;
+    const double depth = serializing ? 0.25 + 0.25 * rng.NextDouble()
+                                     : 0.10 + 0.15 * rng.NextDouble();
+    plan.AddLinkFault({ResourceId(r), SimTime::Zero(), SimTime::Infinity(),
+                       std::max(kMinCapacityScale, 1.0 - level * depth)});
+  }
+
+  // (b) Windowed deep faults: a few resources additionally collapse for a
+  // bounded interval — a flapping link or a transient incast.
+  const int nwindows = 1 + static_cast<int>(level * 3.0);
+  for (int k = 0; k < nwindows; ++k) {
+    const auto r = static_cast<std::int32_t>(rng.NextInt(0, nresources - 1));
+    const SimTime start = SimTime::Us(rng.NextDouble() * 2000.0);
+    const SimTime length = SimTime::Us(200.0 + rng.NextDouble() * 5000.0);
+    const double depth = level * (0.5 + 0.4 * rng.NextDouble());
+    plan.AddLinkFault({ResourceId(r), start, start + length,
+                       std::max(kMinCapacityScale, 1.0 - depth)});
+  }
+
+  // (c) Stragglers and (d) latency jitter scale with intensity.
+  plan.SetStragglers(0.15 * level, SimTime::Us(50.0 + 400.0 * level));
+  plan.SetLatencyJitter(0.30 * level, 1.5 * level);
+  return plan;
+}
+
+void FaultPlan::AddLinkFault(const LinkFault& fault) {
+  RESCCL_CHECK_MSG(fault.resource.valid(), "link fault needs a resource");
+  RESCCL_CHECK_MSG(fault.capacity_scale > 0.0 && fault.capacity_scale <= 1.0,
+                   "capacity scale must be in (0, 1]");
+  RESCCL_CHECK_MSG(fault.start < fault.end, "empty fault window");
+  const auto ri = static_cast<std::size_t>(fault.resource.value);
+  if (faults_by_resource_.size() <= ri) faults_by_resource_.resize(ri + 1);
+  faults_by_resource_[ri].push_back(static_cast<int>(link_faults_.size()));
+  link_faults_.push_back(fault);
+}
+
+void FaultPlan::SetStragglers(double probability, SimTime max_stall) {
+  straggler_prob_ = std::clamp(probability, 0.0, 1.0);
+  max_stall_ = max_stall;
+}
+
+void FaultPlan::SetLatencyJitter(double probability,
+                                 double max_extra_fraction) {
+  jitter_prob_ = std::clamp(probability, 0.0, 1.0);
+  max_jitter_extra_ = std::max(0.0, max_extra_fraction);
+}
+
+const std::vector<int>* FaultPlan::FaultsOn(ResourceId r) const {
+  const auto ri = static_cast<std::size_t>(r.value);
+  if (ri >= faults_by_resource_.size()) return nullptr;
+  const std::vector<int>& list = faults_by_resource_[ri];
+  return list.empty() ? nullptr : &list;
+}
+
+double FaultPlan::CapacityScaleAt(ResourceId r, SimTime now) const {
+  const std::vector<int>* list = FaultsOn(r);
+  if (list == nullptr) return 1.0;
+  double scale = 1.0;
+  for (int i : *list) {
+    const LinkFault& f = link_faults_[static_cast<std::size_t>(i)];
+    if (f.start <= now && now < f.end) scale *= f.capacity_scale;
+  }
+  return std::max(scale, kMinCapacityScale);
+}
+
+SimTime FaultPlan::NextTransitionAfter(ResourceId r, SimTime now) const {
+  const std::vector<int>* list = FaultsOn(r);
+  SimTime next = SimTime::Infinity();
+  if (list == nullptr) return next;
+  for (int i : *list) {
+    const LinkFault& f = link_faults_[static_cast<std::size_t>(i)];
+    if (f.start > now) next = std::min(next, f.start);
+    if (!f.end.is_infinite() && f.end > now) next = std::min(next, f.end);
+  }
+  return next;
+}
+
+FaultPlan::Stall FaultPlan::StallFor(int tb_index, int ninstrs) const {
+  Stall stall;
+  if (straggler_prob_ <= 0.0 || ninstrs <= 0) return stall;
+  Rng rng(SubSeed(kStallSalt, static_cast<std::uint64_t>(tb_index)));
+  if (!rng.NextBool(straggler_prob_)) return stall;
+  stall.before_instr = static_cast<int>(rng.NextInt(0, ninstrs - 1));
+  stall.duration = max_stall_ * (0.25 + 0.75 * rng.NextDouble());
+  return stall;
+}
+
+double FaultPlan::LatencyScale(int transfer_index) const {
+  if (jitter_prob_ <= 0.0) return 1.0;
+  Rng rng(SubSeed(kJitterSalt, static_cast<std::uint64_t>(transfer_index)));
+  if (!rng.NextBool(jitter_prob_)) return 1.0;
+  return 1.0 + max_jitter_extra_ * rng.NextDouble();
+}
+
+}  // namespace resccl

@@ -1,0 +1,106 @@
+// Deterministic fault injection for the simulator.
+//
+// A FaultPlan perturbs one Execute without touching the compiled plan: it is
+// an Execute-time input, like the buffer size, and deliberately stays out of
+// the compile fingerprint so one PreparedCollective replays across fault
+// scenarios. Three perturbation families model the degradations real fabrics
+// exhibit (slow links, congested NICs, straggling ranks):
+//
+//   link degradation   a resource's capacity is scaled by a factor over a
+//                      time window (FluidNetwork re-rates affected flows at
+//                      every window boundary);
+//   latency jitter     a transfer's startup latency α is stretched by a
+//                      per-transfer factor >= 1;
+//   TB stalls          a straggling thread block pauses for a fixed duration
+//                      before its k-th instruction (SimMachine charges the
+//                      pause to the `fault_stall` bucket, never to sync).
+//
+// Determinism: every decision derives from (seed, index) through stateless
+// SplitMix64 mixing — never from query order or wall clock — so the same
+// seed reproduces a bit-identical SimRunReport, and two FaultPlans built
+// from the same (seed, intensity, topology) are identical.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "topology/topology.h"
+
+namespace resccl {
+
+class FaultPlan {
+ public:
+  // One capacity-degradation window: `resource` runs at
+  // capacity × `capacity_scale` for start <= t < end.
+  struct LinkFault {
+    ResourceId resource;
+    SimTime start;
+    SimTime end = SimTime::Infinity();  // Infinity: persists to run end
+    double capacity_scale = 1.0;        // in (0, 1]
+  };
+
+  // A straggler pause: the TB stops for `duration` immediately before
+  // issuing its `before_instr`-th instruction.
+  struct Stall {
+    int before_instr = 0;
+    SimTime duration;  // zero: this TB does not straggle
+  };
+
+  FaultPlan() = default;  // empty plan: a clean run
+
+  // Samples a plan for `topo` at `intensity` in [0, 1] (0 yields an empty
+  // plan). Higher intensity means deeper capacity cuts, more windowed
+  // faults, more stragglers, and larger jitter. Deterministic in
+  // (seed, intensity, topo).
+  [[nodiscard]] static FaultPlan Make(std::uint64_t seed, double intensity,
+                                      const Topology& topo);
+
+  // Manual construction for targeted tests and tools.
+  void AddLinkFault(const LinkFault& fault);
+  void SetStragglers(double probability, SimTime max_stall);
+  void SetLatencyJitter(double probability, double max_extra_fraction);
+
+  [[nodiscard]] bool empty() const {
+    return link_faults_.empty() && straggler_prob_ <= 0.0 &&
+           jitter_prob_ <= 0.0;
+  }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] double intensity() const { return intensity_; }
+  [[nodiscard]] const std::vector<LinkFault>& link_faults() const {
+    return link_faults_;
+  }
+
+  // Product of the scales of every window active on `r` at `now` (1.0 when
+  // none), floored so a degraded flow never fully starves.
+  [[nodiscard]] double CapacityScaleAt(ResourceId r, SimTime now) const;
+
+  // Earliest window boundary on `r` strictly after `now`; Infinity if the
+  // scale never changes again. FluidNetwork re-rates flows at these times.
+  [[nodiscard]] SimTime NextTransitionAfter(ResourceId r, SimTime now) const;
+
+  // The straggler pause for TB `tb_index` running `ninstrs` instructions
+  // (duration zero for non-stragglers). Stateless in tb_index.
+  [[nodiscard]] Stall StallFor(int tb_index, int ninstrs) const;
+
+  // Startup-latency multiplier (>= 1.0) for transfer declaration
+  // `transfer_index`. Stateless in transfer_index.
+  [[nodiscard]] double LatencyScale(int transfer_index) const;
+
+ private:
+  [[nodiscard]] std::uint64_t SubSeed(std::uint64_t salt,
+                                      std::uint64_t index) const;
+  [[nodiscard]] const std::vector<int>* FaultsOn(ResourceId r) const;
+
+  std::uint64_t seed_ = 0;
+  double intensity_ = 0.0;
+  std::vector<LinkFault> link_faults_;
+  // resource id -> indices into link_faults_, rebuilt on AddLinkFault.
+  std::vector<std::vector<int>> faults_by_resource_;
+  double straggler_prob_ = 0.0;
+  SimTime max_stall_;
+  double jitter_prob_ = 0.0;
+  double max_jitter_extra_ = 0.0;
+};
+
+}  // namespace resccl

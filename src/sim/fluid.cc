@@ -4,12 +4,13 @@
 #include <utility>
 
 #include "common/check.h"
+#include "sim/faults.h"
 
 namespace resccl {
 
 FluidNetwork::FluidNetwork(const Topology& topo, const CostModel& cost,
-                           EventQueue& queue)
-    : topo_(topo), cost_(cost), queue_(queue) {
+                           EventQueue& queue, const FaultPlan* faults)
+    : topo_(topo), cost_(cost), queue_(queue), faults_(faults) {
   const std::size_t n = topo_.resources().size();
   resource_active_.assign(n, 0);
   resource_flows_.assign(n, {});
@@ -45,10 +46,11 @@ FlowId FluidNetwork::StartFlow(const Path& path, std::int64_t bytes,
   return id;
 }
 
-double FluidNetwork::CurrentRate(const Flow& f) const {
+double FluidNetwork::CurrentRate(const Flow& f, SimTime now) const {
   // Per-resource fair share degraded by that resource's own contention
-  // penalty; the flow runs at the tightest constraint along its path,
-  // bounded by the driving TB's injection capability.
+  // penalty (and any fault window active at `now`); the flow runs at the
+  // tightest constraint along its path, bounded by the driving TB's
+  // injection capability.
   double rate = f.cap;
   for (ResourceId r : f.path->resources) {
     const auto ri = static_cast<std::size_t>(r.value);
@@ -56,11 +58,21 @@ double FluidNetwork::CurrentRate(const Flow& f) const {
     const Resource& res = topo_.resource(r);
     const double eff =
         1.0 / (1.0 + res.contention_gamma * static_cast<double>(z - 1));
-    const double share =
-        res.capacity.bytes_per_us() / static_cast<double>(z) * eff;
+    double capacity = res.capacity.bytes_per_us();
+    if (faults_ != nullptr) capacity *= faults_->CapacityScaleAt(r, now);
+    const double share = capacity / static_cast<double>(z) * eff;
     rate = std::min(rate, share);
   }
   return rate;
+}
+
+SimTime FluidNetwork::NextFaultTransition(const Flow& f, SimTime now) const {
+  SimTime next = SimTime::Infinity();
+  if (faults_ == nullptr) return next;
+  for (ResourceId r : f.path->resources) {
+    next = std::min(next, faults_->NextTransitionAfter(r, now));
+  }
+  return next;
 }
 
 void FluidNetwork::UpdateResourceCounts(const Flow& f, int delta,
@@ -104,7 +116,7 @@ void FluidNetwork::RecomputeFlow(std::size_t index, SimTime now) {
     Complete(index, now);
     return;
   }
-  f.rate = CurrentRate(f);
+  f.rate = CurrentRate(f, now);
   RESCCL_CHECK_MSG(f.rate > 0.0, "flow starved: zero rate");
   const SimTime done = now + SimTime::Us(f.remaining / f.rate);
   // If the residue would drain in less than one representable time
@@ -114,7 +126,11 @@ void FluidNetwork::RecomputeFlow(std::size_t index, SimTime now) {
     Complete(index, now);
     return;
   }
-  queue_.ScheduleSlot(f.slot, done,
+  // A fault window opening or closing on the path before `done` changes the
+  // rate mid-flight: wake up at the boundary and re-rate instead.
+  const SimTime transition = NextFaultTransition(f, now);
+  const SimTime wake = std::min(done, transition);
+  queue_.ScheduleSlot(f.slot, wake,
                       [this, index](SimTime t) { RecomputeFlow(index, t); });
 }
 

@@ -12,6 +12,11 @@
 // flow starts or finishes only flows sharing one of its resources need a
 // rate update — each update integrates the bytes moved at the old rate and
 // reschedules the flow's completion event.
+//
+// With a FaultPlan attached, capacity(r) additionally carries the plan's
+// time-varying degradation scale; flows crossing a fault-window boundary are
+// re-rated at the boundary instead of waiting for their (now stale)
+// completion event.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +32,8 @@
 
 namespace resccl {
 
+class FaultPlan;
+
 struct FlowTag {};
 using FlowId = Id<FlowTag>;
 
@@ -34,7 +41,10 @@ class FluidNetwork {
  public:
   using CompletionFn = std::function<void(SimTime now)>;
 
-  FluidNetwork(const Topology& topo, const CostModel& cost, EventQueue& queue);
+  // `faults` (optional, unowned, must outlive the network) degrades
+  // per-resource capacity over the plan's time windows.
+  FluidNetwork(const Topology& topo, const CostModel& cost, EventQueue& queue,
+               const FaultPlan* faults = nullptr);
 
   // Starts a flow of `bytes` over `path` with injection cap `cap`;
   // `on_complete` fires exactly once, when the last byte drains.
@@ -70,11 +80,13 @@ class FluidNetwork {
   void RecomputeAffected(const Path& path, SimTime now);
   void RecomputeFlow(std::size_t index, SimTime now);
   void Complete(std::size_t index, SimTime now);
-  [[nodiscard]] double CurrentRate(const Flow& f) const;
+  [[nodiscard]] double CurrentRate(const Flow& f, SimTime now) const;
+  [[nodiscard]] SimTime NextFaultTransition(const Flow& f, SimTime now) const;
 
   const Topology& topo_;
   const CostModel& cost_;
   EventQueue& queue_;
+  const FaultPlan* faults_ = nullptr;
   std::vector<Flow> flows_;
   std::vector<int> resource_active_;                 // per-resource flow count
   std::vector<std::vector<std::size_t>> resource_flows_;  // active flow ids

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "common/check.h"
+#include "sim/faults.h"
 
 namespace resccl {
 
@@ -28,6 +29,8 @@ struct SimMachine::TransferState {
 struct SimMachine::TbState {
   std::size_t pc = 0;                // next instruction
   bool blocked = false;              // waiting inside a transfer or barrier
+  FaultPlan::Stall stall;            // injected pause (duration zero: none)
+  bool stall_pending = false;
   TbStats stats;
 };
 
@@ -47,10 +50,13 @@ const FluidNetwork& SimMachine::network() const {
   return *net_;
 }
 
-SimRunReport SimMachine::Run(const SimProgram& program) {
+SimRunReport SimMachine::Run(const SimProgram& program,
+                             const FaultPlan* faults) {
   program_ = &program;
+  faults_ = (faults != nullptr && !faults->empty()) ? faults : nullptr;
+  stall_slices_.clear();
   queue_.emplace();
-  net_.emplace(topo_, cost_, *queue_);
+  net_.emplace(topo_, cost_, *queue_, faults_);
 
   transfers_.assign(program.transfers.size(), {});
   for (std::size_t t = 0; t < program.transfers.size(); ++t) {
@@ -70,6 +76,11 @@ SimRunReport SimMachine::Run(const SimProgram& program) {
   tbs_.assign(program.tbs.size(), {});
   for (std::size_t i = 0; i < program.tbs.size(); ++i) {
     tbs_[i].stats.rank = program.tbs[i].rank;
+    if (faults_ != nullptr) {
+      tbs_[i].stall = faults_->StallFor(
+          static_cast<int>(i), static_cast<int>(program.tbs[i].program.size()));
+      tbs_[i].stall_pending = tbs_[i].stall.duration > SimTime::Zero();
+    }
   }
   barriers_.assign(program.barrier_parties.size(), {});
   unfinished_tbs_ = static_cast<int>(program.tbs.size());
@@ -105,6 +116,7 @@ SimRunReport SimMachine::Run(const SimProgram& program) {
   for (const TransferState& t : transfers_) {
     report.transfers.push_back(t.stats);
   }
+  report.stalls = stall_slices_;
   return report;
 }
 
@@ -115,6 +127,18 @@ void SimMachine::AdvanceTb(std::size_t tb, SimTime now) {
   if (state.pc >= decl.program.size()) {
     state.stats.finish = now;
     --unfinished_tbs_;
+    return;
+  }
+  // Injected straggler pause: the TB stops dead before this instruction.
+  // Charged to fault_stall, not sync — the TB is not waiting on a peer.
+  if (state.stall_pending &&
+      state.pc == static_cast<std::size_t>(state.stall.before_instr)) {
+    state.stall_pending = false;
+    state.stats.fault_stall += state.stall.duration;
+    stall_slices_.push_back(
+        {static_cast<int>(tb), now, state.stall.duration});
+    queue_->Schedule(now + state.stall.duration,
+                     [this, tb](SimTime t) { AdvanceTb(tb, t); });
     return;
   }
   const SimInstr& instr = decl.program[state.pc];
@@ -211,10 +235,14 @@ void SimMachine::TryStart(std::size_t transfer, SimTime now) {
   const auto bytes = static_cast<std::int64_t>(
       static_cast<double>(decl.bytes) * inflate);
 
-  // Startup latency α, then the fluid byte phase.
-  const SimTime latency = decl.latency_us >= 0.0
-                              ? SimTime::Us(decl.latency_us)
-                              : tr.path->latency * decl.latency_scale;
+  // Startup latency α (stretched by any injected jitter), then the fluid
+  // byte phase.
+  SimTime latency = decl.latency_us >= 0.0
+                        ? SimTime::Us(decl.latency_us)
+                        : tr.path->latency * decl.latency_scale;
+  if (faults_ != nullptr) {
+    latency = latency * faults_->LatencyScale(static_cast<int>(transfer));
+  }
   queue_->Schedule(now + latency, [this, transfer, bytes](SimTime t0) {
     TransferState& state = transfers_[transfer];
     net_->StartFlow(*state.path, bytes, state.injection_cap,

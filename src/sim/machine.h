@@ -28,6 +28,8 @@
 
 namespace resccl {
 
+class FaultPlan;
+
 // One chunk movement between two GPUs for one micro-batch.
 struct SimTransferDecl {
   Rank src = kInvalidRank;
@@ -70,10 +72,11 @@ struct SimProgram {
 
 struct TbStats {
   Rank rank = kInvalidRank;
-  SimTime busy;       // transfers in flight (α + byte phase)
-  SimTime sync;       // blocked on rendezvous / dependencies / barriers
-  SimTime overhead;   // primitive issue + interpreter decode
-  SimTime finish;     // completion (= release) time of the TB's last instr
+  SimTime busy;        // transfers in flight (α + byte phase)
+  SimTime sync;        // blocked on rendezvous / dependencies / barriers
+  SimTime overhead;    // primitive issue + interpreter decode
+  SimTime fault_stall; // injected straggler pauses (kept distinct from sync)
+  SimTime finish;      // completion (= release) time of the TB's last instr
 };
 
 struct TransferStats {
@@ -82,9 +85,17 @@ struct TransferStats {
 };
 
 struct SimRunReport {
+  // One injected straggler pause, for trace export and fault accounting.
+  struct StallSlice {
+    int tb = 0;
+    SimTime start;
+    SimTime duration;
+  };
+
   SimTime makespan;
   std::vector<TbStats> tbs;
   std::vector<TransferStats> transfers;
+  std::vector<StallSlice> stalls;  // empty on clean runs
 
   // Per-TB idle fraction: sync / finish (§5.4's "idle ratio").
   [[nodiscard]] double AvgIdleRatio() const;
@@ -102,7 +113,11 @@ class SimMachine {
 
   // Runs the program to completion. Throws std::runtime_error with a
   // diagnostic if the program deadlocks (a transfer never becomes eligible).
-  [[nodiscard]] SimRunReport Run(const SimProgram& program);
+  // `faults` (optional, unowned, must outlive the call) perturbs this run
+  // only: link capacity windows, latency jitter, and straggler stalls —
+  // timing changes, never data movement.
+  [[nodiscard]] SimRunReport Run(const SimProgram& program,
+                                 const FaultPlan* faults = nullptr);
 
   // Resource accounting of the last Run (valid until the next Run).
   [[nodiscard]] const FluidNetwork& network() const;
@@ -123,12 +138,14 @@ class SimMachine {
   const Topology& topo_;
   const CostModel& cost_;
   const SimProgram* program_ = nullptr;
+  const FaultPlan* faults_ = nullptr;
 
   std::optional<EventQueue> queue_;
   std::optional<FluidNetwork> net_;
   std::vector<TransferState> transfers_;
   std::vector<TbState> tbs_;
   std::vector<BarrierState> barriers_;
+  std::vector<SimRunReport::StallSlice> stall_slices_;
   int unfinished_tbs_ = 0;
 };
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "sim/faults.h"
 #include "sim/fluid.h"
 #include "topology/topology.h"
 
@@ -147,6 +148,106 @@ TEST_F(FluidTest, AggregateNeverExceedsCapacityAndFig4Shape) {
   EXPECT_GT(agg[2], agg[1]);        // 4 flows approach line rate
   EXPECT_LT(agg[3], agg[2]);        // 8 flows: contention collapse (Fig. 4)
   EXPECT_LT(agg[4], agg[3]);        // and it keeps degrading
+}
+
+// --- Time-varying capacity (fault windows) ---------------------------------
+
+// Degrades every resource on `path` to `scale` over [start, end).
+FaultPlan DegradePath(const Path& path, double scale, SimTime start,
+                      SimTime end = SimTime::Infinity()) {
+  FaultPlan plan;
+  for (const ResourceId r : path.resources) {
+    FaultPlan::LinkFault fault;
+    fault.resource = r;
+    fault.start = start;
+    fault.end = end;
+    fault.capacity_scale = scale;
+    plan.AddLinkFault(fault);
+  }
+  return plan;
+}
+
+// Two equal flows contend on the 0->1 fabric link: each runs at the Eq. 1
+// share r1 = C/2/(1+γ) until the link degrades to scale s at time W, then at
+// s*r1. Completion must hit W + (B - r1*W) / (s*r1) analytically.
+TEST_F(FluidTest, DegradedMidTransferCompletesAtAnalyticTime) {
+  const Path& path = topo_.PathBetween(0, 1);
+  const double kScale = 0.5;
+  const SimTime kWindow = SimTime::Us(7);
+  const FaultPlan faults = DegradePath(path, kScale, kWindow);
+
+  EventQueue queue;
+  FluidNetwork net(topo_, cost_, queue, &faults);
+  SimTime done0 = SimTime::Zero(), done1 = SimTime::Zero();
+  const double bytes = static_cast<double>(Size::MiB(2).bytes());
+  net.StartFlow(path, Size::MiB(2).bytes(), Bandwidth::GBps(1000),
+                [&](SimTime t) { done0 = t; });
+  net.StartFlow(path, Size::MiB(2).bytes(), Bandwidth::GBps(1000),
+                [&](SimTime t) { done1 = t; });
+  while (queue.RunOne()) {
+  }
+
+  const double gamma = topo_.spec().fabric_gamma;
+  const double r1 = 300e3 / 2.0 / (1.0 + gamma);  // bytes/us, per flow
+  const double expect_us =
+      kWindow.us() + (bytes - r1 * kWindow.us()) / (kScale * r1);
+  ASSERT_GT(bytes, r1 * kWindow.us());  // the fault really lands mid-transfer
+  EXPECT_NEAR(done0.us(), expect_us, expect_us * 0.001);
+  EXPECT_NEAR(done1.us(), expect_us, expect_us * 0.001);
+}
+
+// The inverse profile: the link starts degraded and recovers at W, so the
+// flow finishes at W + (B - s*r1*W) / r1.
+TEST_F(FluidTest, RecoveryMidTransferSpeedsFlowBackUp) {
+  const Path& path = topo_.PathBetween(0, 1);
+  const double kScale = 0.5;
+  const SimTime kWindow = SimTime::Us(7);
+  const FaultPlan faults =
+      DegradePath(path, kScale, SimTime::Zero(), kWindow);
+
+  EventQueue queue;
+  FluidNetwork net(topo_, cost_, queue, &faults);
+  SimTime done = SimTime::Zero();
+  const double bytes = static_cast<double>(Size::MiB(2).bytes());
+  net.StartFlow(path, Size::MiB(2).bytes(), Bandwidth::GBps(1000),
+                [&](SimTime t) { done = t; });
+  net.StartFlow(path, Size::MiB(2).bytes(), Bandwidth::GBps(1000),
+                [](SimTime) {});
+  while (queue.RunOne()) {
+  }
+
+  const double gamma = topo_.spec().fabric_gamma;
+  const double r1 = 300e3 / 2.0 / (1.0 + gamma);
+  const double expect_us =
+      kWindow.us() + (bytes - kScale * r1 * kWindow.us()) / r1;
+  ASSERT_GT(bytes, kScale * r1 * kWindow.us());
+  EXPECT_NEAR(done.us(), expect_us, expect_us * 0.001);
+}
+
+// A window that opens only after the transfer would already be done leaves
+// the timing bit-identical to a clean network.
+TEST_F(FluidTest, WindowAfterCompletionHasNoEffect) {
+  const Path& path = topo_.PathBetween(0, 1);
+  SimTime clean_done = SimTime::Zero();
+  {
+    EventQueue queue;
+    FluidNetwork net(topo_, cost_, queue);
+    net.StartFlow(path, Size::MiB(3).bytes(), Bandwidth::GBps(1000),
+                  [&](SimTime t) { clean_done = t; });
+    while (queue.RunOne()) {
+    }
+  }
+
+  const FaultPlan faults =
+      DegradePath(path, 0.1, clean_done + SimTime::Us(100));
+  EventQueue queue;
+  FluidNetwork net(topo_, cost_, queue, &faults);
+  SimTime done = SimTime::Zero();
+  net.StartFlow(path, Size::MiB(3).bytes(), Bandwidth::GBps(1000),
+                [&](SimTime t) { done = t; });
+  while (queue.RunOne()) {
+  }
+  EXPECT_EQ(done.us(), clean_done.us());
 }
 
 // Property: random flow soup still conserves bytes and terminates.

@@ -426,6 +426,50 @@ TEST(PlanCacheTest, CommunicatorWarmCallHitsAndMatches) {
   EXPECT_TRUE(comm.AllReduce(bigger).plan_cache_hit);
 }
 
+// Faults are an Execute-time input: running the same collective under
+// several fault scenarios must reuse the one prepared plan, because the
+// compile fingerprint never sees the FaultPlan.
+TEST(PlanCacheTest, FaultScenariosReuseOnePreparedPlan) {
+  const Communicator comm(presets::A100(2, 4), BackendKind::kResCCL);
+  const RunRequest request = SmallRequest(/*verify=*/true);
+
+  const CollectiveReport clean = comm.AllReduce(request);
+  EXPECT_FALSE(clean.plan_cache_hit);
+  EXPECT_TRUE(clean.verified);
+
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    RunRequest faulted = request;
+    faulted.faults = FaultPlan::Make(seed, 0.6, comm.topology());
+    const CollectiveReport r = comm.AllReduce(faulted);
+    EXPECT_TRUE(r.plan_cache_hit) << "seed " << seed;
+    EXPECT_TRUE(r.verified) << r.verify_error;
+    EXPECT_TRUE(r.fault.faulted);
+    EXPECT_GE(r.fault.slowdown_vs_clean, 1.0 - 1e-9);
+    EXPECT_EQ(r.fault.clean_makespan, clean.elapsed);
+  }
+
+  EXPECT_EQ(comm.plan_cache().stats().misses, 1u);
+  EXPECT_EQ(comm.plan_cache().stats().hits, 3u);
+}
+
+TEST(FingerprintTest, InsensitiveToFaultInputs) {
+  // The fingerprint is a function of (algorithm, topology, options) only —
+  // there is no overload taking a FaultPlan, so two requests differing only
+  // in faults resolve to the same cached plan. Assert the key stays put
+  // when everything the fingerprint does see is held fixed.
+  const Topology topo(presets::A100(2, 4));
+  const Algorithm algo = HmAllReduce(topo);
+  const CompileOptions options = DefaultCompileOptions(BackendKind::kResCCL);
+  const Fingerprint before = FingerprintOf(algo, topo.spec(), options);
+
+  RunRequest faulted = SmallRequest();
+  faulted.faults = FaultPlan::Make(99, 1.0, topo);
+  const PreparedPlan plan = Prepare(algo, topo, BackendKind::kResCCL).value();
+  (void)Execute(*plan, faulted);
+
+  EXPECT_EQ(FingerprintOf(algo, topo.spec(), options), before);
+}
+
 TEST(PlanCacheTest, CommunicatorsShareAnInjectedCache) {
   auto cache = std::make_shared<PlanCache>();
   const Communicator a(presets::A100(2, 4), BackendKind::kResCCL, cache);

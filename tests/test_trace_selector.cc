@@ -4,10 +4,118 @@
 #include "algorithms/hierarchical.h"
 #include "runtime/selector.h"
 #include "runtime/trace.h"
+#include "sim/faults.h"
 #include "topology/topology.h"
 
 namespace resccl {
 namespace {
+
+// Minimal recursive-descent JSON reader: accepts exactly the grammar of
+// RFC 8259 values, rejects trailing garbage. Golden-free structural check
+// that the exporter emits real JSON, not just something brace-shaped.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  [[nodiscard]] bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool Literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool String() {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool Number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           ((s_[pos_] >= '0' && s_[pos_] <= '9') || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' ||
+            s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Members(char open, char close, bool keyed) {
+    if (pos_ >= s_.size() || s_[pos_] != open) return false;
+    ++pos_;
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == close) {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (keyed) {
+        if (!String()) return false;
+        SkipWs();
+        if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+        ++pos_;
+        SkipWs();
+      }
+      if (!Value()) return false;
+      SkipWs();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == close) {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return Members('{', '}', /*keyed=*/true);
+      case '[': return Members('[', ']', /*keyed=*/false);
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::size_t CountOccurrences(const std::string& haystack,
+                             const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + 1)) {
+    ++count;
+  }
+  return count;
+}
 
 TEST(TraceTest, ExportsValidSkeleton) {
   const Topology topo(presets::A100(2, 4));
@@ -39,6 +147,59 @@ TEST(TraceTest, ExportsValidSkeleton) {
   EXPECT_EQ(count, 2 * report.transfers.size());
   EXPECT_NE(json.find("rrc"), std::string::npos);
   EXPECT_NE(json.find("\"wave\":"), std::string::npos);
+}
+
+// Structural properties of the export: the whole document parses as JSON,
+// every TB owns a named row, and fault stalls surface as their own phase —
+// present exactly when the run was faulted. No goldens.
+TEST(TraceTest, StructuralJsonWithFaultStallRows) {
+  const Topology topo(presets::A100(2, 4));
+  const Algorithm algo = algorithms::HierarchicalMeshAllReduce(topo);
+  const CompiledCollective compiled =
+      Compile(algo, topo, DefaultCompileOptions(BackendKind::kResCCL)).value();
+  const CostModel cost;
+  LaunchConfig launch;
+  launch.buffer = Size::MiB(32);
+  const LoweredProgram lowered = Lower(compiled, cost, launch);
+
+  // Every TB stalls once: probability 1 keeps the check deterministic
+  // without depending on how a particular seed lands.
+  FaultPlan faults;
+  faults.SetStragglers(/*probability=*/1.0, /*max_stall=*/SimTime::Us(80));
+  ASSERT_FALSE(faults.empty());
+
+  SimMachine machine(topo, cost);
+  const SimRunReport clean = machine.Run(lowered.program);
+  const SimRunReport faulted = machine.Run(lowered.program, &faults);
+  ASSERT_TRUE(clean.stalls.empty());
+  ASSERT_EQ(faulted.stalls.size(), lowered.program.tbs.size());
+
+  const std::string clean_json = ExportChromeTrace(compiled, lowered, clean);
+  const std::string fault_json = ExportChromeTrace(compiled, lowered, faulted);
+
+  EXPECT_TRUE(JsonChecker(clean_json).Valid());
+  EXPECT_TRUE(JsonChecker(fault_json).Valid());
+
+  // One named row per TB in both documents.
+  EXPECT_EQ(CountOccurrences(clean_json, "\"thread_name\""),
+            lowered.program.tbs.size());
+  EXPECT_EQ(CountOccurrences(fault_json, "\"thread_name\""),
+            lowered.program.tbs.size());
+
+  // Stall slices appear as their own phase, only on the faulted run.
+  EXPECT_EQ(CountOccurrences(clean_json, "fault_stall"), 0u);
+  EXPECT_EQ(CountOccurrences(fault_json, "\"name\":\"fault-stall\""),
+            faulted.stalls.size());
+  EXPECT_EQ(CountOccurrences(fault_json, "\"phase\":\"fault_stall\""),
+            faulted.stalls.size());
+}
+
+TEST(TraceTest, JsonCheckerRejectsMalformedDocuments) {
+  EXPECT_TRUE(JsonChecker(R"([{"a":1,"b":[true,null,"x"]}])").Valid());
+  EXPECT_FALSE(JsonChecker(R"([{"a":1,)").Valid());
+  EXPECT_FALSE(JsonChecker(R"([1,2,]")").Valid());
+  EXPECT_FALSE(JsonChecker(R"({"a" 1})").Valid());
+  EXPECT_FALSE(JsonChecker("[] trailing").Valid());
 }
 
 TEST(SelectorTest, CandidatesCoverEveryCollective) {

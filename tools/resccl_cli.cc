@@ -5,7 +5,11 @@
 //   resccl run --algo hm_allreduce --topo a100 --nodes 2 --gpus 8
 //              [--backend resccl|msccl|nccl] [--buffer-mb N] [--chunk-kb N]
 //              [--protocol simple|ll|ll128] [--verify] [--trace out.json]
-//       Simulate one collective and print the report.
+//              [--faults seed:intensity]
+//       Simulate one collective and print the report. --faults perturbs the
+//       fabric with a deterministic seed-driven fault plan (degraded links,
+//       latency jitter, TB stalls; intensity in [0,1]) and reports the
+//       slowdown versus the clean run.
 //   resccl compile <program.resccl> [--nodes N] [--gpus G] [--out stem]
 //       Compile ResCCLang source into a .plan artifact + kernel listing.
 //   resccl select --op allreduce --topo a100 --nodes 2 --gpus 8
@@ -14,6 +18,7 @@
 //   resccl emit --algo ring_allgather --nodes 2 --gpus 8
 //       Export a library algorithm as ResCCLang source on stdout.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <functional>
@@ -121,7 +126,9 @@ Args ParseArgs(int argc, char** argv, int first) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0) {
       const std::string key = arg.substr(2);
-      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      if (const auto eq = key.find('='); eq != std::string::npos) {
+        args.options[key.substr(0, eq)] = key.substr(eq + 1);
+      } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
         args.options[key] = argv[++i];
       } else {
         args.options[key] = "1";
@@ -163,6 +170,28 @@ RunRequest MakeRequest(const Args& args) {
   else if (proto == "ll128") request.launch.protocol = Protocol::kLL128;
   request.verify = args.Has("verify");
   return request;
+}
+
+// Parses --faults seed:intensity (e.g. --faults=42:0.5) into a deterministic
+// fault plan for `topo`. Returns an empty plan when the flag is absent.
+FaultPlan MakeFaults(const Args& args, const Topology& topo) {
+  if (!args.Has("faults")) return FaultPlan();
+  const std::string spec = args.Get("faults", "");
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "--faults wants seed:intensity, got '%s'\n",
+                 spec.c_str());
+    std::exit(2);
+  }
+  const auto seed = static_cast<std::uint64_t>(
+      std::strtoull(spec.substr(0, colon).c_str(), nullptr, 10));
+  const double intensity = std::atof(spec.substr(colon + 1).c_str());
+  if (intensity < 0.0 || intensity > 1.0) {
+    std::fprintf(stderr, "--faults intensity must be in [0,1], got %g\n",
+                 intensity);
+    std::exit(2);
+  }
+  return FaultPlan::Make(seed, intensity, topo);
 }
 
 Algorithm LoadAlgorithm(const Args& args, const Topology& topo) {
@@ -208,7 +237,8 @@ int CmdRun(const Args& args) {
   const Topology topo(MakeSpec(args));
   const Algorithm algo = LoadAlgorithm(args, topo);
   const BackendKind backend = MakeBackend(args);
-  const RunRequest request = MakeRequest(args);
+  RunRequest request = MakeRequest(args);
+  request.faults = MakeFaults(args, topo);
 
   if (args.Has("trace")) {
     // Trace needs the intermediate artifacts; run the pipeline by hand.
@@ -220,7 +250,9 @@ int CmdRun(const Args& args) {
     const LoweredProgram lowered =
         Lower(compiled.value(), request.cost, request.launch);
     SimMachine machine(topo, request.cost);
-    const SimRunReport report = machine.Run(lowered.program);
+    const SimRunReport report =
+        machine.Run(lowered.program,
+                    request.faults.empty() ? nullptr : &request.faults);
     std::ofstream out(args.Get("trace", "trace.json"));
     out << ExportChromeTrace(compiled.value(), lowered, report);
     std::printf("trace written to %s (makespan %.3f ms)\n",
@@ -249,6 +281,20 @@ int CmdRun(const Args& args) {
               rep.sim.MaxIdleRatio() * 100);
   std::printf("  link utilization    : %.1f%% avg over %d links\n",
               rep.links.avg * 100, rep.links.carriers);
+  if (rep.fault.faulted) {
+    std::printf("  faults              : seed %llu, intensity %.2f\n",
+                static_cast<unsigned long long>(request.faults.seed()),
+                request.faults.intensity());
+    std::printf("  slowdown vs clean   : %8.3fx (clean %.3f ms)\n",
+                rep.fault.slowdown_vs_clean, rep.fault.clean_makespan.ms());
+    std::printf("  injected stall      : %8.3f ms total\n",
+                rep.fault.total_stall.ms());
+    std::printf("  worst rank          : %d (finish %.3f ms, stall %.3f ms, "
+                "idle %.1f%%)\n",
+                rep.fault.worst_rank, rep.fault.worst_rank_finish.ms(),
+                rep.fault.worst_rank_stall.ms(),
+                rep.fault.worst_rank_idle * 100);
+  }
   if (request.verify) {
     std::printf("  verification        : %s%s\n",
                 rep.verified ? "OK" : "FAILED ",
