@@ -1,0 +1,102 @@
+// Static plan verification: prove a compiled plan safe before Execute.
+//
+// The only correctness signals used to be dynamic — SimMachine throws on
+// deadlock mid-run, and data verification needs a full engine replay. With
+// the plan cache and on-disk plan_io, a corrupted or hand-edited plan can
+// reach Execute without ever having been simulated. AnalyzePlan() closes
+// that gap with a purely static pass over CompiledCollective +
+// LoweredProgram (no simulation, no data movement):
+//
+//   structure      indices in range, waves cover every task exactly once,
+//                  TB refs consistent with the algorithm and stage map —
+//                  the preconditions Lower() and SimMachine otherwise
+//                  enforce with internal-invariant throws.
+//   rendezvous     every transfer declaration has exactly one send-side and
+//                  one recv-side instruction, each on a TB of the right
+//                  rank; barrier arrival counts match their party counts.
+//                  (Both sides reference the same declaration, so chunk,
+//                  size, and protocol agreement is by construction; the
+//                  checks cover multiplicity and placement.)
+//   deadlock       the wait-for graph induced by per-TB FIFO issue order,
+//                  cross-TB rendezvous, data dependencies, and barriers is
+//                  acyclic; cycles are reported with a witness path in the
+//                  shared sim/witness.h vocabulary.
+//   hazard         every RAW/WAW/WAR pair on a (chunk, rank) buffer slot —
+//                  recomputed with the sweep of src/core/dag.cc as the
+//                  spec — is ordered by the plan's dependency edges.
+//   tb-merge       connection active intervals are independently recomputed
+//                  with the allocator's timeline model (src/core/tb_alloc.h,
+//                  Eq. 7) and no TB holds two overlapping streams.
+//   postcondition  an abstract replay over multisets of contributing ranks
+//                  shows every rank ends holding exactly the chunks its
+//                  CollectiveOp requires.
+//
+// The tb-merge rule is the only one that needs a Topology (path latencies /
+// bandwidths feed the timeline); pass nullptr to skip it — the report says
+// so via tb_merge_checked.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/compiler.h"
+#include "runtime/lowering.h"
+#include "topology/topology.h"
+
+namespace resccl {
+
+// Stable rule identifiers, used in diagnostics, lint output, and tests.
+namespace rules {
+inline constexpr const char* kStructure = "structure";
+inline constexpr const char* kRendezvous = "rendezvous";
+inline constexpr const char* kDeadlock = "deadlock";
+inline constexpr const char* kHazard = "hazard";
+inline constexpr const char* kTbMerge = "tb-merge";
+inline constexpr const char* kPostcondition = "postcondition";
+}  // namespace rules
+
+enum class DiagSeverity { kError, kWarning };
+
+[[nodiscard]] constexpr const char* DiagSeverityName(DiagSeverity s) {
+  return s == DiagSeverity::kError ? "error" : "warning";
+}
+
+// One analyzer finding: which rule fired, where, and the evidence chain.
+struct Diagnostic {
+  DiagSeverity severity = DiagSeverity::kError;
+  std::string rule_id;   // one of rules::k*
+  std::string location;  // "task#12", "tb#3 instr#7", "preds", ...
+  std::string witness;   // human-readable evidence (wait-for chain, ...)
+};
+
+struct AnalysisReport {
+  std::vector<Diagnostic> diagnostics;
+  double analysis_us = 0;
+  bool tb_merge_checked = false;  // false when no topology was supplied
+
+  [[nodiscard]] int errors() const;
+  [[nodiscard]] int warnings() const;
+  [[nodiscard]] bool clean() const { return errors() == 0; }
+  // "clean (6 rules)" or "2 error(s): first = [deadlock] ...".
+  [[nodiscard]] std::string Summary() const;
+};
+
+// Verifies `plan` against the lowered program the runtime would execute.
+// Never throws on plans that passed plan_io's LoadPlan (or came out of
+// Compile): structural problems become diagnostics, not exceptions.
+[[nodiscard]] AnalysisReport AnalyzePlan(const CompiledCollective& plan,
+                                         const LoweredProgram& lowered,
+                                         const Topology* topo = nullptr);
+
+// Convenience overload: lowers `plan` with a canonical two-micro-batch
+// launch first (enough to exercise cross-micro-batch interleavings in every
+// execution mode), then analyzes. If the plan's structure is too broken to
+// lower safely, the lowered-program rules are skipped and the structure
+// diagnostics alone are returned.
+[[nodiscard]] AnalysisReport AnalyzePlan(const CompiledCollective& plan,
+                                         const Topology* topo = nullptr);
+
+// JSON rendering of a report (stable schema for `resccl lint --json`).
+[[nodiscard]] std::string AnalysisReportToJson(const AnalysisReport& report);
+
+}  // namespace resccl

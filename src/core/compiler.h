@@ -46,6 +46,12 @@ struct CompileOptions {
   RuntimeEngine engine = RuntimeEngine::kGeneratedKernel;
   int nstages = 2;      // stage count for kStageLevel
   int warps_per_tb = 16;
+  // Run the static plan verifier (analysis/analyzer.h) inside Prepare and
+  // refuse artifacts with any error-severity diagnostic. Verification is a
+  // property of this Prepare call, not of the produced plan, so the flag is
+  // deliberately excluded from the plan fingerprint and from plan
+  // serialization: strict and non-strict callers share cache entries.
+  bool strict_verify = false;
 };
 
 // Per-phase wall-clock of the offline pipeline — the four compiler phases of
@@ -55,6 +61,11 @@ struct CompileStats {
   double scheduling_us = 0;  // HPDS / RR
   double allocation_us = 0;  // stage partition + TB allocation
   double lowering_us = 0;    // plan assembly (waves, predecessor lists)
+  // Static plan verification under CompileOptions::strict_verify; zero when
+  // strict mode is off. Kept out of total_us(): the four phases above are
+  // the paper's Fig. 10(a) breakdown, and verification is an optional
+  // post-pass layered on top of them.
+  double verify_us = 0;
   [[nodiscard]] double total_us() const {
     return analysis_us + scheduling_us + allocation_us + lowering_us;
   }

@@ -87,7 +87,9 @@ Fingerprint FingerprintOf(const Algorithm& algo, const TopologySpec& topo,
   h.F64(topo.fabric_gamma);
   h.F64(topo.nic_gamma);
 
-  // CompileOptions.
+  // CompileOptions. strict_verify is deliberately NOT hashed: verification
+  // gates a Prepare call but never changes the compiled artifact, so strict
+  // and non-strict callers must land on the same cache entry.
   h.I32(static_cast<std::int32_t>(options.scheduler));
   h.I32(static_cast<std::int32_t>(options.tb_alloc));
   h.I32(static_cast<std::int32_t>(options.mode));

@@ -18,11 +18,25 @@
 
 namespace resccl {
 
+class Topology;
+
 void SavePlan(const CompiledCollective& plan, std::ostream& out);
 [[nodiscard]] std::string SavePlanToString(const CompiledCollective& plan);
 
 [[nodiscard]] Result<CompiledCollective> LoadPlan(std::istream& in);
 [[nodiscard]] Result<CompiledCollective> LoadPlanFromString(
     const std::string& text);
+
+// LoadPlan plus the static plan verifier (analysis/analyzer.h): the restored
+// plan is re-proved deadlock-free, hazard-safe, and structurally executable
+// before it is handed back. LoadPlan's parser catches malformed files; this
+// additionally rejects well-formed files describing unsafe plans (a
+// hand-edited dependency list, a swapped rendezvous side, ...) with
+// FailedPrecondition carrying the first diagnostic. Passing `topo` also
+// enables the TB-merge legality rule.
+[[nodiscard]] Result<CompiledCollective> LoadVerifiedPlan(
+    std::istream& in, const Topology* topo = nullptr);
+[[nodiscard]] Result<CompiledCollective> LoadVerifiedPlanFromString(
+    const std::string& text, const Topology* topo = nullptr);
 
 }  // namespace resccl

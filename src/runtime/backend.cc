@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "common/check.h"
 
 namespace resccl {
@@ -52,6 +53,17 @@ Result<PreparedPlan> Prepare(const Algorithm& algo,
   const auto t0 = std::chrono::steady_clock::now();
   Result<CompiledCollective> compiled = Compile(algo, *topo, options);
   if (!compiled.ok()) return compiled.status();
+
+  if (options.strict_verify) {
+    CompiledCollective& plan = compiled.value();
+    const AnalysisReport verdict = AnalyzePlan(plan, topo.get());
+    plan.stats.verify_us = verdict.analysis_us;
+    if (!verdict.clean()) {
+      return Status::FailedPrecondition("strict verify rejected plan '" +
+                                        plan.algo.name +
+                                        "': " + verdict.Summary());
+    }
+  }
 
   auto prepared = std::make_shared<PreparedCollective>();
   prepared->topo = std::move(topo);

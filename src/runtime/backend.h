@@ -121,8 +121,12 @@ using PreparedPlan = std::shared_ptr<const PreparedCollective>;
 
 // Compiles `algo` for `topo` under `options` into a reusable artifact.
 // Returns InvalidArgument for malformed algorithms; throws on internal
-// errors. The overload taking `const Topology&` copies the topology into
-// the artifact; pass a shared_ptr to share one topology across many plans.
+// errors. With options.strict_verify set, the static plan verifier
+// (analysis/analyzer.h) runs over the compiled plan before the artifact is
+// published — FailedPrecondition on any error-severity diagnostic, and the
+// verification wall-clock lands in CompileStats::verify_us. The overload
+// taking `const Topology&` copies the topology into the artifact; pass a
+// shared_ptr to share one topology across many plans.
 [[nodiscard]] Result<PreparedPlan> Prepare(
     const Algorithm& algo, std::shared_ptr<const Topology> topo,
     const CompileOptions& options, std::string_view backend_name = "custom");

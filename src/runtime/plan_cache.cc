@@ -6,6 +6,7 @@
 #include <system_error>
 #include <utility>
 
+#include "analysis/analyzer.h"
 #include "common/check.h"
 #include "core/plan_io.h"
 
@@ -56,6 +57,16 @@ PreparedPlan PlanCache::TryLoadFromDisk(const Fingerprint& key,
   // tampered artifact or a renamed file from another configuration).
   if (!(FingerprintOf(plan.value().algo, topo->spec(),
                       plan.value().options) == key)) {
+    return nullptr;
+  }
+  // The parser and the fingerprint accept any well-formed file; the static
+  // verifier additionally proves the restored plan safe to execute. An
+  // edited-on-disk plan that would deadlock or race is recompiled instead.
+  if (const AnalysisReport verdict = AnalyzePlan(plan.value(), topo.get());
+      !verdict.clean()) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.counters.disk_rejects;
     return nullptr;
   }
   auto prepared = std::make_shared<PreparedCollective>();
@@ -158,6 +169,7 @@ PlanCache::Stats PlanCache::stats() const {
     total.misses += shard->counters.misses;
     total.insertions += shard->counters.insertions;
     total.evictions += shard->counters.evictions;
+    total.disk_rejects += shard->counters.disk_rejects;
   }
   return total;
 }

@@ -19,8 +19,9 @@
 // through SavePlan as "<fingerprint-hex>.plan", and a miss first tries
 // LoadPlan from that file — so a restarted process (or another process
 // sharing the directory) skips compilation entirely. A truncated, corrupted,
-// or mismatched file is rejected by LoadPlan's validation plus a fingerprint
-// re-check, and the plan is recompiled and rewritten.
+// or mismatched file is rejected by LoadPlan's validation, a fingerprint
+// re-check, and the static plan verifier (analysis/analyzer.h), and the plan
+// is recompiled and rewritten; such rejections show up in Stats.disk_rejects.
 #pragma once
 
 #include <cstddef>
@@ -52,6 +53,9 @@ class PlanCache {
     std::uint64_t misses = 0;     // full Prepare performed
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;  // LRU entries dropped at capacity
+    // Persisted plans that parsed and fingerprint-matched but failed the
+    // static verifier (analysis/analyzer.h) — recompiled and overwritten.
+    std::uint64_t disk_rejects = 0;
   };
 
   // Outcome of one GetOrPrepare call. `hit` is true whenever no compilation

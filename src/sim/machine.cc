@@ -8,8 +8,13 @@
 
 #include "common/check.h"
 #include "sim/faults.h"
+#include "sim/witness.h"
 
 namespace resccl {
+
+DeadlockError::DeadlockError(DeadlockReport report)
+    : std::runtime_error("SimMachine deadlock: " + report.witness),
+      report_(std::move(report)) {}
 
 struct SimMachine::TransferState {
   const Path* path = nullptr;
@@ -102,7 +107,7 @@ SimRunReport SimMachine::Run(const SimProgram& program,
   }
 
   if (unfinished_tbs_ != 0) {
-    throw std::runtime_error("SimMachine deadlock: " + DescribeDeadlock());
+    throw DeadlockError(BuildDeadlockReport());
   }
 
   SimRunReport report;
@@ -273,22 +278,61 @@ void SimMachine::OnTransferComplete(std::size_t transfer, SimTime now) {
   queue_->Schedule(now, [this, recv_tb](SimTime t) { AdvanceTb(recv_tb, t); });
 }
 
-std::string SimMachine::DescribeDeadlock() const {
+DeadlockReport SimMachine::BuildDeadlockReport() const {
+  // One wait-for line per blocked TB: which instruction it is parked on and
+  // what edge keeps it from releasing — the dynamic frontier of the same
+  // wait-for graph the static analyzer walks (analysis/analyzer.cc).
   std::ostringstream os;
-  os << unfinished_tbs_ << " TB(s) never finished;";
+  os << unfinished_tbs_ << " TB(s) never finished";
   int listed = 0;
-  for (std::size_t t = 0; t < transfers_.size() && listed < 8; ++t) {
-    const TransferState& tr = transfers_[t];
-    if (tr.completed) continue;
-    const SimTransferDecl& decl = program_->transfers[t];
-    os << " transfer#" << t << "(r" << decl.src << "->r" << decl.dst
-       << (tr.send_tb == SIZE_MAX ? ", no sender" : "")
-       << (tr.recv_tb == SIZE_MAX ? ", no receiver" : "");
-    if (tr.deps_remaining > 0) os << ", " << tr.deps_remaining << " deps open";
-    os << ")";
-    ++listed;
+  constexpr int kMaxLines = 16;
+  for (std::size_t i = 0; i < tbs_.size(); ++i) {
+    const TbState& state = tbs_[i];
+    if (!state.blocked) continue;  // finished (or was never started)
+    if (++listed > kMaxLines) {
+      os << "; ...";
+      break;
+    }
+    os << "; tb#" << i << "(r" << program_->tbs[i].rank << ") blocked at ";
+    RESCCL_CHECK(state.pc > 0);
+    const SimInstr& instr = program_->tbs[i].program[state.pc - 1];
+    if (instr.kind == SimInstr::Kind::kBarrier) {
+      const auto b = static_cast<std::size_t>(instr.barrier);
+      os << WitnessBarrier(instr.barrier) << ": " << barriers_[b].waiting
+         << "/" << program_->barrier_parties[b] << " arrived "
+         << WitnessBarrierEdge();
+      continue;
+    }
+    const auto tid = static_cast<std::size_t>(instr.transfer);
+    const TransferState& tr = transfers_[tid];
+    os << WitnessTransfer(*program_, instr.transfer) << ":";
+    if (tr.send_tb == SIZE_MAX) os << " no sender joined";
+    if (tr.recv_tb == SIZE_MAX) os << " no receiver joined";
+    if (tr.deps_remaining > 0) {
+      os << " waits";
+      int shown = 0;
+      for (int d : program_->transfers[tid].deps) {
+        if (transfers_[static_cast<std::size_t>(d)].completed) continue;
+        if (++shown > 4) {
+          os << " ...";
+          break;
+        }
+        os << " " << WitnessDataDep() << " " << WitnessTransfer(*program_, d);
+      }
+    }
+    if (tr.started && !tr.completed) os << " in flight";
   }
-  return os.str();
+
+  DeadlockReport report;
+  report.witness = os.str();
+  report.status = Status::FailedPrecondition("SimMachine deadlock: " +
+                                             report.witness);
+  for (std::size_t t = 0; t < transfers_.size(); ++t) {
+    if (!transfers_[t].completed) {
+      report.stuck_transfers.push_back(static_cast<int>(t));
+    }
+  }
+  return report;
 }
 
 double SimRunReport::AvgIdleRatio() const {

@@ -16,9 +16,11 @@
 
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "common/types.h"
 #include "common/units.h"
 #include "sim/cost_model.h"
@@ -84,6 +86,30 @@ struct TransferStats {
   SimTime complete;
 };
 
+// What the machine observed when a run could make no further progress.
+// The witness uses the shared wait-for vocabulary of sim/witness.h — the
+// same one the static analyzer (analysis/analyzer.h) emits — so a dynamic
+// deadlock can be diffed against a statically predicted one: one
+// "; "-separated line per blocked TB naming the instruction it is parked on
+// and the edge it waits across.
+struct DeadlockReport {
+  Status status;                     // kFailedPrecondition, full description
+  std::string witness;               // per-TB wait-for lines
+  std::vector<int> stuck_transfers;  // declarations that never completed
+};
+
+// Thrown by SimMachine::Run on deadlock. Derives std::runtime_error so
+// legacy catch sites keep working; new callers can read the structured
+// report.
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(DeadlockReport report);
+  [[nodiscard]] const DeadlockReport& report() const { return report_; }
+
+ private:
+  DeadlockReport report_;
+};
+
 struct SimRunReport {
   // One injected straggler pause, for trace export and fault accounting.
   struct StallSlice {
@@ -111,8 +137,9 @@ class SimMachine {
   SimMachine(const SimMachine&) = delete;
   SimMachine& operator=(const SimMachine&) = delete;
 
-  // Runs the program to completion. Throws std::runtime_error with a
-  // diagnostic if the program deadlocks (a transfer never becomes eligible).
+  // Runs the program to completion. Throws DeadlockError (derived from
+  // std::runtime_error) carrying a DeadlockReport if the program deadlocks
+  // (a transfer never becomes eligible).
   // `faults` (optional, unowned, must outlive the call) perturbs this run
   // only: link capacity windows, latency jitter, and straggler stalls —
   // timing changes, never data movement.
@@ -133,7 +160,7 @@ class SimMachine {
   void OnTransferComplete(std::size_t transfer, SimTime now);
   void AccumulateBusy(std::size_t tb, SimTime start, SimTime end);
   void ReleaseTb(std::size_t tb, SimTime now);
-  [[nodiscard]] std::string DescribeDeadlock() const;
+  [[nodiscard]] DeadlockReport BuildDeadlockReport() const;
 
   const Topology& topo_;
   const CostModel& cost_;

@@ -1,0 +1,35 @@
+#include "sim/witness.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace resccl {
+
+std::string WitnessTransfer(const SimProgram& program, int transfer) {
+  RESCCL_CHECK(transfer >= 0 &&
+               static_cast<std::size_t>(transfer) < program.transfers.size());
+  const SimTransferDecl& decl =
+      program.transfers[static_cast<std::size_t>(transfer)];
+  std::ostringstream os;
+  os << "transfer#" << transfer << "(r" << decl.src << "->r" << decl.dst
+     << ")";
+  return os.str();
+}
+
+std::string WitnessBarrier(int barrier) {
+  return "barrier#" + std::to_string(barrier);
+}
+
+std::string WitnessProgramOrder(const SimProgram& program, std::size_t tb) {
+  RESCCL_CHECK(tb < program.tbs.size());
+  std::ostringstream os;
+  os << "[program order on tb#" << tb << " r" << program.tbs[tb].rank << "]";
+  return os.str();
+}
+
+std::string WitnessDataDep() { return "[data dep]"; }
+
+std::string WitnessBarrierEdge() { return "[barrier]"; }
+
+}  // namespace resccl

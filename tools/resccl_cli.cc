@@ -17,12 +17,17 @@
 //       Run the auto-selector and print the scoreboard.
 //   resccl emit --algo ring_allgather --nodes 2 --gpus 8
 //       Export a library algorithm as ResCCLang source on stdout.
+//   resccl lint <plan files...> [--topo a100 --nodes N --gpus G] [--json]
+//       Run the static plan verifier over .plan artifacts. Passing a
+//       topology (any of --topo/--nodes/--gpus) also enables the TB-merge
+//       legality rule. Exit 0 when every file is clean, 1 otherwise.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <functional>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -33,6 +38,7 @@
 #include "algorithms/rooted.h"
 #include "algorithms/synthesized.h"
 #include "algorithms/tree.h"
+#include "analysis/analyzer.h"
 #include "core/kernel_gen.h"
 #include "core/plan_io.h"
 #include "lang/emit.h"
@@ -221,7 +227,8 @@ Algorithm LoadAlgorithm(const Args& args, const Topology& topo) {
   return it->second(topo);
 }
 
-int CmdList() {
+int CmdList(const Args& args) {
+  (void)args;
   std::printf("algorithms:\n");
   for (const auto& [name, factory] : Registry()) {
     (void)factory;
@@ -383,26 +390,131 @@ int CmdEmit(const Args& args) {
   return 0;
 }
 
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+int CmdLint(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: resccl lint <plan files...> "
+                 "[--topo a100 --nodes N --gpus G] [--json]\n");
+    return 2;
+  }
+  // The TB-merge rule needs path latencies/bandwidths; it runs only when the
+  // caller names the fabric the plan is meant for.
+  const bool with_topo =
+      args.Has("topo") || args.Has("nodes") || args.Has("gpus");
+  std::optional<Topology> topo;
+  if (with_topo) topo.emplace(MakeSpec(args));
+  const bool json = args.Has("json");
+
+  int failures = 0;
+  std::string json_files;
+  for (const std::string& file : args.positional) {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", file.c_str());
+      return 2;
+    }
+    Result<CompiledCollective> plan = LoadPlan(in);
+    if (!json_files.empty()) json_files += ",";
+    if (!plan.ok()) {
+      ++failures;
+      if (json) {
+        json_files += "{\"file\":\"" + JsonEscape(file) +
+                      "\",\"status\":\"parse-error\",\"error\":\"" +
+                      JsonEscape(plan.status().ToString()) + "\"}";
+      } else {
+        std::printf("%s: parse error: %s\n", file.c_str(),
+                    plan.status().ToString().c_str());
+      }
+      continue;
+    }
+    const AnalysisReport report =
+        AnalyzePlan(plan.value(), topo ? &*topo : nullptr);
+    if (!report.clean()) ++failures;
+    if (json) {
+      json_files += "{\"file\":\"" + JsonEscape(file) +
+                    "\",\"status\":\"analyzed\",\"report\":" +
+                    AnalysisReportToJson(report) + "}";
+    } else {
+      std::printf("%s: %s\n", file.c_str(), report.Summary().c_str());
+      for (const Diagnostic& d : report.diagnostics) {
+        std::printf("  %s [%s] %s: %s\n", DiagSeverityName(d.severity),
+                    d.rule_id.c_str(), d.location.c_str(), d.witness.c_str());
+      }
+    }
+  }
+  if (json) {
+    std::printf("{\"failures\":%d,\"files\":[%s]}\n", failures,
+                json_files.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+// Subcommand dispatch table: name -> usage line + handler. `resccl <cmd>`
+// walks this table; unknown commands print every usage line.
+struct Command {
+  const char* name;
+  const char* usage;
+  int (*run)(const Args&);
+};
+
+constexpr Command kCommands[] = {
+    {"list", "resccl list", CmdList},
+    {"run",
+     "resccl run --algo <name> [--topo a100|v100|h100] [--backend "
+     "resccl|msccl|nccl] [--verify] [--trace out.json] [--faults s:i]",
+     CmdRun},
+    {"compile", "resccl compile <program.resccl> [--nodes N] [--gpus G] "
+                "[--out stem]",
+     CmdCompile},
+    {"select", "resccl select --op <collective> [--topo ...] [--backend ...]",
+     CmdSelect},
+    {"emit", "resccl emit --algo <name> [--nodes N] [--gpus G]", CmdEmit},
+    {"lint",
+     "resccl lint <plan files...> [--topo a100 --nodes N --gpus G] [--json]",
+     CmdLint},
+};
+
+void PrintUsage() {
+  std::fprintf(stderr, "usage:\n");
+  for (const Command& c : kCommands) {
+    std::fprintf(stderr, "  %s\n", c.usage);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: resccl <list|run|compile|select|emit> [options]\n");
+    PrintUsage();
     return 2;
   }
   const std::string cmd = argv[1];
   const Args args = ParseArgs(argc, argv, 2);
-  try {
-    if (cmd == "list") return CmdList();
-    if (cmd == "run") return CmdRun(args);
-    if (cmd == "compile") return CmdCompile(args);
-    if (cmd == "select") return CmdSelect(args);
-    if (cmd == "emit") return CmdEmit(args);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+  for (const Command& c : kCommands) {
+    if (cmd == c.name) {
+      try {
+        return c.run(args);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+      }
+    }
   }
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  PrintUsage();
   return 2;
 }
