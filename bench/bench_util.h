@@ -6,15 +6,46 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/table.h"
+#include "common/thread_pool.h"
 #include "runtime/backend.h"
 #include "runtime/communicator.h"
 #include "topology/topology.h"
 
 namespace resccl::bench {
+
+// Shared --jobs handling for the sweep benches: `--jobs=N` on the command
+// line wins, otherwise RESCCL_JOBS, otherwise serial. Every bench's
+// output is bit-identical across jobs values (see ParallelRows below), so
+// the flag only buys wall-clock.
+inline int ParseJobs(int argc, char** argv) {
+  int jobs = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = std::atoi(argv[i] + 7);
+    }
+  }
+  return ThreadPool::ResolveJobs(jobs);
+}
+
+// The shared deterministic sweep loop: computes row(i) for i in [0, n)
+// with `jobs` concurrent simulations and returns the results in index
+// order. Each row() call must be independent (one or more Executes of
+// prepared plans — the standard bench shape); the serial tail that prints
+// the table then consumes the vector in order, so the printed output is
+// byte-identical to --jobs=1.
+template <typename T, typename Fn>
+std::vector<T> ParallelRows(int jobs, std::size_t n, Fn&& row) {
+  std::vector<T> out(n);
+  ParallelFor(jobs, n, [&](std::size_t i) { out[i] = row(i); });
+  return out;
+}
 
 inline CollectiveReport Measure(const Algorithm& algo, const Topology& topo,
                                 BackendKind kind, Size buffer,

@@ -11,7 +11,8 @@ using namespace resccl::bench;
 
 namespace {
 
-void Panel(const char* label, int nodes, CollectiveOp op, bool coarse) {
+void Panel(const char* label, int nodes, CollectiveOp op, bool coarse,
+           int jobs) {
   const Topology topo(presets::A100(nodes, 8));
   const Algorithm expert =
       op == CollectiveOp::kAllGather
@@ -30,31 +31,38 @@ void Panel(const char* label, int nodes, CollectiveOp op, bool coarse) {
       PrepareOrDie(expert, topo, BackendKind::kResCCL);
   TextTable table({"Buffer", "NCCL GB/s", "MSCCL GB/s", "ResCCL GB/s",
                    "vs NCCL", "vs MSCCL"});
-  for (Size buffer : BufferGrid(coarse)) {
-    const double nccl = MeasurePrepared(*nccl_plan, buffer).algo_bw.gbps();
-    const double msccl = MeasurePrepared(*msccl_plan, buffer).algo_bw.gbps();
-    const double ours = MeasurePrepared(*resccl_plan, buffer).algo_bw.gbps();
-    table.AddRow({SizeLabel(buffer), Fixed(nccl, 1), Fixed(msccl, 1),
-                  Fixed(ours, 1), Fixed(ours / nccl, 2) + "x",
-                  Fixed(ours / msccl, 2) + "x"});
-  }
+  const std::vector<Size> grid = BufferGrid(coarse);
+  const auto rows = ParallelRows<std::vector<std::string>>(
+      jobs, grid.size(), [&](std::size_t i) -> std::vector<std::string> {
+        const Size buffer = grid[i];
+        const double nccl = MeasurePrepared(*nccl_plan, buffer).algo_bw.gbps();
+        const double msccl =
+            MeasurePrepared(*msccl_plan, buffer).algo_bw.gbps();
+        const double ours =
+            MeasurePrepared(*resccl_plan, buffer).algo_bw.gbps();
+        return {SizeLabel(buffer),        Fixed(nccl, 1),
+                Fixed(msccl, 1),          Fixed(ours, 1),
+                Fixed(ours / nccl, 2) + "x", Fixed(ours / msccl, 2) + "x"};
+      });
+  for (const auto& row : rows) table.AddRow(row);
   std::printf("%s\n", table.ToString().c_str());
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = ParseJobs(argc, argv);
   PrintHeader("Fig. 6 — expert-designed AllGather/AllReduce bandwidth",
               "Fig. 6(a)-(d) of the paper",
               "Paper: AG 16-GPU +28.1%-2.2x vs NCCL, +12.4%-1.6x vs MSCCL; "
               "AR +6.7%-2.5x vs NCCL.");
   Panel("(a) AllGather, 2 servers / 16 GPUs", 2, CollectiveOp::kAllGather,
-        false);
+        false, jobs);
   Panel("(b) AllGather, 4 servers / 32 GPUs", 4, CollectiveOp::kAllGather,
-        true);
+        true, jobs);
   Panel("(c) AllReduce, 2 servers / 16 GPUs", 2, CollectiveOp::kAllReduce,
-        false);
+        false, jobs);
   Panel("(d) AllReduce, 4 servers / 32 GPUs", 4, CollectiveOp::kAllReduce,
-        true);
+        true, jobs);
   return 0;
 }

@@ -10,7 +10,7 @@ using namespace resccl::bench;
 
 namespace {
 
-void Panel(const char* label, int nodes, bool coarse) {
+void Panel(const char* label, int nodes, bool coarse, int jobs) {
   const Topology topo(presets::A100(nodes, 8));
   struct Algo {
     const char* name;
@@ -37,26 +37,33 @@ void Panel(const char* label, int nodes, bool coarse) {
   std::vector<std::string> header{"Buffer"};
   for (const Algo& a : algos) header.push_back(a.name);
   TextTable table(header);
-  for (Size buffer : BufferGrid(coarse)) {
-    std::vector<std::string> row{SizeLabel(buffer)};
-    for (const Plans& p : plans) {
-      const double msccl = MeasurePrepared(*p.msccl, buffer).algo_bw.gbps();
-      const double ours = MeasurePrepared(*p.resccl, buffer).algo_bw.gbps();
-      row.push_back(Fixed(ours / msccl, 2) + "x");
-    }
-    table.AddRow(row);
-  }
+  const std::vector<Size> grid = BufferGrid(coarse);
+  const auto rows = ParallelRows<std::vector<std::string>>(
+      jobs, grid.size(), [&](std::size_t i) -> std::vector<std::string> {
+        const Size buffer = grid[i];
+        std::vector<std::string> row{SizeLabel(buffer)};
+        for (const Plans& p : plans) {
+          const double msccl =
+              MeasurePrepared(*p.msccl, buffer).algo_bw.gbps();
+          const double ours =
+              MeasurePrepared(*p.resccl, buffer).algo_bw.gbps();
+          row.push_back(Fixed(ours / msccl, 2) + "x");
+        }
+        return row;
+      });
+  for (const auto& row : rows) table.AddRow(row);
   std::printf("%s\n", table.ToString().c_str());
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = ParseJobs(argc, argv);
   PrintHeader("Fig. 7 — synthesized algorithms: ResCCL speedup over MSCCL",
               "Fig. 7 of the paper",
               "Paper: TECCL 4.6%-1.5x across the range; TACCL up to 1.4x on "
               "larger buffers, slight regressions below 8MB.");
-  Panel("2 servers / 16 GPUs", 2, false);
-  Panel("4 servers / 32 GPUs", 4, true);
+  Panel("2 servers / 16 GPUs", 2, false, jobs);
+  Panel("4 servers / 32 GPUs", 4, true, jobs);
   return 0;
 }

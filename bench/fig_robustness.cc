@@ -10,6 +10,8 @@
 // 1.0, or if any post-warm Execute misses the plan cache.
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "algorithms/hierarchical.h"
@@ -24,15 +26,6 @@ namespace {
 constexpr std::uint64_t kSeed = 20250806;
 constexpr double kIntensities[] = {0.25, 0.5, 0.75, 1.0};
 
-int failures = 0;
-
-void Check(bool ok, const char* what) {
-  if (!ok) {
-    std::fprintf(stderr, "FAIL: %s\n", what);
-    ++failures;
-  }
-}
-
 struct AlgoCase {
   const char* label;
   Algorithm (*make)(const Topology&);
@@ -46,9 +39,63 @@ const AlgoCase kAlgos[] = {
 constexpr BackendKind kBackends[] = {
     BackendKind::kResCCL, BackendKind::kMscclLike, BackendKind::kNcclLike};
 
+// One (algorithm, backend) case: its table row plus any failed checks.
+// Cases are independent (each owns its Communicator and plan cache), so
+// the sweep fans them out over the pool; within a case the clean run must
+// stay first (it compiles the plan the faulted replays must hit).
+struct CaseResult {
+  std::vector<std::string> row;
+  std::vector<std::string> failures;
+};
+
+CaseResult RunCase(const TopologySpec& spec, const AlgoCase& ac,
+                   BackendKind kind) {
+  CaseResult result;
+  auto check = [&result](bool ok, const char* what) {
+    if (!ok) result.failures.emplace_back(what);
+  };
+
+  const Communicator comm(spec, kind);
+  const Algorithm algo = ac.make(comm.topology());
+
+  RunRequest request;
+  request.launch.buffer = Size::MiB(64);
+  request.verify = true;
+
+  // Clean run compiles the plan (cache miss) and sets the baseline.
+  const CollectiveReport clean = comm.Run(algo, request);
+  check(clean.verified, "clean run must verify");
+  check(!clean.plan_cache_hit, "clean run must compile (cache miss)");
+
+  result.row = {ac.label, BackendName(kind), Fixed(clean.elapsed.ms(), 3)};
+  double last_stall_ms = 0;
+  for (const double intensity : kIntensities) {
+    RunRequest faulted = request;
+    faulted.faults = FaultPlan::Make(kSeed, intensity, comm.topology());
+    const CollectiveReport r = comm.Run(algo, faulted);
+    check(r.verified, "faulted run must verify (faults never touch data)");
+    check(r.plan_cache_hit,
+          "faulted run must replay the cached plan (no recompile)");
+    check(r.fault.faulted, "fault impact must be reported");
+    check(r.fault.slowdown_vs_clean >= 1.0 - 1e-9,
+          "faults must not speed a schedule up");
+    check(r.fault.clean_makespan == clean.elapsed,
+          "fault baseline must match the clean replay of the same plan");
+    result.row.push_back(Fixed(r.fault.slowdown_vs_clean, 2) + "x");
+    last_stall_ms = r.fault.total_stall.ms();
+  }
+  result.row.push_back(Fixed(last_stall_ms, 3));
+
+  const PlanCache::Stats stats = comm.plan_cache().stats();
+  check(stats.misses == 1, "exactly one compile per (algo, backend)");
+  check(stats.hits == 4, "every faulted run served from the plan cache");
+  return result;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = ParseJobs(argc, argv);
   PrintHeader("fig — robustness to fabric faults",
               "fault-injection study on the schedules of §4/§5",
               "Slowdown vs clean replay of the same prepared plan, fault "
@@ -58,44 +105,22 @@ int main() {
   TextTable table({"Algorithm", "Backend", "Clean ms", "x0.25", "x0.50",
                    "x0.75", "x1.00", "Stall ms @1.0"});
 
+  std::vector<std::pair<const AlgoCase*, BackendKind>> cases;
   for (const AlgoCase& ac : kAlgos) {
-    for (const BackendKind kind : kBackends) {
-      const Communicator comm(spec, kind);
-      const Algorithm algo = ac.make(comm.topology());
+    for (const BackendKind kind : kBackends) cases.emplace_back(&ac, kind);
+  }
 
-      RunRequest request;
-      request.launch.buffer = Size::MiB(64);
-      request.verify = true;
+  const auto results = ParallelRows<CaseResult>(
+      jobs, cases.size(), [&](std::size_t i) {
+        return RunCase(spec, *cases[i].first, cases[i].second);
+      });
 
-      // Clean run compiles the plan (cache miss) and sets the baseline.
-      const CollectiveReport clean = comm.Run(algo, request);
-      Check(clean.verified, "clean run must verify");
-      Check(!clean.plan_cache_hit, "clean run must compile (cache miss)");
-
-      std::vector<std::string> row = {ac.label, BackendName(kind),
-                                      Fixed(clean.elapsed.ms(), 3)};
-      double last_stall_ms = 0;
-      for (const double intensity : kIntensities) {
-        RunRequest faulted = request;
-        faulted.faults = FaultPlan::Make(kSeed, intensity, comm.topology());
-        const CollectiveReport r = comm.Run(algo, faulted);
-        Check(r.verified, "faulted run must verify (faults never touch data)");
-        Check(r.plan_cache_hit,
-              "faulted run must replay the cached plan (no recompile)");
-        Check(r.fault.faulted, "fault impact must be reported");
-        Check(r.fault.slowdown_vs_clean >= 1.0 - 1e-9,
-              "faults must not speed a schedule up");
-        Check(r.fault.clean_makespan == clean.elapsed,
-              "fault baseline must match the clean replay of the same plan");
-        row.push_back(Fixed(r.fault.slowdown_vs_clean, 2) + "x");
-        last_stall_ms = r.fault.total_stall.ms();
-      }
-      row.push_back(Fixed(last_stall_ms, 3));
-      table.AddRow(row);
-
-      const PlanCache::Stats stats = comm.plan_cache().stats();
-      Check(stats.misses == 1, "exactly one compile per (algo, backend)");
-      Check(stats.hits == 4, "every faulted run served from the plan cache");
+  int failures = 0;
+  for (const CaseResult& r : results) {
+    table.AddRow(r.row);
+    for (const std::string& f : r.failures) {
+      std::fprintf(stderr, "FAIL: %s\n", f.c_str());
+      ++failures;
     }
   }
 

@@ -1,0 +1,387 @@
+// Perf harness for the simulator hot path (self-checking).
+//
+// Execute dominates every number this repo produces, and Execute's cost is
+// the fluid model's re-rate cascades plus the event loop around them. This
+// bench pins both down with three workloads and emits machine-readable
+// metrics to BENCH_sim.json (CI compares them against a checked-in
+// baseline, tools/check_perf.py):
+//
+//   1. Re-rate workload — the hierarchical-mesh AllReduce of Fig. 6, run
+//      solo and as a 4-job co-run sharing the cluster (the contended
+//      NVSwitch-style regime the incremental walk targets), each with the
+//      incremental re-rate walk and with the --naive-rerate reference
+//      walk. Asserts the walks agree on every makespan to 1e-9 relative
+//      tolerance (deferred integration reassociates fp sums — see
+//      fluid.h — so agreement is fp-tight, not bit-exact; measured
+//      divergence is ~1e-14) and that the incremental walk issues >= 3x
+//      fewer RecomputeFlow calls on the co-run and >= 2x solo.
+//   2. Event-loop throughput — repeated Executes of the same plan;
+//      events/sec is the headline regression metric.
+//   3. Parallel sweep — a fig7-style candidates x buffers grid run with
+//      --jobs=1 and with all cores. Asserts bit-identical reports, and a
+//      >= 2x wall-clock speedup when the machine has >= 4 cores (on
+//      smaller machines the assert is skipped but the JSON still records
+//      the measured speedup).
+//
+// Flags: --jobs=N (sweep parallelism; default all cores), --naive-rerate
+// (run workloads 1/2 on the reference walk only — the baseline the
+// speedup numbers are measured against), --out=PATH (default
+// BENCH_sim.json in the current directory — CI runs from the repo root).
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "algorithms/hierarchical.h"
+#include "algorithms/synthesized.h"
+#include "bench/bench_util.h"
+#include "runtime/lowering.h"
+#include "runtime/multi_job.h"
+#include "sim/machine.h"
+
+using namespace resccl;
+using namespace resccl::bench;
+
+namespace {
+
+int failures = 0;
+
+void Check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: %s\n", what);
+    ++failures;
+  }
+}
+
+double NowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Order-sensitive FNV-1a over the deterministic content of a report: any
+// divergence between the serial and parallel sweep — or between the naive
+// and incremental re-rate walks — lands in a different hash.
+void HashMix(std::uint64_t& h, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    h ^= (bits >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+}
+
+std::uint64_t HashReport(const CollectiveReport& r) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  HashMix(h, r.elapsed.us());
+  HashMix(h, r.algo_bw.gbps());
+  for (const TbStats& tb : r.sim.tbs) {
+    HashMix(h, tb.busy.us());
+    HashMix(h, tb.sync.us());
+    HashMix(h, tb.overhead.us());
+    HashMix(h, tb.finish.us());
+  }
+  for (const TransferStats& t : r.sim.transfers) {
+    HashMix(h, t.start.us());
+    HashMix(h, t.complete.us());
+  }
+  return h;
+}
+
+// Relative divergence between two timestamps; 0 when both are 0.
+double RelErr(double a, double b) {
+  const double mag = std::max(std::fabs(a), std::fabs(b));
+  return mag > 0 ? std::fabs(a - b) / mag : 0.0;
+}
+
+// The deferred flush reassociates floating-point integration sums, so the
+// two walks agree to fp tolerance, not bit-exactly. Measured divergence on
+// these workloads is ~1e-14; the bar leaves five orders of headroom.
+constexpr double kTimingTolerance = 1e-9;
+
+struct RerateMetrics {
+  FluidNetwork::Stats incremental;
+  FluidNetwork::Stats naive;
+  double rerates_per_flow = 0;
+  double rerates_per_flow_naive = 0;
+  double reduction = 0;        // 4-job co-run (the acceptance bar)
+  double reduction_solo = 0;   // single job
+  double timing_relerr = 0;    // worst makespan divergence observed
+};
+
+RerateMetrics RerateWorkload() {
+  const Topology topo(presets::A100(2, 8));
+  const CostModel cost;
+  const Algorithm algo = algorithms::HierarchicalMeshAllReduce(topo);
+  const PreparedPlan plan = PrepareOrDie(algo, topo, BackendKind::kResCCL);
+
+  RerateMetrics m;
+
+  // Solo run: the collective alone on the cluster.
+  RunRequest request;
+  request.launch.buffer = Size::MiB(64);
+  const CollectiveReport incr = Execute(*plan, request);
+  request.naive_rerate = true;
+  const CollectiveReport naive = Execute(*plan, request);
+
+  m.timing_relerr = RelErr(incr.elapsed.us(), naive.elapsed.us());
+  Check(m.timing_relerr <= kTimingTolerance,
+        "incremental and naive re-rate walks must agree on the solo "
+        "makespan to 1e-9 relative tolerance");
+  Check(incr.sim.fluid.flows_started == naive.sim.fluid.flows_started,
+        "both walks must start the same flows");
+  Check(incr.sim.fluid.flows_started > 0, "workload must start flows");
+  m.reduction_solo = static_cast<double>(naive.sim.fluid.recompute_calls) /
+                     static_cast<double>(incr.sim.fluid.recompute_calls);
+  Check(m.reduction_solo >= 2.0,
+        "incremental walk must issue >= 2x fewer RecomputeFlow calls solo");
+
+  // 4-job co-run: four copies of the collective merged into one machine
+  // (runtime/multi_job.h's AppendProgram), contending for the same links —
+  // the busy-resource regime §4.4 targets. Here dirty resources touch many
+  // flows at once and the binding test pays off hardest.
+  LaunchConfig launch;
+  launch.buffer = Size::MiB(64);
+  const LoweredProgram lowered = Lower(plan->plan, cost, launch);
+  SimProgram merged;
+  constexpr int kCoJobs = 4;
+  for (int j = 0; j < kCoJobs; ++j) AppendProgram(merged, lowered.program);
+
+  auto co_run = [&](bool naive_rerate) {
+    SimMachine machine(topo, cost, naive_rerate);
+    return machine.Run(merged);
+  };
+  const SimRunReport co_incr = co_run(false);
+  const SimRunReport co_naive = co_run(true);
+
+  const double co_relerr = RelErr(co_incr.makespan.us(), co_naive.makespan.us());
+  m.timing_relerr = std::max(m.timing_relerr, co_relerr);
+  Check(co_relerr <= kTimingTolerance,
+        "incremental and naive re-rate walks must agree on the co-run "
+        "makespan to 1e-9 relative tolerance");
+
+  m.incremental = co_incr.fluid;
+  m.naive = co_naive.fluid;
+  Check(m.incremental.flows_started == m.naive.flows_started,
+        "both walks must start the same flows in the co-run");
+  const auto flows = static_cast<double>(m.incremental.flows_started);
+  m.rerates_per_flow =
+      static_cast<double>(m.incremental.recompute_calls) / flows;
+  m.rerates_per_flow_naive =
+      static_cast<double>(m.naive.recompute_calls) / flows;
+  m.reduction = static_cast<double>(m.naive.recompute_calls) /
+                static_cast<double>(m.incremental.recompute_calls);
+
+  // The acceptance bar: >= 3x fewer RecomputeFlow calls than the
+  // reference walk on the contended hierarchical-allreduce workload.
+  Check(m.reduction >= 3.0,
+        "incremental walk must issue >= 3x fewer RecomputeFlow calls on "
+        "the 4-job co-run");
+  // The arena must actually recycle (this workload churns through far
+  // more flows than are ever concurrently active).
+  Check(m.incremental.flows_recycled > 0,
+        "flow arena must recycle completed entries");
+  return m;
+}
+
+struct ThroughputMetrics {
+  std::uint64_t events = 0;
+  double wall_us = 0;
+  double events_per_sec = 0;
+  double events_per_sec_naive = 0;
+  double speedup_vs_naive = 0;
+};
+
+ThroughputMetrics ThroughputWorkload(bool naive_only) {
+  const Topology topo(presets::A100(2, 8));
+  const Algorithm algo = algorithms::HierarchicalMeshAllReduce(topo);
+  const PreparedPlan plan = PrepareOrDie(algo, topo, BackendKind::kResCCL);
+
+  constexpr int kReps = 6;
+  auto measure = [&](bool naive, std::uint64_t& events_out) {
+    RunRequest request;
+    request.launch.buffer = Size::MiB(64);
+    request.naive_rerate = naive;
+    std::uint64_t events = 0;
+    const double t0 = NowUs();
+    for (int i = 0; i < kReps; ++i) {
+      events += Execute(*plan, request).sim.events;
+    }
+    events_out = events;
+    return NowUs() - t0;
+  };
+
+  ThroughputMetrics m;
+  std::uint64_t naive_events = 0;
+  const double naive_us = measure(true, naive_events);
+  m.events_per_sec_naive =
+      static_cast<double>(naive_events) / (naive_us / 1e6);
+  if (naive_only) {
+    m.events = naive_events;
+    m.wall_us = naive_us;
+    m.events_per_sec = m.events_per_sec_naive;
+    m.speedup_vs_naive = 1.0;
+    return m;
+  }
+  m.wall_us = measure(false, m.events);
+  m.events_per_sec = static_cast<double>(m.events) / (m.wall_us / 1e6);
+  m.speedup_vs_naive = m.events_per_sec / m.events_per_sec_naive;
+  return m;
+}
+
+struct SweepMetrics {
+  std::size_t cells = 0;
+  int jobs = 1;
+  double serial_us = 0;
+  double parallel_us = 0;
+  double speedup = 0;
+  bool asserted = false;  // wall-clock bar enforced (>= 4 cores)
+};
+
+SweepMetrics SweepWorkload(int jobs) {
+  // The fig7 16-GPU panel: 4 synthesized algorithms x 2 backends x the
+  // full buffer grid, every cell one Execute of a prepared plan.
+  const Topology topo(presets::A100(2, 8));
+  std::vector<PreparedPlan> plans;
+  for (const Algorithm& algo :
+       {algorithms::TacclLikeAllGather(topo), algorithms::TacclLikeAllReduce(topo),
+        algorithms::TecclLikeAllGather(topo), algorithms::TecclLikeAllReduce(topo)}) {
+    plans.push_back(PrepareOrDie(algo, topo, BackendKind::kMscclLike));
+    plans.push_back(PrepareOrDie(algo, topo, BackendKind::kResCCL));
+  }
+  const std::vector<Size> grid = BufferGrid(false);
+
+  SweepMetrics m;
+  m.cells = plans.size() * grid.size();
+  m.jobs = jobs;
+  auto sweep = [&](int j) {
+    std::vector<std::uint64_t> hashes(m.cells);
+    const double t0 = NowUs();
+    ParallelFor(j, m.cells, [&](std::size_t cell) {
+      const std::size_t p = cell / grid.size();
+      const std::size_t b = cell % grid.size();
+      hashes[cell] = HashReport(MeasurePrepared(*plans[p], grid[b]));
+    });
+    const double wall = NowUs() - t0;
+    return std::make_pair(wall, std::move(hashes));
+  };
+
+  auto [serial_us, serial_hashes] = sweep(1);
+  auto [parallel_us, parallel_hashes] = sweep(jobs);
+  m.serial_us = serial_us;
+  m.parallel_us = parallel_us;
+  m.speedup = serial_us / parallel_us;
+
+  Check(serial_hashes == parallel_hashes,
+        "parallel sweep must be bit-identical to --jobs=1");
+
+  // The wall-clock bar only holds where there is hardware to parallelize
+  // over; the JSON still records the measured speedup elsewhere.
+  m.asserted = ThreadPool::HardwareJobs() >= 4 && jobs >= 4;
+  if (m.asserted) {
+    Check(m.speedup >= 2.0,
+          "parallel sweep must be >= 2x faster than --jobs=1 on >= 4 cores");
+  }
+  return m;
+}
+
+void WriteJson(const char* path, const RerateMetrics& rr,
+               const ThroughputMetrics& tp, const SweepMetrics& sw) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", path);
+    ++failures;
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": 1,\n");
+  std::fprintf(f, "  \"bench\": \"micro_sim\",\n");
+  std::fprintf(f, "  \"nproc\": %d,\n", ThreadPool::HardwareJobs());
+  std::fprintf(f, "  \"rerate\": {\n");
+  std::fprintf(f, "    \"flows\": %" PRIu64 ",\n", rr.incremental.flows_started);
+  std::fprintf(f, "    \"recompute_calls\": %" PRIu64 ",\n",
+               rr.incremental.recompute_calls);
+  std::fprintf(f, "    \"recompute_calls_naive\": %" PRIu64 ",\n",
+               rr.naive.recompute_calls);
+  std::fprintf(f, "    \"rerates_per_flow\": %.4f,\n", rr.rerates_per_flow);
+  std::fprintf(f, "    \"rerates_per_flow_naive\": %.4f,\n",
+               rr.rerates_per_flow_naive);
+  std::fprintf(f, "    \"reduction\": %.4f,\n", rr.reduction);
+  std::fprintf(f, "    \"reduction_solo\": %.4f,\n", rr.reduction_solo);
+  std::fprintf(f, "    \"timing_relerr\": %.3e,\n", rr.timing_relerr);
+  std::fprintf(f, "    \"rate_unchanged_skips\": %" PRIu64 ",\n",
+               rr.incremental.rate_unchanged_skips);
+  std::fprintf(f, "    \"flows_recycled\": %" PRIu64 "\n",
+               rr.incremental.flows_recycled);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"throughput\": {\n");
+  std::fprintf(f, "    \"events\": %" PRIu64 ",\n", tp.events);
+  std::fprintf(f, "    \"wall_us\": %.1f,\n", tp.wall_us);
+  std::fprintf(f, "    \"events_per_sec\": %.1f,\n", tp.events_per_sec);
+  std::fprintf(f, "    \"events_per_sec_naive\": %.1f,\n",
+               tp.events_per_sec_naive);
+  std::fprintf(f, "    \"speedup_vs_naive\": %.4f\n", tp.speedup_vs_naive);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"sweep\": {\n");
+  std::fprintf(f, "    \"cells\": %zu,\n", sw.cells);
+  std::fprintf(f, "    \"jobs\": %d,\n", sw.jobs);
+  std::fprintf(f, "    \"serial_us\": %.1f,\n", sw.serial_us);
+  std::fprintf(f, "    \"parallel_us\": %.1f,\n", sw.parallel_us);
+  std::fprintf(f, "    \"speedup\": %.4f,\n", sw.speedup);
+  std::fprintf(f, "    \"wall_clock_asserted\": %s\n",
+               sw.asserted ? "true" : "false");
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out = "BENCH_sim.json";
+  bool naive_only = false;
+  int jobs = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out = argv[i] + 6;
+    if (std::strcmp(argv[i], "--naive-rerate") == 0) naive_only = true;
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) jobs = std::atoi(argv[i] + 7);
+  }
+  if (jobs <= 0) jobs = ThreadPool::HardwareJobs();
+
+  PrintHeader("micro — simulator hot-path throughput",
+              "perf-regression harness (not a paper figure)",
+              naive_only ? "MODE: --naive-rerate reference walk" : "");
+
+  const RerateMetrics rr = RerateWorkload();
+  std::printf("re-rate (4-job co-run): %.2f recomputes/flow incremental, "
+              "%.2f naive (%.2fx reduction; %.2fx solo), %" PRIu64
+              " unchanged-rate skips, %" PRIu64
+              " recycled flow entries, timing relerr %.1e\n",
+              rr.rerates_per_flow, rr.rerates_per_flow_naive, rr.reduction,
+              rr.reduction_solo, rr.incremental.rate_unchanged_skips,
+              rr.incremental.flows_recycled, rr.timing_relerr);
+
+  const ThroughputMetrics tp = ThroughputWorkload(naive_only);
+  std::printf("event loop: %.0f events/sec (%.2fx vs naive walk)\n",
+              tp.events_per_sec, tp.speedup_vs_naive);
+
+  const SweepMetrics sw = SweepWorkload(jobs);
+  std::printf("sweep: %zu cells, serial %.0f ms, --jobs=%d %.0f ms "
+              "(%.2fx)%s\n",
+              sw.cells, sw.serial_us / 1e3, sw.jobs, sw.parallel_us / 1e3,
+              sw.speedup, sw.asserted ? "" : " [wall-clock assert skipped]");
+
+  WriteJson(out, rr, tp, sw);
+  std::printf("wrote %s\n", out);
+
+  if (failures != 0) {
+    std::fprintf(stderr, "%d perf self-check(s) failed\n", failures);
+    return 1;
+  }
+  std::printf("all perf self-checks passed\n");
+  return 0;
+}

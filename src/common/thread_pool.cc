@@ -1,0 +1,144 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace resccl {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads < 1) threads = 1;
+  queues_.resize(static_cast<std::size_t>(threads));
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (std::size_t i = 0; i < static_cast<std::size_t>(threads); ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    queues_[next_queue_].tasks.push_back(std::move(task));
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::TryPop(std::size_t self, std::function<void()>& out) {
+  // Own deque first, newest-first: the task most likely still warm in
+  // cache. Then steal oldest-first from siblings, starting after `self` so
+  // thieves spread instead of mobbing worker 0.
+  WorkerQueue& own = queues_[self];
+  if (!own.tasks.empty()) {
+    out = std::move(own.tasks.back());
+    own.tasks.pop_back();
+    return true;
+  }
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    WorkerQueue& victim = queues_[(self + k) % queues_.size()];
+    if (!victim.tasks.empty()) {
+      out = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(std::size_t self) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || TryPop(self, task); });
+      if (task == nullptr) return;  // stopping_ and nothing left to run
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  // Workers = cores - 1: ParallelFor's calling thread is the missing lane,
+  // so a jobs == HardwareJobs() sweep occupies exactly the machine.
+  static ThreadPool pool(HardwareJobs() - 1 > 0 ? HardwareJobs() - 1 : 1);
+  return pool;
+}
+
+int ThreadPool::ResolveJobs(int jobs) {
+  if (jobs > 0) return jobs;
+  const char* env = std::getenv("RESCCL_JOBS");
+  if (env == nullptr) return 1;
+  const long parsed = std::strtol(env, nullptr, 10);
+  return parsed > 0 ? static_cast<int>(parsed) : 1;
+}
+
+int ThreadPool::HardwareJobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void ParallelFor(int jobs, std::size_t n,
+                 const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (jobs > static_cast<int>(n)) jobs = static_cast<int>(n);
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Shared between the caller and the pool runners. Heap-allocated and
+  // reference-counted: a runner that only gets scheduled after the range
+  // drains (or after the caller already returned) must still find live
+  // state to no-op against.
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::size_t completed = 0;  // guarded by mu
+    std::exception_ptr first_error;  // guarded by mu
+    std::mutex mu;
+    std::condition_variable done;
+  };
+  auto state = std::make_shared<State>();
+
+  const std::function<void(std::size_t)>* fn = &body;
+  auto run = [state, fn, n] {
+    for (std::size_t i; (i = state->next.fetch_add(1)) < n;) {
+      std::exception_ptr error;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      const std::lock_guard<std::mutex> lock(state->mu);
+      if (error != nullptr && state->first_error == nullptr) {
+        state->first_error = error;
+      }
+      if (++state->completed == n) state->done.notify_all();
+    }
+  };
+
+  // The caller is lane 0 and guarantees progress on its own; the runners
+  // only add parallelism. Waiting is on *completions*: a runner still
+  // queued when the range drains exits without touching `fn`, which is the
+  // property that makes nested ParallelFor calls deadlock-free (`fn` — the
+  // caller's stack — is only ever dereferenced by runners that claimed an
+  // index, and indices can only be claimed while the caller is waiting).
+  for (int r = 1; r < jobs; ++r) ThreadPool::Shared().Submit(run);
+  run();
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done.wait(lock, [&] { return state->completed == n; });
+  if (state->first_error != nullptr) std::rethrow_exception(state->first_error);
+}
+
+}  // namespace resccl

@@ -1,0 +1,102 @@
+// A small work-stealing thread pool for deterministic parallel sweeps.
+//
+// The simulator is single-threaded by design (one EventQueue, one
+// FluidNetwork per run) — but almost every number this repo produces is a
+// *loop* over independent runs: SelectAlgorithm scores every candidate,
+// the fig6/fig7 benches sweep buffer grids, RunConcurrently replays each
+// job in isolation, the robustness sweep replays one plan across fault
+// intensities. Those runs share nothing mutable (Execute is const on a
+// PreparedCollective), so they parallelize embarrassingly.
+//
+// Determinism contract: ParallelFor(jobs, n, body) runs body(i) exactly
+// once for every i in [0, n) with at most `jobs` bodies in flight. Bodies
+// write results *by index* into storage the caller preallocated; any
+// reduction over those results happens serially in the caller afterwards,
+// in index order. Under that discipline the parallel path is bit-identical
+// to jobs == 1 — the assignment of index to thread can never leak into the
+// result, only into wall-clock. Tests assert this across the selector,
+// multi-job, and bench sweeps (tests/test_parallel_sweep.cc).
+//
+// Scheduling: each worker owns a deque; Submit deals tasks round-robin.
+// Owners pop newest-first from their own deque; an idle worker steals
+// oldest-first from a sibling, so imbalanced task costs rebalance without
+// a central queue becoming the bottleneck. ParallelFor additionally
+// self-balances: it enqueues `jobs - 1` runners that race the calling
+// thread over a shared atomic index, so a slow iteration never strands the
+// rest of the range behind it.
+//
+// ParallelFor never deadlocks on pool exhaustion: the calling thread
+// always participates, and it waits for *index completions*, not for the
+// runner tasks themselves — a runner that never gets a worker simply finds
+// the range drained and exits. Nesting is therefore safe (an outer
+// parallel sweep may call code that itself calls ParallelFor).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace resccl {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task on the least-recently-dealt worker's deque. Tasks may
+  // Submit further tasks. Never blocks.
+  void Submit(std::function<void()> task);
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+  // The process-wide pool backing ParallelFor, sized to the hardware
+  // (hardware_concurrency - 1 workers; the caller is the remaining lane).
+  // Created on first use, lives for the process.
+  static ThreadPool& Shared();
+
+  // Resolves a jobs request: jobs > 0 is taken as-is; jobs == 0 reads the
+  // RESCCL_JOBS environment variable, defaulting to 1 (serial) when unset
+  // or unparsable — so existing call sites stay serial unless the user
+  // opts in, and CI can flip whole binaries parallel with one variable.
+  [[nodiscard]] static int ResolveJobs(int jobs);
+
+  // What "all the cores" means on this machine (>= 1).
+  [[nodiscard]] static int HardwareJobs();
+
+ private:
+  struct WorkerQueue {
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(std::size_t self);
+  [[nodiscard]] bool TryPop(std::size_t self, std::function<void()>& out);
+
+  // One mutex guards all deques: tasks here are whole simulations (µs–ms),
+  // so contention on the push/pop lock is noise. The win from per-worker
+  // deques is the *stealing order* (LIFO owner / FIFO thief locality), not
+  // lock granularity.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<WorkerQueue> queues_;
+  std::vector<std::thread> workers_;
+  std::size_t next_queue_ = 0;
+  bool stopping_ = false;
+};
+
+// Runs body(0) … body(n-1), at most `jobs` concurrently (calling thread
+// included). jobs <= 1 — or n <= 1 — degrades to a plain serial loop on
+// the calling thread. Blocks until every index has completed. The first
+// exception thrown by any body is rethrown in the caller (remaining
+// indices still run to completion first, so storage written by index is
+// fully defined either way).
+void ParallelFor(int jobs, std::size_t n,
+                 const std::function<void(std::size_t)>& body);
+
+}  // namespace resccl

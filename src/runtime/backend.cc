@@ -94,7 +94,7 @@ CollectiveReport Execute(const PreparedCollective& prepared,
   const LoweredProgram lowered = Lower(cc, request.cost, request.launch);
 
   const bool faulted = !request.faults.empty();
-  SimMachine machine(topo, request.cost);
+  SimMachine machine(topo, request.cost, request.naive_rerate);
   CollectiveReport report;
   report.sim =
       machine.Run(lowered.program, faulted ? &request.faults : nullptr);
@@ -102,7 +102,7 @@ CollectiveReport Execute(const PreparedCollective& prepared,
   if (faulted) {
     // Replay the identical lowered program on an unperturbed fabric; the
     // gap is the schedule's (in)ability to absorb the faults.
-    SimMachine clean_machine(topo, request.cost);
+    SimMachine clean_machine(topo, request.cost, request.naive_rerate);
     const SimRunReport clean = clean_machine.Run(lowered.program);
     FaultImpact& impact = report.fault;
     impact.faulted = true;

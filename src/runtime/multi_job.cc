@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "runtime/data_engine.h"
 #include "runtime/lowering.h"
 #include "sim/machine.h"
@@ -25,30 +26,11 @@ struct PreparedJob {
   std::size_t tb_count = 0;
 };
 
-// Appends `job`'s program to `merged`, rebasing transfer, dependency, and
-// barrier indices.
 void Append(SimProgram& merged, PreparedJob& job) {
-  const int transfer_base = static_cast<int>(merged.transfers.size());
-  const int barrier_base = static_cast<int>(merged.barrier_parties.size());
   job.transfer_begin = merged.transfers.size();
   job.transfer_count = job.lowered.program.transfers.size();
-  job.tb_begin = merged.tbs.size();
   job.tb_count = job.lowered.program.tbs.size();
-
-  for (SimTransferDecl decl : job.lowered.program.transfers) {
-    for (int& d : decl.deps) d += transfer_base;
-    merged.transfers.push_back(std::move(decl));
-  }
-  for (SimTb tb : job.lowered.program.tbs) {
-    for (SimInstr& instr : tb.program) {
-      if (instr.transfer >= 0) instr.transfer += transfer_base;
-      if (instr.barrier >= 0) instr.barrier += barrier_base;
-    }
-    merged.tbs.push_back(std::move(tb));
-  }
-  for (int parties : job.lowered.program.barrier_parties) {
-    merged.barrier_parties.push_back(parties);
-  }
+  job.tb_begin = AppendProgram(merged, job.lowered.program);
 }
 
 SimTime JobCompletion(const SimRunReport& report, const PreparedJob& job) {
@@ -76,9 +58,31 @@ SimRunReport SliceReport(const SimRunReport& merged, const PreparedJob& job) {
 
 }  // namespace
 
+std::size_t AppendProgram(SimProgram& merged, const SimProgram& job) {
+  const int transfer_base = static_cast<int>(merged.transfers.size());
+  const int barrier_base = static_cast<int>(merged.barrier_parties.size());
+  const std::size_t tb_begin = merged.tbs.size();
+
+  for (SimTransferDecl decl : job.transfers) {
+    for (int& d : decl.deps) d += transfer_base;
+    merged.transfers.push_back(std::move(decl));
+  }
+  for (SimTb tb : job.tbs) {
+    for (SimInstr& instr : tb.program) {
+      if (instr.transfer >= 0) instr.transfer += transfer_base;
+      if (instr.barrier >= 0) instr.barrier += barrier_base;
+    }
+    merged.tbs.push_back(std::move(tb));
+  }
+  for (int parties : job.barrier_parties) {
+    merged.barrier_parties.push_back(parties);
+  }
+  return tb_begin;
+}
+
 CoRunReport RunConcurrently(const std::vector<JobSpec>& jobs,
                             const Topology& topo, const CostModel& cost,
-                            PlanCache* cache) {
+                            PlanCache* cache, int sim_jobs) {
   RESCCL_CHECK_MSG(!jobs.empty(), "need at least one job");
 
   auto shared_topo = std::make_shared<const Topology>(topo);
@@ -116,27 +120,34 @@ CoRunReport RunConcurrently(const std::vector<JobSpec>& jobs,
   SimMachine machine(topo, cost);
   const SimRunReport co = machine.Run(merged);
 
+  // The isolated baselines and data-engine verifications touch only
+  // job-local state (each spins up its own SimMachine / host buffers), so
+  // they fan out over the pool; outcomes land by job index and the report
+  // is assembled serially below — bit-identical to the serial path.
   CoRunReport report;
   report.makespan = co.makespan;
-  for (std::size_t j = 0; j < prepared.size(); ++j) {
-    const PreparedJob& job = prepared[j];
-    JobOutcome outcome;
-    outcome.name = jobs[j].name;
-    outcome.co_run = JobCompletion(co, job);
-    outcome.plan_cache_hit = job.plan_cache_hit;
-    outcome.prepare_us = job.prepare_us;
+  report.jobs.resize(prepared.size());
+  ParallelFor(ThreadPool::ResolveJobs(sim_jobs), prepared.size(),
+              [&](std::size_t j) {
+                const PreparedJob& job = prepared[j];
+                JobOutcome& outcome = report.jobs[j];
+                outcome.name = jobs[j].name;
+                outcome.co_run = JobCompletion(co, job);
+                outcome.plan_cache_hit = job.plan_cache_hit;
+                outcome.prepare_us = job.prepare_us;
 
-    const SimRunReport slice = SliceReport(co, job);
-    outcome.verified =
-        VerifyLoweredExecution(job.prepared->plan, job.lowered, slice).ok;
+                const SimRunReport slice = SliceReport(co, job);
+                outcome.verified =
+                    VerifyLoweredExecution(job.prepared->plan, job.lowered,
+                                           slice)
+                        .ok;
 
-    SimMachine alone(topo, cost);
-    outcome.isolated = alone.Run(job.lowered.program).makespan;
-    outcome.slowdown = outcome.isolated > SimTime::Zero()
-                           ? outcome.co_run / outcome.isolated
-                           : 0.0;
-    report.jobs.push_back(std::move(outcome));
-  }
+                SimMachine alone(topo, cost);
+                outcome.isolated = alone.Run(job.lowered.program).makespan;
+                outcome.slowdown = outcome.isolated > SimTime::Zero()
+                                       ? outcome.co_run / outcome.isolated
+                                       : 0.0;
+              });
   return report;
 }
 

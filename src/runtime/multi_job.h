@@ -43,14 +43,32 @@ struct CoRunReport {
   std::vector<JobOutcome> jobs;
 };
 
+// Appends `job`'s program to `merged`, rebasing transfer, dependency, and
+// barrier indices so both programs run in one SimMachine without
+// interacting except through shared network resources. Returns the index
+// of `job`'s first TB in `merged` (its TBs occupy [returned,
+// returned + job.tbs.size())), which is how callers recover per-job
+// completion times from the merged report. This is the co-run merge
+// RunConcurrently uses; it is exposed so benchmarks (bench/micro_sim) can
+// build contended multi-job workloads without the prepare/verify scaffold.
+std::size_t AppendProgram(SimProgram& merged, const SimProgram& job);
+
 // Runs all jobs concurrently on `topo` (kick-off at t=0). Every job is also
 // run in isolation for the slowdown baseline, and each job's data movement
 // is verified through the data engine. When `cache` is given, all jobs
 // prepare through it (one compile per distinct plan across jobs and calls).
 // Throws on compile errors.
+//
+// `sim_jobs` parallelizes the per-job isolated-baseline simulations and
+// data-engine verifications over the shared thread pool — they touch only
+// job-local state, and outcomes are collected by job index, so any value
+// is bit-identical to the serial path. 0 (the default) resolves through
+// RESCCL_JOBS and falls back to serial. (The co-run itself is one merged
+// simulation and stays single-threaded by design.)
 [[nodiscard]] CoRunReport RunConcurrently(const std::vector<JobSpec>& jobs,
                                           const Topology& topo,
                                           const CostModel& cost = {},
-                                          PlanCache* cache = nullptr);
+                                          PlanCache* cache = nullptr,
+                                          int sim_jobs = 0);
 
 }  // namespace resccl

@@ -10,6 +10,7 @@
 #include "algorithms/ring.h"
 #include "algorithms/rooted.h"
 #include "algorithms/tree.h"
+#include "common/thread_pool.h"
 
 namespace resccl {
 
@@ -64,17 +65,21 @@ std::vector<PreparedCandidate> PrepareCandidates(
   return prepared;
 }
 
-// Scores every prepared candidate at one buffer size and keeps the fastest.
-// `first_point` charges the prepare cost; later sweep points report the
-// plans as reused (hit, zero prepare).
+// Reduces one buffer size's already-computed reports (in candidate order)
+// to a SelectionResult. Runs serially, in index order, so the outcome is
+// independent of how the reports were produced. `first_point` charges the
+// prepare cost; later sweep points report the plans as reused (hit, zero
+// prepare).
 SelectionResult SelectAtSize(const std::vector<PreparedCandidate>& prepared,
-                             RunRequest request, bool first_point) {
+                             std::vector<CollectiveReport> reports,
+                             bool first_point) {
   SelectionResult result;
   bool have_best = false;
   std::size_t best_index = 0;
 
-  for (const PreparedCandidate& c : prepared) {
-    CollectiveReport report = Execute(*c.plan, request);
+  for (std::size_t j = 0; j < prepared.size(); ++j) {
+    const PreparedCandidate& c = prepared[j];
+    CollectiveReport& report = reports[j];
     report.plan_cache_hit = first_point ? c.plan_cache_hit : true;
     report.prepare_us = first_point ? c.prepare_us : 0.0;
     result.scoreboard.push_back({c.plan->plan.algo.name,
@@ -136,9 +141,9 @@ std::vector<Algorithm> CandidateAlgorithms(CollectiveOp op,
 
 SelectionResult SelectAlgorithm(CollectiveOp op, const Topology& topo,
                                 BackendKind backend, const RunRequest& request,
-                                PlanCache* cache) {
-  SweepResult sweep = SelectAlgorithmSweep(op, topo, backend, request,
-                                           {request.launch.buffer}, cache);
+                                PlanCache* cache, int jobs) {
+  SweepResult sweep = SelectAlgorithmSweep(
+      op, topo, backend, request, {request.launch.buffer}, cache, jobs);
   SelectionResult result = std::move(sweep.points.front());
   result.prepare_stats = sweep.prepare_stats;
   return result;
@@ -148,7 +153,7 @@ SweepResult SelectAlgorithmSweep(CollectiveOp op, const Topology& topo,
                                  BackendKind backend,
                                  const RunRequest& base_request,
                                  const std::vector<Size>& buffers,
-                                 PlanCache* cache) {
+                                 PlanCache* cache, int jobs) {
   if (buffers.empty()) {
     throw std::invalid_argument("sweep needs at least one buffer size");
   }
@@ -161,10 +166,25 @@ SweepResult SelectAlgorithmSweep(CollectiveOp op, const Topology& topo,
   const std::vector<PreparedCandidate> prepared = PrepareCandidates(
       candidates, topo, backend, cache, sweep.prepare_stats);
 
+  // Every (size, candidate) cell is one Execute of an immutable plan —
+  // independent, single-threaded simulations. Run the whole grid through
+  // the pool, collect by index, then reduce each size serially in
+  // candidate order: the result is bit-identical for every jobs value.
+  const std::size_t ncand = prepared.size();
+  std::vector<std::vector<CollectiveReport>> grid(buffers.size());
+  for (auto& row : grid) row.resize(ncand);
+  ParallelFor(ThreadPool::ResolveJobs(jobs), buffers.size() * ncand,
+              [&](std::size_t cell) {
+                const std::size_t i = cell / ncand;
+                const std::size_t j = cell % ncand;
+                RunRequest request = base_request;
+                request.launch.buffer = buffers[i];
+                grid[i][j] = Execute(*prepared[j].plan, request);
+              });
+
   for (std::size_t i = 0; i < buffers.size(); ++i) {
-    RunRequest request = base_request;
-    request.launch.buffer = buffers[i];
-    SelectionResult point = SelectAtSize(prepared, request, i == 0);
+    SelectionResult point =
+        SelectAtSize(prepared, std::move(grid[i]), i == 0);
     point.prepare_stats = sweep.prepare_stats;
     sweep.points.push_back(std::move(point));
   }

@@ -53,15 +53,25 @@ struct SelectionResult {
 // Simulates every candidate and returns the fastest. Plans are prepared
 // through `cache` when given (so repeated selections share compiles), or
 // freshly otherwise. Throws std::invalid_argument if no candidate applies.
+//
+// `jobs` parallelizes the candidate simulations over the shared thread
+// pool (common/thread_pool.h): every (candidate, size) cell is an
+// independent Execute of an immutable prepared plan, collected by index
+// and reduced serially — so any jobs value produces a bit-identical
+// result to jobs == 1. 0 (the default) resolves through RESCCL_JOBS and
+// falls back to serial.
 [[nodiscard]] SelectionResult SelectAlgorithm(CollectiveOp op,
                                               const Topology& topo,
                                               BackendKind backend,
                                               const RunRequest& request,
-                                              PlanCache* cache = nullptr);
+                                              PlanCache* cache = nullptr,
+                                              int jobs = 0);
 
 // Scores every candidate at every buffer size in `buffers`, preparing each
 // candidate exactly once for the whole sweep. Returns one SelectionResult
 // per size (same order as `buffers`); `prepare_stats` aggregates the sweep.
+// `jobs` as in SelectAlgorithm — the whole candidates × sizes grid runs
+// concurrently, deterministically.
 struct SweepResult {
   std::vector<SelectionResult> points;
   PrepareStats prepare_stats;
@@ -71,6 +81,7 @@ struct SweepResult {
                                                BackendKind backend,
                                                const RunRequest& base_request,
                                                const std::vector<Size>& buffers,
-                                               PlanCache* cache = nullptr);
+                                               PlanCache* cache = nullptr,
+                                               int jobs = 0);
 
 }  // namespace resccl

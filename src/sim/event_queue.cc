@@ -11,13 +11,21 @@ void EventQueue::Schedule(SimTime when, Callback cb) {
 }
 
 EventQueue::Slot EventQueue::NewSlot() {
+  if (!free_slots_.empty()) {
+    const Slot slot = free_slots_.back();
+    free_slots_.pop_back();
+    slot_free_[slot] = false;
+    return slot;
+  }
   slot_generation_.push_back(0);
   slot_pending_.push_back(false);
+  slot_free_.push_back(false);
   return slot_generation_.size() - 1;
 }
 
 void EventQueue::ScheduleSlot(Slot slot, SimTime when, Callback cb) {
   RESCCL_CHECK(slot < slot_generation_.size());
+  RESCCL_CHECK_MSG(!slot_free_[slot], "slot used after FreeSlot");
   RESCCL_CHECK_MSG(when >= now_, "event scheduled in the past");
   const std::uint64_t gen = ++slot_generation_[slot];
   queue_.push(Entry{when, next_seq_++, slot, gen, std::move(cb)});
@@ -29,6 +37,7 @@ void EventQueue::ScheduleSlot(Slot slot, SimTime when, Callback cb) {
 
 void EventQueue::CancelSlot(Slot slot) {
   RESCCL_CHECK(slot < slot_generation_.size());
+  RESCCL_CHECK_MSG(!slot_free_[slot], "slot used after FreeSlot");
   ++slot_generation_[slot];
   if (slot_pending_[slot]) {
     slot_pending_[slot] = false;
@@ -36,23 +45,43 @@ void EventQueue::CancelSlot(Slot slot) {
   }
 }
 
+void EventQueue::FreeSlot(Slot slot) {
+  RESCCL_CHECK(slot < slot_generation_.size());
+  RESCCL_CHECK_MSG(!slot_free_[slot], "slot freed twice");
+  CancelSlot(slot);  // the generation bump kills any queued entry
+  slot_free_[slot] = true;
+  free_slots_.push_back(slot);
+}
+
 bool EventQueue::RunOne() {
-  while (!queue_.empty()) {
+  for (;;) {
+    // Drop stale entries — their slot was rescheduled or cancelled.
+    while (!queue_.empty()) {
+      const Entry& top = queue_.top();
+      if (top.slot == kNoSlot || slot_generation_[top.slot] == top.generation)
+        break;
+      queue_.pop();
+    }
+    // The clock is about to advance past now_ (or the queue has drained):
+    // let the advance hook flush work deferred within this timestamp. It
+    // may schedule new events — possibly earlier than the current head —
+    // so re-examine the queue whenever it reports progress.
+    if (advance_hook_ && (queue_.empty() || queue_.top().when > now_)) {
+      if (advance_hook_()) continue;
+    }
+    if (queue_.empty()) return false;
     // priority_queue::top is const; moving the callback out is safe because
     // the entry is popped immediately afterwards.
     Entry e = std::move(const_cast<Entry&>(queue_.top()));
     queue_.pop();
-    const bool live =
-        e.slot == kNoSlot || slot_generation_[e.slot] == e.generation;
-    if (!live) continue;  // stale entry — its slot was rescheduled/cancelled
     if (e.slot != kNoSlot) slot_pending_[e.slot] = false;
     --size_;
     RESCCL_CHECK(e.when >= now_);
     now_ = e.when;
+    ++events_fired_;
     e.cb(now_);
     return true;
   }
-  return false;
 }
 
 }  // namespace resccl

@@ -27,15 +27,45 @@ class EventQueue {
   // Handle-based scheduling for cancellable events. `slot` identifies a
   // logical event source (e.g. a flow); rescheduling a slot invalidates any
   // previously scheduled entry for it.
+  //
+  // Slots are recycled: NewSlot prefers handles released via FreeSlot over
+  // growing the generation table, so long-running simulations that churn
+  // through short-lived event sources (e.g. millions of fluid flows) keep a
+  // bounded slot table. A slot's generation counter survives recycling —
+  // it only ever increments — so entries queued by a previous owner can
+  // never fire for the new one.
   using Slot = std::size_t;
   [[nodiscard]] Slot NewSlot();
   void ScheduleSlot(Slot slot, SimTime when, Callback cb);
   void CancelSlot(Slot slot);
+  // Cancels any pending entry and returns the slot to the free list. The
+  // handle must not be used again until NewSlot hands it back out
+  // (checked), and must not be freed twice (checked).
+  void FreeSlot(Slot slot);
 
   // Pops and fires the next event; returns false when the queue is empty.
   bool RunOne();
+
+  // Installed by a component that defers work within a timestamp (the fluid
+  // model coalesces re-rate walks this way). RunOne invokes the hook
+  // whenever the clock is about to advance past `now()` — including when
+  // the queue has drained — and the hook returns true if it did work (it
+  // may have scheduled new events, possibly earlier than the current head);
+  // RunOne then re-examines the queue. A hook with nothing pending must
+  // return false or RunOne would spin.
+  using AdvanceHook = std::function<bool()>;
+  void SetAdvanceHook(AdvanceHook hook) { advance_hook_ = std::move(hook); }
   [[nodiscard]] bool empty() const { return size_ == 0; }
   [[nodiscard]] SimTime now() const { return now_; }
+  // Size of the slot table ever allocated (recycled handles included);
+  // exposed so tests can assert the free list bounds growth.
+  [[nodiscard]] std::size_t allocated_slots() const {
+    return slot_generation_.size();
+  }
+  // Callbacks actually fired over the queue's lifetime (stale slot entries
+  // skipped by lazy invalidation are not counted). The perf harness
+  // divides this by wall-clock for its events/sec throughput metric.
+  [[nodiscard]] std::uint64_t events_fired() const { return events_fired_; }
 
  private:
   struct Entry {
@@ -56,7 +86,11 @@ class EventQueue {
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
   std::vector<std::uint64_t> slot_generation_;
   std::vector<bool> slot_pending_;  // slot has a live queued entry
+  std::vector<bool> slot_free_;     // slot is parked on the free list
+  std::vector<Slot> free_slots_;
+  AdvanceHook advance_hook_;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t events_fired_ = 0;
   std::size_t size_ = 0;  // live events only
   SimTime now_ = SimTime::Zero();
 };

@@ -9,59 +9,99 @@
 namespace resccl {
 
 FluidNetwork::FluidNetwork(const Topology& topo, const CostModel& cost,
-                           EventQueue& queue, const FaultPlan* faults)
-    : topo_(topo), cost_(cost), queue_(queue), faults_(faults) {
+                           EventQueue& queue, const FaultPlan* faults,
+                           bool naive_rerate)
+    : topo_(topo),
+      cost_(cost),
+      queue_(queue),
+      faults_(faults),
+      naive_rerate_(naive_rerate) {
   const std::size_t n = topo_.resources().size();
   resource_active_.assign(n, 0);
   resource_flows_.assign(n, {});
   usage_.assign(n, {});
   resource_busy_since_.assign(n, SimTime::Zero());
+  mark_stamp_.assign(n, 0);
+  mark_index_.assign(n, 0);
+  // Deferred re-rates flush just before the clock advances (the naive
+  // reference walk runs inline and never defers, so its hook is a no-op).
+  queue_.SetAdvanceHook([this] { return FlushDeferred(); });
 }
+
+FluidNetwork::~FluidNetwork() { queue_.SetAdvanceHook(nullptr); }
 
 FlowId FluidNetwork::StartFlow(const Path& path, std::int64_t bytes,
                                Bandwidth cap, CompletionFn on_complete) {
   RESCCL_CHECK_MSG(bytes > 0, "flow must carry at least one byte");
   const SimTime now = queue_.now();
 
-  Flow f;
-  f.path = &path;
+  std::size_t index;
+  if (!free_flows_.empty()) {
+    index = free_flows_.back();
+    free_flows_.pop_back();
+    ++stats_.flows_recycled;
+  } else {
+    flows_.emplace_back();
+    index = flows_.size() - 1;
+  }
+  Flow& f = flows_[index];
+  f.resources.assign(path.resources.begin(), path.resources.end());
   f.remaining = static_cast<double>(bytes);
+  f.rate = 0.0;
   f.cap = cap.bytes_per_us();
   f.last_update = now;
   f.slot = queue_.NewSlot();
   f.on_complete = std::move(on_complete);
   f.active = true;
+  ++stats_.flows_started;
 
-  flows_.push_back(std::move(f));
-  const std::size_t index = flows_.size() - 1;
-  const FlowId id(static_cast<std::int32_t>(index));
-
-  UpdateResourceCounts(flows_[index], +1, now);
-  for (ResourceId r : path.resources) {
+  UpdateResourceCounts(f.resources, +1, now);
+  for (ResourceId r : f.resources) {
     resource_flows_[static_cast<std::size_t>(r.value)].push_back(index);
     usage_[static_cast<std::size_t>(r.value)].bytes += bytes;
   }
   ++active_count_;
-  RecomputeAffected(path, now);
+  const FlowId id(static_cast<std::int32_t>(index));
+  if (naive_rerate_) {
+    // Seed behavior: walk every resource inline; the new flow is rated per
+    // incidence and its peers slow down immediately. The walk copies the
+    // list before re-rating anything, so passing a reference into the
+    // (recyclable) entry is safe.
+    RecomputeAffected(f.resources, now);
+  } else {
+    // Deferred: the new flow carries no rate until the flush just before
+    // the clock advances — exact, because no simulated time passes in
+    // between. UpdateResourceCounts above already marked its resources
+    // dirty; force-list it too, since a never-rated flow has no rate for
+    // the flush's binding test to classify.
+    if (pending_marks_.empty() && pending_forced_.empty()) {
+      batch_start_seq_ = recompute_seq_;
+    }
+    pending_forced_.push_back(index);
+  }
   return id;
 }
 
+double FluidNetwork::ResourceShare(ResourceId r, int z, SimTime now) const {
+  // Fair share of one resource among z flows, degraded by the resource's
+  // own contention penalty and any fault window active at `now`. Shared by
+  // CurrentRate and the affected walk's binding test so both see the exact
+  // same floating-point value for the same (resource, count, time).
+  const Resource& res = topo_.resource(r);
+  const double eff =
+      1.0 / (1.0 + res.contention_gamma * static_cast<double>(z - 1));
+  double capacity = res.capacity.bytes_per_us();
+  if (faults_ != nullptr) capacity *= faults_->CapacityScaleAt(r, now);
+  return capacity / static_cast<double>(z) * eff;
+}
+
 double FluidNetwork::CurrentRate(const Flow& f, SimTime now) const {
-  // Per-resource fair share degraded by that resource's own contention
-  // penalty (and any fault window active at `now`); the flow runs at the
-  // tightest constraint along its path, bounded by the driving TB's
-  // injection capability.
+  // The flow runs at the tightest per-resource constraint along its path,
+  // bounded by the driving TB's injection capability.
   double rate = f.cap;
-  for (ResourceId r : f.path->resources) {
-    const auto ri = static_cast<std::size_t>(r.value);
-    const int z = resource_active_[ri];
-    const Resource& res = topo_.resource(r);
-    const double eff =
-        1.0 / (1.0 + res.contention_gamma * static_cast<double>(z - 1));
-    double capacity = res.capacity.bytes_per_us();
-    if (faults_ != nullptr) capacity *= faults_->CapacityScaleAt(r, now);
-    const double share = capacity / static_cast<double>(z) * eff;
-    rate = std::min(rate, share);
+  for (ResourceId r : f.resources) {
+    const int z = resource_active_[static_cast<std::size_t>(r.value)];
+    rate = std::min(rate, ResourceShare(r, z, now));
   }
   return rate;
 }
@@ -69,19 +109,20 @@ double FluidNetwork::CurrentRate(const Flow& f, SimTime now) const {
 SimTime FluidNetwork::NextFaultTransition(const Flow& f, SimTime now) const {
   SimTime next = SimTime::Infinity();
   if (faults_ == nullptr) return next;
-  for (ResourceId r : f.path->resources) {
+  for (ResourceId r : f.resources) {
     next = std::min(next, faults_->NextTransitionAfter(r, now));
   }
   return next;
 }
 
-void FluidNetwork::UpdateResourceCounts(const Flow& f, int delta,
-                                        SimTime now) {
-  for (ResourceId r : f.path->resources) {
+void FluidNetwork::UpdateResourceCounts(std::span<const ResourceId> resources,
+                                        int delta, SimTime now) {
+  for (ResourceId r : resources) {
     const auto ri = static_cast<std::size_t>(r.value);
     const int before = resource_active_[ri];
     resource_active_[ri] += delta;
     RESCCL_CHECK(resource_active_[ri] >= 0);
+    if (!naive_rerate_) MarkResource(ri, before, resource_active_[ri]);
     if (before == 0 && delta > 0) {
       resource_busy_since_[ri] = now;
     } else if (resource_active_[ri] == 0 && delta < 0) {
@@ -90,20 +131,153 @@ void FluidNetwork::UpdateResourceCounts(const Flow& f, int delta,
   }
 }
 
-void FluidNetwork::RecomputeAffected(const Path& path, SimTime now) {
-  // Collect flows sharing any resource with `path`; rates depend only on
-  // per-resource counts, so nothing else can have changed.
-  for (ResourceId r : path.resources) {
-    const auto ri = static_cast<std::size_t>(r.value);
-    // Copy: RecomputeFlow can complete a flow and mutate the lists.
-    const std::vector<std::size_t> affected = resource_flows_[ri];
-    for (std::size_t fi : affected) {
-      if (flows_[fi].active) RecomputeFlow(fi, now);
-    }
+void FluidNetwork::MarkResource(std::size_t ri, int z_before, int z_after) {
+  if (pending_marks_.empty() && pending_forced_.empty()) {
+    batch_start_seq_ = recompute_seq_;
+  }
+  if (mark_stamp_[ri] == mark_epoch_) {
+    // Already dirty this batch: widen the count range. z_before equals the
+    // previous change's z_after, so only the new endpoint can extend it.
+    Mark& m = pending_marks_[mark_index_[ri]];
+    m.z_lo = std::min(m.z_lo, z_after);
+    m.z_hi = std::max(m.z_hi, z_after);
+  } else {
+    mark_stamp_[ri] = mark_epoch_;
+    mark_index_[ri] = pending_marks_.size();
+    pending_marks_.push_back(
+        {ri, z_before, std::min(z_before, z_after), std::max(z_before, z_after)});
   }
 }
 
-void FluidNetwork::RecomputeFlow(std::size_t index, SimTime now) {
+void FluidNetwork::RecomputeAffected(const std::vector<ResourceId>& resources,
+                                     SimTime now) {
+  // Naive reference walk (the seed behavior): one full recompute per
+  // (resource, flow) incidence — a flow sharing k resources with the
+  // trigger is re-integrated k times, and every start/complete pays its own
+  // walk even when several land on the same timestamp. Kept as the
+  // perf-harness baseline; the deferred flush matches its timing to
+  // relative fp tolerance (see fluid.h). Scratch is per recursion depth
+  // (completion callbacks can start flows, nesting walks) and held in a
+  // deque so growing it never invalidates an outer walk's reference.
+  RESCCL_CHECK(naive_rerate_);
+  if (walk_scratch_.size() <= walk_depth_) walk_scratch_.emplace_back();
+  WalkScratch& scratch = walk_scratch_[walk_depth_];
+  ++walk_depth_;
+  // Copy before any re-rate: a nested completion can recycle the flow entry
+  // (or reallocate flows_) that `resources` points into.
+  scratch.resources.assign(resources.begin(), resources.end());
+  for (ResourceId r : scratch.resources) {
+    const auto ri = static_cast<std::size_t>(r.value);
+    scratch.affected = resource_flows_[ri];  // copy: re-rates mutate it
+    for (std::size_t fi : scratch.affected) {
+      if (flows_[fi].active) RecomputeFlow(fi, now, /*allow_skip=*/false);
+    }
+  }
+  --walk_depth_;
+}
+
+bool FluidNetwork::FlushDeferred() {
+  // Re-rates everything marked dirty since the last flush, all at the
+  // current timestamp. Runs at most once per distinct simulated time (the
+  // queue's advance hook), so any number of same-time starts and
+  // completions — a chunk finishing and the next chunk starting, a barrier
+  // releasing a whole phase — cost one walk instead of one walk each.
+  //
+  // Within the flush, two filters bound the work:
+  //
+  //  1. Epoch dedup — each flow is re-rated at most once per round. A stale
+  //     stamp can never equal a fresh epoch (the counter only grows), so
+  //     recycled entries need no clearing pass.
+  //
+  //  2. O(1) binding test per (resource, flow) incidence. Only dirty
+  //     resources changed count, so flow f's rate can have moved only if
+  //     for some dirty resource r on its path:
+  //       - r's final share dropped below f's current rate (the min
+  //         tightened), or
+  //       - r could have been binding for f when f was last rated, and r's
+  //         share has moved since (the min may relax). For a flow rated
+  //         before this batch, "binding" is exact: rate == share(z_first).
+  //         For a flow rated mid-batch (its wake event fired on this
+  //         timestamp), r's count at that moment is somewhere in
+  //         [z_lo, z_hi], so the test widens to rate ∈ [s(z_hi), s(z_lo)].
+  //         A flow at its injection cap is exempt: rates never rise past
+  //         the cap, whatever the shares do.
+  //     Rates rise only when every binding resource loosens, and a binding
+  //     resource loosens only by changing count, which marks it — so a flow
+  //     failing the test for all dirty resources on its path keeps its rate
+  //     bit-exactly and is never touched: its integration is deferred to
+  //     its next re-rate, which is exact because the rate is constant over
+  //     the deferred span.
+  //
+  // Re-rates can complete flows, whose callbacks start new flows — still at
+  // this timestamp, marking fresh work; the outer loop drains until clean.
+  if (in_flush_ || (pending_marks_.empty() && pending_forced_.empty())) {
+    return false;
+  }
+  in_flush_ = true;
+  const SimTime now = queue_.now();
+  while (!pending_marks_.empty() || !pending_forced_.empty()) {
+    const std::uint64_t batch_seq = batch_start_seq_;
+    flush_marks_.swap(pending_marks_);
+    flush_forced_.swap(pending_forced_);
+    ++mark_epoch_;  // invalidates mark_stamp_ for the next pending batch
+    const std::uint64_t epoch = ++visit_epoch_;
+    flush_affected_.clear();
+    for (std::size_t fi : flush_forced_) {
+      // A forced entry can already be inactive (started and drained by a
+      // same-time wake) or recycled (its index re-handed to a newer flow,
+      // which is itself forced) — the stamp and the active check below
+      // make both harmless.
+      Flow& f = flows_[fi];
+      if (f.visit_stamp == epoch) continue;
+      f.visit_stamp = epoch;
+      flush_affected_.push_back(fi);
+    }
+    for (const Mark& m : flush_marks_) {
+      const int z_new = resource_active_[m.ri];
+      if (z_new == 0) continue;  // every flow here completed this batch
+      const ResourceId r(static_cast<std::int32_t>(m.ri));
+      const double s_new = ResourceShare(r, z_new, now);
+      const double s_first =
+          ResourceShare(r, m.z_first > 0 ? m.z_first : 1, now);
+      const double s_hi = ResourceShare(r, m.z_hi, now);  // smallest share
+      const double s_lo =
+          ResourceShare(r, m.z_lo > 0 ? m.z_lo : 1, now);  // largest share
+      for (std::size_t fi : resource_flows_[m.ri]) {
+        Flow& f = flows_[fi];
+        ++stats_.walk_visits;
+        if (f.visit_stamp == epoch) continue;
+        bool maybe_changed;
+        if (s_new < f.rate) {
+          maybe_changed = true;  // the min tightened below the stored rate
+        } else if (f.rate == f.cap) {
+          maybe_changed = false;  // cap-bound: cannot rise
+        } else if (f.reseq > batch_seq) {
+          maybe_changed = s_hi <= f.rate && f.rate <= s_lo;
+        } else {
+          maybe_changed = f.rate == s_first && s_new != s_first;
+        }
+        if (!maybe_changed) {
+          ++stats_.binding_skips;
+          continue;
+        }
+        f.visit_stamp = epoch;
+        flush_affected_.push_back(fi);
+      }
+    }
+    for (std::size_t fi : flush_affected_) {
+      if (flows_[fi].active) RecomputeFlow(fi, now, /*allow_skip=*/true);
+    }
+    flush_marks_.clear();
+    flush_forced_.clear();
+  }
+  in_flush_ = false;
+  return true;
+}
+
+void FluidNetwork::RecomputeFlow(std::size_t index, SimTime now,
+                                 bool allow_skip) {
+  ++stats_.recompute_calls;
   Flow& f = flows_[index];
   RESCCL_CHECK(f.active);
   // Integrate progress at the old rate.
@@ -116,8 +290,22 @@ void FluidNetwork::RecomputeFlow(std::size_t index, SimTime now) {
     Complete(index, now);
     return;
   }
-  f.rate = CurrentRate(f, now);
-  RESCCL_CHECK_MSG(f.rate > 0.0, "flow starved: zero rate");
+  const double rate = CurrentRate(f, now);
+  RESCCL_CHECK_MSG(rate > 0.0, "flow starved: zero rate");
+  // The stored rate is now verified (or about to be made) current with
+  // respect to this timestamp's final counts; stamp the sequence so the
+  // flush's binding test classifies this flow correctly next batch.
+  f.reseq = ++recompute_seq_;
+  if (allow_skip && rate == f.rate) {
+    // The bottleneck on f's path didn't actually move (e.g. a tied second
+    // bottleneck still binds), so the queued completion/wake event is
+    // still exact — keep it. Skipping is only legal from the flush: a
+    // slot-fired wake passes allow_skip=false because its event has
+    // already been consumed and the flow must either complete or requeue.
+    ++stats_.rate_unchanged_skips;
+    return;
+  }
+  f.rate = rate;
   const SimTime done = now + SimTime::Us(f.remaining / f.rate);
   // If the residue would drain in less than one representable time
   // increment, the completion event would fire at `now` again with zero
@@ -130,30 +318,48 @@ void FluidNetwork::RecomputeFlow(std::size_t index, SimTime now) {
   // rate mid-flight: wake up at the boundary and re-rate instead.
   const SimTime transition = NextFaultTransition(f, now);
   const SimTime wake = std::min(done, transition);
-  queue_.ScheduleSlot(f.slot, wake,
-                      [this, index](SimTime t) { RecomputeFlow(index, t); });
+  ++stats_.reschedules;
+  queue_.ScheduleSlot(f.slot, wake, [this, index](SimTime t) {
+    RecomputeFlow(index, t, /*allow_skip=*/false);
+  });
 }
 
 void FluidNetwork::Complete(std::size_t index, SimTime now) {
   Flow& f = flows_[index];
+  RESCCL_CHECK(f.active);
   f.active = false;
   f.remaining = 0.0;
   f.rate = 0.0;
-  queue_.CancelSlot(f.slot);
-  UpdateResourceCounts(f, -1, now);
-  for (ResourceId r : f.path->resources) {
+  queue_.FreeSlot(f.slot);
+  UpdateResourceCounts(f.resources, -1, now);
+  for (ResourceId r : f.resources) {
     auto& list = resource_flows_[static_cast<std::size_t>(r.value)];
-    list.erase(std::remove(list.begin(), list.end(), index), list.end());
+    const auto it = std::find(list.begin(), list.end(), index);
+    RESCCL_CHECK(it != list.end());
+    *it = list.back();  // swap-remove: order within a list is irrelevant
+    list.pop_back();
   }
   --active_count_;
-  // Peers sharing resources speed up now that this flow is gone.
-  RecomputeAffected(*f.path, now);
+  CompletionFn cb = std::move(f.on_complete);
+  // The entry is recyclable from here on — a StartFlow nested in the walk
+  // below (via a peer's completion callback) may hand it out again — so
+  // don't touch `f` past this point.
+  free_flows_.push_back(index);
+  // Peers sharing resources speed up now that this flow is gone. In the
+  // incremental mode UpdateResourceCounts above already marked the path
+  // dirty and the flush before the next clock advance re-rates them; the
+  // naive reference walks inline (it copies the list before re-rating
+  // anything, so the reference into the recyclable entry is safe).
+  if (naive_rerate_) RecomputeAffected(flows_[index].resources, now);
   // Fire completion last: the callback may start new flows.
-  auto cb = std::move(f.on_complete);
   if (cb) cb(now);
 }
 
 double FluidNetwork::FlowRate(FlowId id) const {
+  // A diagnostic read inside the current timestamp must observe the rates
+  // the deferred marks imply, so flush first (logically const: it only
+  // advances state the next event would force anyway).
+  const_cast<FluidNetwork*>(this)->FlushDeferred();
   const auto i = static_cast<std::size_t>(id.value);
   RESCCL_CHECK(i < flows_.size());
   return flows_[i].active ? flows_[i].rate : 0.0;

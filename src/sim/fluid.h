@@ -13,6 +13,26 @@
 // rate update — each update integrates the bytes moved at the old rate and
 // reschedules the flow's completion event.
 //
+// The re-rate walk is incremental (docs/simulation_model.md, "Re-rate
+// complexity"). Rates only matter once simulated time advances, so all
+// count changes within one timestamp coalesce: flow starts and completions
+// mark their resources dirty, and a single flush — driven by the event
+// queue's advance hook just before the clock moves — re-rates the affected
+// flows once. Within the flush, an epoch-stamped visited set considers each
+// flow at most once, and an O(1) binding test per (resource, flow)
+// incidence proves most flows' rates unchanged without recomputing them: a
+// flow is only re-rated if a dirty resource now constrains below its
+// current rate, or could have been binding for it at some count the
+// resource took during the timestamp. Skipped flows keep their queued
+// completion events and defer integration to their next re-rate; that is
+// exact, not an approximation, because a skipped flow's rate is constant
+// over the deferred span. (Deferral does reassociate the floating-point
+// partial sums, so the incremental path matches the naive reference walk to
+// relative fp tolerance rather than bit-exactly; each path on its own stays
+// fully deterministic.) Completed Flow entries and their event-queue slots
+// recycle through free lists, so arbitrarily long simulations run in
+// bounded memory with no steady-state allocation.
+//
 // With a FaultPlan attached, capacity(r) additionally carries the plan's
 // time-varying degradation scale; flows crossing a fault-window boundary are
 // re-rated at the boundary instead of waiting for their (now stale)
@@ -20,6 +40,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <span>
 #include <vector>
@@ -41,19 +62,45 @@ class FluidNetwork {
  public:
   using CompletionFn = std::function<void(SimTime now)>;
 
+  // Re-rate accounting, monotonic over the network's lifetime. The perf
+  // harness (bench/micro_sim) asserts the incremental walk's
+  // recompute_calls stay well under the naive walk's on real workloads.
+  struct Stats {
+    std::uint64_t flows_started = 0;
+    std::uint64_t flows_recycled = 0;  // entries reused from the free list
+    std::uint64_t recompute_calls = 0;  // RecomputeFlow invocations
+    std::uint64_t walk_visits = 0;  // O(1) (resource, flow) incidence checks
+    std::uint64_t binding_skips = 0;  // proven unchanged without recompute
+    std::uint64_t rate_unchanged_skips = 0;  // recomputed, rate identical
+    std::uint64_t reschedules = 0;  // completion/wake events (re)queued
+  };
+
   // `faults` (optional, unowned, must outlive the network) degrades
-  // per-resource capacity over the plan's time windows.
+  // per-resource capacity over the plan's time windows. `naive_rerate`
+  // selects the reference O(flows × path-length) re-rate walk (one full
+  // recompute per shared (resource, flow) incidence, no skipping) — the
+  // seed behavior, kept as the perf-harness baseline; the incremental walk
+  // matches its timing to relative fp tolerance (see the header comment).
   FluidNetwork(const Topology& topo, const CostModel& cost, EventQueue& queue,
-               const FaultPlan* faults = nullptr);
+               const FaultPlan* faults = nullptr, bool naive_rerate = false);
+  // Unregisters the advance hook; the queue must still be alive (declare
+  // the network after the queue, or on the same scope below it).
+  ~FluidNetwork();
+  FluidNetwork(const FluidNetwork&) = delete;
+  FluidNetwork& operator=(const FluidNetwork&) = delete;
 
   // Starts a flow of `bytes` over `path` with injection cap `cap`;
-  // `on_complete` fires exactly once, when the last byte drains.
+  // `on_complete` fires exactly once, when the last byte drains. The
+  // path's resource list is copied into the flow (the caller's Path only
+  // needs to outlive this call). Returned FlowIds are recycled after the
+  // flow completes — they stay valid for FlowRate only until then.
   FlowId StartFlow(const Path& path, std::int64_t bytes, Bandwidth cap,
                    CompletionFn on_complete);
 
   // Diagnostics for tests: current rate in bytes/us (0 if finished).
   [[nodiscard]] double FlowRate(FlowId id) const;
   [[nodiscard]] int ActiveFlowCount() const { return active_count_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
 
   // Per-resource accounting, used for link-utilization metrics.
   struct ResourceUsage {
@@ -66,20 +113,54 @@ class FluidNetwork {
 
  private:
   struct Flow {
-    const Path* path = nullptr;
+    // Copied from the starting Path; capacity is recycled with the entry.
+    std::vector<ResourceId> resources;
     double remaining = 0.0;   // bytes
     double rate = 0.0;        // bytes/us
     double cap = 0.0;         // bytes/us
     SimTime last_update;
     EventQueue::Slot slot = 0;
     CompletionFn on_complete;
+    std::uint64_t visit_stamp = 0;  // epoch of the last flush-walk visit
+    std::uint64_t reseq = 0;  // recompute sequence of the last re-rate
     bool active = false;
   };
 
-  void UpdateResourceCounts(const Flow& f, int delta, SimTime now);
-  void RecomputeAffected(const Path& path, SimTime now);
-  void RecomputeFlow(std::size_t index, SimTime now);
+  // One dirty resource within the current timestamp: the count it had
+  // before the first change (z_first) and the range of counts it took
+  // ([z_lo, z_hi], covering pre- and post-change values). The flush's
+  // binding test uses z_first for flows rated before the batch and the
+  // range for flows rated mid-batch.
+  struct Mark {
+    std::size_t ri;
+    int z_first;
+    int z_lo;
+    int z_hi;
+  };
+
+  // Scratch for one RecomputeAffected invocation. Held in a deque indexed
+  // by recursion depth (completion callbacks can start flows, nesting
+  // walks) so references stay stable and capacity is reused — the walk
+  // allocates nothing in steady state.
+  struct WalkScratch {
+    std::vector<ResourceId> resources;   // stable copy of the trigger path
+    std::vector<std::size_t> affected;   // deduped flow indices to re-rate
+  };
+
+  void UpdateResourceCounts(std::span<const ResourceId> resources, int delta,
+                            SimTime now);
+  // Naive reference walk only; the incremental path defers to FlushDeferred.
+  void RecomputeAffected(const std::vector<ResourceId>& resources,
+                         SimTime now);
+  // Records a count change on one resource for the pending flush batch.
+  void MarkResource(std::size_t ri, int z_before, int z_after);
+  // Re-rates everything affected by the pending batch; returns true if it
+  // did any work. Loops until clean: re-rates can complete flows whose
+  // callbacks start new ones, all still at the current timestamp.
+  bool FlushDeferred();
+  void RecomputeFlow(std::size_t index, SimTime now, bool allow_skip);
   void Complete(std::size_t index, SimTime now);
+  [[nodiscard]] double ResourceShare(ResourceId r, int z, SimTime now) const;
   [[nodiscard]] double CurrentRate(const Flow& f, SimTime now) const;
   [[nodiscard]] SimTime NextFaultTransition(const Flow& f, SimTime now) const;
 
@@ -88,11 +169,33 @@ class FluidNetwork {
   EventQueue& queue_;
   const FaultPlan* faults_ = nullptr;
   std::vector<Flow> flows_;
+  std::vector<std::size_t> free_flows_;              // recyclable entries
   std::vector<int> resource_active_;                 // per-resource flow count
   std::vector<std::vector<std::size_t>> resource_flows_;  // active flow ids
   std::vector<ResourceUsage> usage_;
   std::vector<SimTime> resource_busy_since_;
+  std::deque<WalkScratch> walk_scratch_;
+  std::size_t walk_depth_ = 0;
+  std::uint64_t visit_epoch_ = 0;
+  // Deferred re-rate state (incremental mode). pending_marks_ accumulates
+  // dirty resources for the current timestamp; mark_stamp_/mark_index_
+  // dedup marks per resource (epoch-guarded, no clearing pass);
+  // pending_forced_ holds flows started this timestamp, which have no rate
+  // yet and must be rated at flush regardless of the binding test.
+  std::vector<Mark> pending_marks_;
+  std::vector<std::size_t> pending_forced_;
+  std::vector<std::uint64_t> mark_stamp_;
+  std::vector<std::size_t> mark_index_;
+  std::uint64_t mark_epoch_ = 1;
+  std::uint64_t recompute_seq_ = 0;
+  std::uint64_t batch_start_seq_ = 0;  // recompute_seq_ when batch opened
+  std::vector<Mark> flush_marks_;              // flush scratch (reused)
+  std::vector<std::size_t> flush_forced_;      // flush scratch (reused)
+  std::vector<std::size_t> flush_affected_;    // flush scratch (reused)
+  bool in_flush_ = false;
   int active_count_ = 0;
+  bool naive_rerate_ = false;
+  Stats stats_;
 };
 
 }  // namespace resccl

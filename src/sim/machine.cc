@@ -45,8 +45,9 @@ struct SimMachine::BarrierState {
   std::vector<SimTime> parked_since;
 };
 
-SimMachine::SimMachine(const Topology& topo, const CostModel& cost)
-    : topo_(topo), cost_(cost) {}
+SimMachine::SimMachine(const Topology& topo, const CostModel& cost,
+                       bool naive_rerate)
+    : topo_(topo), cost_(cost), naive_rerate_(naive_rerate) {}
 
 SimMachine::~SimMachine() = default;
 
@@ -61,7 +62,7 @@ SimRunReport SimMachine::Run(const SimProgram& program,
   faults_ = (faults != nullptr && !faults->empty()) ? faults : nullptr;
   stall_slices_.clear();
   queue_.emplace();
-  net_.emplace(topo_, cost_, *queue_, faults_);
+  net_.emplace(topo_, cost_, *queue_, faults_, naive_rerate_);
 
   transfers_.assign(program.transfers.size(), {});
   for (std::size_t t = 0; t < program.transfers.size(); ++t) {
@@ -122,6 +123,8 @@ SimRunReport SimMachine::Run(const SimProgram& program,
     report.transfers.push_back(t.stats);
   }
   report.stalls = stall_slices_;
+  report.events = queue_->events_fired();
+  report.fluid = net_->stats();
   return report;
 }
 

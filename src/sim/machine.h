@@ -123,6 +123,12 @@ struct SimRunReport {
   std::vector<TransferStats> transfers;
   std::vector<StallSlice> stalls;  // empty on clean runs
 
+  // Event-loop accounting for the perf harness (bench/micro_sim): events
+  // actually fired by the queue, and the fluid model's re-rate counters.
+  // Both are fully deterministic for a given (program, faults) pair.
+  std::uint64_t events = 0;
+  FluidNetwork::Stats fluid;
+
   // Per-TB idle fraction: sync / finish (§5.4's "idle ratio").
   [[nodiscard]] double AvgIdleRatio() const;
   [[nodiscard]] double MaxIdleRatio() const;
@@ -132,7 +138,11 @@ struct SimRunReport {
 
 class SimMachine {
  public:
-  SimMachine(const Topology& topo, const CostModel& cost);
+  // `naive_rerate` selects the fluid model's reference re-rate walk
+  // (fluid.h) — equal timing to relative fp tolerance but asymptotically
+  // slower; it exists as the perf harness baseline.
+  SimMachine(const Topology& topo, const CostModel& cost,
+             bool naive_rerate = false);
   ~SimMachine();  // out-of-line: members hold nested types private to the .cc
   SimMachine(const SimMachine&) = delete;
   SimMachine& operator=(const SimMachine&) = delete;
@@ -166,6 +176,7 @@ class SimMachine {
   const CostModel& cost_;
   const SimProgram* program_ = nullptr;
   const FaultPlan* faults_ = nullptr;
+  bool naive_rerate_ = false;
 
   std::optional<EventQueue> queue_;
   std::optional<FluidNetwork> net_;

@@ -1,7 +1,11 @@
 // Unit tests for the discrete-event queue: ordering, FIFO ties, slots.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
+#include <random>
 #include <stdexcept>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -106,6 +110,85 @@ TEST(EventQueueTest, MixedSlotsAndOneShots) {
   while (q.RunOne()) {
   }
   EXPECT_EQ(fired, (std::vector<int>{0, 1, 3}));
+}
+
+// Property: under a random interleaving of slot allocation, scheduling,
+// rescheduling, cancellation, freeing, recycling, and firing, exactly the
+// callbacks the model says are live fire — a recycled slot's generation
+// counter must make entries queued by a previous owner unfireable, and the
+// free list must bound the slot table to the peak concurrent slot count.
+TEST(EventQueueTest, RandomizedSlotRecyclingFiresExactlyLiveEntries) {
+  std::mt19937 rng(0x5eed5107u);
+  EventQueue q;
+  std::vector<EventQueue::Slot> live;             // slots currently owned
+  std::unordered_map<EventQueue::Slot, int> pending;  // slot -> live token
+  std::vector<char> should_fire;                  // by token, model's verdict
+  std::vector<char> fired;                        // by token, what happened
+  std::size_t peak_live = 0;
+  int next_token = 0;
+
+  auto schedule = [&](EventQueue::Slot s) {
+    const int token = next_token++;
+    should_fire.push_back(1);
+    fired.push_back(0);
+    if (const auto it = pending.find(s); it != pending.end()) {
+      should_fire[static_cast<std::size_t>(it->second)] = 0;  // superseded
+    }
+    pending[s] = token;
+    const double delay = 1.0 + static_cast<double>(rng() % 50);
+    q.ScheduleSlot(s, q.now() + SimTime::Us(delay), [&, s, token](SimTime) {
+      // The fired entry must be the slot's currently-live one.
+      const auto it = pending.find(s);
+      ASSERT_TRUE(it != pending.end());
+      EXPECT_EQ(it->second, token);
+      pending.erase(it);
+      fired[static_cast<std::size_t>(token)] = 1;
+    });
+  };
+  auto drop_pending = [&](EventQueue::Slot s) {
+    if (const auto it = pending.find(s); it != pending.end()) {
+      should_fire[static_cast<std::size_t>(it->second)] = 0;
+      pending.erase(it);
+    }
+  };
+
+  for (int step = 0; step < 2000; ++step) {
+    const auto op = rng() % 100;
+    if (op < 30 || live.empty()) {
+      const EventQueue::Slot s = q.NewSlot();
+      live.push_back(s);
+      peak_live = std::max(peak_live, live.size());
+      schedule(s);
+    } else if (op < 60) {
+      schedule(live[rng() % live.size()]);
+    } else if (op < 72) {
+      const EventQueue::Slot s = live[rng() % live.size()];
+      q.CancelSlot(s);
+      drop_pending(s);
+    } else if (op < 85) {
+      const std::size_t i = rng() % live.size();
+      const EventQueue::Slot s = live[i];
+      drop_pending(s);
+      q.FreeSlot(s);
+      live[i] = live.back();
+      live.pop_back();
+    } else {
+      for (auto n = rng() % 4; n > 0 && q.RunOne(); --n) {
+      }
+    }
+  }
+  while (q.RunOne()) {
+  }
+
+  for (int t = 0; t < next_token; ++t) {
+    EXPECT_EQ(fired[static_cast<std::size_t>(t)],
+              should_fire[static_cast<std::size_t>(t)])
+        << "token " << t;
+  }
+  // Recycling must bound the table: slots are only minted when no freed
+  // handle is available, so the table never exceeds the peak live count.
+  EXPECT_LE(q.allocated_slots(), peak_live);
+  EXPECT_GT(q.allocated_slots(), 0u);
 }
 
 }  // namespace

@@ -250,6 +250,92 @@ TEST_F(FluidTest, WindowAfterCompletionHasNoEffect) {
   EXPECT_EQ(done.us(), clean_done.us());
 }
 
+// --- Incremental re-rate accounting (stats()) ------------------------------
+
+// A solo flow costs exactly two RecomputeFlow calls on the incremental
+// walk: the deferred-flush rating at start and the completion wake. The
+// naive reference pays one call per (resource, flow) incidence at start —
+// the duplicate-re-rate behavior the incremental walk eliminates — plus
+// the wake.
+TEST_F(FluidTest, SoloFlowRerateCounts) {
+  const Path& path = topo_.PathBetween(0, 1);
+  const auto len = path.resources.size();
+
+  SimTime done = SimTime::Zero();
+  net_.StartFlow(path, Size::MiB(1).bytes(), Bandwidth::GBps(1000),
+                 [&](SimTime t) { done = t; });
+  RunAll();
+  EXPECT_EQ(net_.stats().recompute_calls, 2u);
+  EXPECT_EQ(net_.stats().reschedules, 1u);
+
+  EventQueue naive_queue;
+  FluidNetwork naive(topo_, cost_, naive_queue, nullptr,
+                     /*naive_rerate=*/true);
+  SimTime naive_done = SimTime::Zero();
+  naive.StartFlow(path, Size::MiB(1).bytes(), Bandwidth::GBps(1000),
+                  [&](SimTime t) { naive_done = t; });
+  while (naive_queue.RunOne()) {
+  }
+  EXPECT_EQ(naive.stats().recompute_calls, len + 1);
+  EXPECT_NEAR(done.us(), naive_done.us(), naive_done.us() * 1e-9);
+}
+
+// Two flows sharing a path, distinct sizes. Incremental: one coalesced
+// flush rates both at start (2), the first completion wake (1) triggers a
+// single re-rate of the survivor at the flush (1), and the survivor's own
+// wake completes it (1) — 5 total, independent of path length. Naive: the
+// second start re-walks both flows per incidence and the first completion
+// re-rates the survivor once per shared resource — 4·len + 2.
+TEST_F(FluidTest, SharedPathRerateCountsCoalesceAndDedup) {
+  const Path& path = topo_.PathBetween(0, 1);
+  const auto len = path.resources.size();
+
+  SimTime done = SimTime::Zero();
+  net_.StartFlow(path, Size::MiB(1).bytes(), Bandwidth::GBps(1000),
+                 [](SimTime) {});
+  net_.StartFlow(path, Size::MiB(2).bytes(), Bandwidth::GBps(1000),
+                 [&](SimTime t) { done = t; });
+  RunAll();
+  EXPECT_EQ(net_.stats().recompute_calls, 5u);
+
+  EventQueue naive_queue;
+  FluidNetwork naive(topo_, cost_, naive_queue, nullptr,
+                     /*naive_rerate=*/true);
+  SimTime naive_done = SimTime::Zero();
+  naive.StartFlow(path, Size::MiB(1).bytes(), Bandwidth::GBps(1000),
+                  [](SimTime) {});
+  naive.StartFlow(path, Size::MiB(2).bytes(), Bandwidth::GBps(1000),
+                  [&](SimTime t) { naive_done = t; });
+  while (naive_queue.RunOne()) {
+  }
+  EXPECT_EQ(naive.stats().recompute_calls, 4 * len + 2);
+  EXPECT_NEAR(done.us(), naive_done.us(), naive_done.us() * 1e-9);
+}
+
+// Sequentially re-running flows must recycle Flow entries and event-queue
+// slots instead of growing the arenas.
+TEST_F(FluidTest, ArenaAndSlotReuseBoundAllocation) {
+  const Path& path = topo_.PathBetween(0, 1);
+  for (int i = 0; i < 10; ++i) {
+    net_.StartFlow(path, Size::KiB(64).bytes(), Bandwidth::GBps(1000),
+                   [](SimTime) {});
+    RunAll();
+  }
+  EXPECT_EQ(net_.stats().flows_started, 10u);
+  EXPECT_EQ(net_.stats().flows_recycled, 9u);
+  EXPECT_EQ(queue_.allocated_slots(), 1u);
+}
+
+// A diagnostic FlowRate read inside the current timestamp must observe the
+// rate the deferred marks imply, not the pre-flush zero.
+TEST_F(FluidTest, FlowRateReadFlushesDeferredRates) {
+  const FlowId id = net_.StartFlow(topo_.PathBetween(0, 1),
+                                   Size::MiB(1).bytes(),
+                                   Bandwidth::GBps(1000), [](SimTime) {});
+  // 300 GB/s bottleneck, solo: 300e3 bytes/us.
+  EXPECT_NEAR(net_.FlowRate(id), 300e3, 1.0);
+}
+
 // Property: random flow soup still conserves bytes and terminates.
 TEST_F(FluidTest, RandomSoupDrainsCompletely) {
   Rng rng(42);

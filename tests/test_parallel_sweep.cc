@@ -1,0 +1,149 @@
+// Determinism of the parallel sweep paths: SelectAlgorithmSweep and
+// RunConcurrently must produce bit-identical results at any --jobs value
+// (see common/thread_pool.h's determinism contract) — across the full
+// candidate library, all three backend personalities, and under an active
+// FaultPlan.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "runtime/multi_job.h"
+#include "runtime/selector.h"
+#include "sim/faults.h"
+#include "topology/topology.h"
+
+namespace resccl {
+namespace {
+
+// Order-sensitive FNV-1a over doubles: any divergence between the serial
+// and parallel paths lands in a different hash.
+void HashMix(std::uint64_t& h, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    h ^= (bits >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+}
+
+std::uint64_t HashSweep(const SweepResult& sweep) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const SelectionResult& point : sweep.points) {
+    HashMix(h, point.report.elapsed.us());
+    HashMix(h, point.report.algo_bw.gbps());
+    for (const CandidateScore& score : point.scoreboard) {
+      HashMix(h, static_cast<double>(score.name.size()));
+      for (const char c : score.name) HashMix(h, static_cast<double>(c));
+      HashMix(h, score.gbps);
+      HashMix(h, score.elapsed.us());
+    }
+  }
+  return h;
+}
+
+// A deterministic perturbation: degrade the first few fabric resources
+// over a window that lands mid-collective for MiB-scale buffers.
+FaultPlan MakeFaults(const Topology& topo) {
+  FaultPlan plan;
+  const Path& path = topo.PathBetween(0, 1);
+  for (const ResourceId r : path.resources) {
+    FaultPlan::LinkFault fault;
+    fault.resource = r;
+    fault.start = SimTime::Us(5);
+    fault.end = SimTime::Us(400);
+    fault.capacity_scale = 0.5;
+    plan.AddLinkFault(fault);
+  }
+  return plan;
+}
+
+TEST(ParallelSweepTest, SelectSweepBitIdenticalAcrossJobsAndBackends) {
+  const Topology topo(presets::A100(2, 8));
+  const std::vector<Size> sizes = {Size::MiB(1), Size::MiB(8), Size::MiB(32)};
+  // The full candidate library must be in play, not a trivial subset:
+  // every applicable algorithm across the collective ops.
+  std::size_t library = 0;
+  for (const CollectiveOp op :
+       {CollectiveOp::kAllReduce, CollectiveOp::kAllGather,
+        CollectiveOp::kReduceScatter, CollectiveOp::kBroadcast,
+        CollectiveOp::kReduce}) {
+    library += CandidateAlgorithms(op, topo).size();
+  }
+  EXPECT_GE(library, 10u);
+
+  for (const CollectiveOp op :
+       {CollectiveOp::kAllReduce, CollectiveOp::kAllGather}) {
+    for (const BackendKind kind : {BackendKind::kResCCL,
+                                   BackendKind::kMscclLike,
+                                   BackendKind::kNcclLike}) {
+      RunRequest request;
+      const SweepResult serial =
+          SelectAlgorithmSweep(op, topo, kind, request, sizes, nullptr,
+                               /*jobs=*/1);
+      const SweepResult parallel =
+          SelectAlgorithmSweep(op, topo, kind, request, sizes, nullptr,
+                               /*jobs=*/8);
+      EXPECT_EQ(HashSweep(serial), HashSweep(parallel))
+          << "backend " << BackendName(kind);
+      ASSERT_EQ(serial.points.size(), parallel.points.size());
+      for (std::size_t i = 0; i < serial.points.size(); ++i) {
+        EXPECT_EQ(serial.points[i].report.algorithm,
+                  parallel.points[i].report.algorithm);
+      }
+    }
+  }
+}
+
+TEST(ParallelSweepTest, SelectSweepBitIdenticalUnderFaults) {
+  const Topology topo(presets::A100(2, 8));
+  const FaultPlan faults = MakeFaults(topo);
+  const std::vector<Size> sizes = {Size::MiB(4), Size::MiB(16)};
+
+  RunRequest request;
+  request.faults = faults;
+  const SweepResult serial =
+      SelectAlgorithmSweep(CollectiveOp::kAllReduce, topo,
+                           BackendKind::kResCCL, request, sizes, nullptr, 1);
+  const SweepResult parallel =
+      SelectAlgorithmSweep(CollectiveOp::kAllReduce, topo,
+                           BackendKind::kResCCL, request, sizes, nullptr, 8);
+  EXPECT_EQ(HashSweep(serial), HashSweep(parallel));
+  // Sanity: the faults actually bit (some candidate slowed down vs clean).
+  RunRequest clean;
+  const SweepResult clean_sweep =
+      SelectAlgorithmSweep(CollectiveOp::kAllReduce, topo,
+                           BackendKind::kResCCL, clean, sizes, nullptr, 1);
+  EXPECT_NE(HashSweep(serial), HashSweep(clean_sweep));
+}
+
+TEST(ParallelSweepTest, RunConcurrentlyBitIdenticalAcrossSimJobs) {
+  const Topology topo(presets::A100(2, 8));
+  std::vector<JobSpec> jobs;
+  for (int j = 0; j < 3; ++j) {
+    JobSpec spec;
+    spec.name = "job" + std::to_string(j);
+    const auto candidates =
+        CandidateAlgorithms(CollectiveOp::kAllReduce, topo);
+    spec.algorithm = candidates[static_cast<std::size_t>(j) %
+                                candidates.size()];
+    spec.options = DefaultCompileOptions(BackendKind::kResCCL);
+    spec.launch.buffer = Size::MiB(16);
+    jobs.push_back(std::move(spec));
+  }
+
+  const CoRunReport serial = RunConcurrently(jobs, topo, {}, nullptr, 1);
+  const CoRunReport parallel = RunConcurrently(jobs, topo, {}, nullptr, 8);
+  ASSERT_EQ(serial.jobs.size(), parallel.jobs.size());
+  EXPECT_EQ(serial.makespan, parallel.makespan);
+  for (std::size_t j = 0; j < serial.jobs.size(); ++j) {
+    EXPECT_EQ(serial.jobs[j].co_run, parallel.jobs[j].co_run) << j;
+    EXPECT_EQ(serial.jobs[j].isolated, parallel.jobs[j].isolated) << j;
+    EXPECT_EQ(serial.jobs[j].verified, parallel.jobs[j].verified) << j;
+  }
+}
+
+}  // namespace
+}  // namespace resccl

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Compare a micro_sim run (BENCH_sim.json) against the checked-in baseline.
+
+Two classes of metric, two policies:
+
+  * Deterministic simulation counters (flow counts, RecomputeFlow calls,
+    events fired) do not depend on the machine at all — they must match the
+    baseline exactly. A mismatch means the simulator's behavior changed, not
+    that the runner was slow.
+  * Wall-clock metrics (events/sec) vary with hardware — they fail only on a
+    regression larger than --max-regression (default 25%) below baseline.
+    Faster-than-baseline runs always pass; refresh the baseline with
+    --update when an intentional speedup or workload change lands.
+
+Usage:
+  tools/check_perf.py BENCH_sim.json [--baseline bench/baselines/micro_sim_baseline.json]
+                      [--max-regression 0.25] [--update]
+
+Exit status 0 on pass, 1 on any failure.
+"""
+
+import argparse
+import json
+import sys
+
+DETERMINISTIC = [
+    ("rerate", "flows"),
+    ("rerate", "recompute_calls"),
+    ("rerate", "recompute_calls_naive"),
+    ("rerate", "flows_recycled"),
+    ("throughput", "events"),
+    ("sweep", "cells"),
+]
+
+WALL_CLOCK = [
+    ("throughput", "events_per_sec"),
+]
+
+
+def get(doc, section, key):
+    try:
+        return doc[section][key]
+    except KeyError:
+        return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="BENCH_sim.json from this run")
+    parser.add_argument(
+        "--baseline", default="bench/baselines/micro_sim_baseline.json")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional drop in wall-clock metrics")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the current run")
+    args = parser.parse_args()
+
+    with open(args.current) as f:
+        current = json.load(f)
+
+    if args.update:
+        with open(args.baseline, "w") as f:
+            json.dump(current, f, indent=2)
+            f.write("\n")
+        print(f"baseline updated from {args.current} -> {args.baseline}")
+        return 0
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    failures = 0
+
+    for section, key in DETERMINISTIC:
+        want, got = get(baseline, section, key), get(current, section, key)
+        if want is None:
+            continue  # metric added after this baseline was captured
+        if got != want:
+            print(f"FAIL {section}.{key}: {got} != baseline {want} "
+                  "(deterministic counter changed — simulator behavior "
+                  "drifted, or the baseline needs --update)")
+            failures += 1
+        else:
+            print(f"ok   {section}.{key}: {got}")
+
+    for section, key in WALL_CLOCK:
+        want, got = get(baseline, section, key), get(current, section, key)
+        if want is None or got is None:
+            continue
+        floor = want * (1.0 - args.max_regression)
+        if got < floor:
+            print(f"FAIL {section}.{key}: {got:.0f} < {floor:.0f} "
+                  f"(baseline {want:.0f}, max regression "
+                  f"{args.max_regression:.0%})")
+            failures += 1
+        else:
+            print(f"ok   {section}.{key}: {got:.0f} "
+                  f"(baseline {want:.0f}, floor {floor:.0f})")
+
+    if failures:
+        print(f"{failures} perf check(s) failed")
+        return 1
+    print("all perf checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
