@@ -5,6 +5,8 @@
 // table/series the paper reports, printed via TextTable.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -60,6 +62,39 @@ inline CollectiveReport Measure(const Algorithm& algo, const Topology& topo,
     std::abort();
   }
   return std::move(r).value();
+}
+
+// Like Measure, but records the observability extras (link-rate log + the
+// lowered program in the report) so the caller can run the critical-path
+// analyzer (obs/critical_path.h) or build exact link timelines
+// (obs/timeline.h). Simulated results are identical to Measure.
+inline CollectiveReport MeasureObserved(const Algorithm& algo,
+                                        const Topology& topo, BackendKind kind,
+                                        Size buffer,
+                                        Size chunk = Size::MiB(1)) {
+  RunRequest request;
+  request.launch.buffer = buffer;
+  request.launch.chunk = chunk;
+  request.observe = true;
+  Result<CollectiveReport> r = RunCollective(algo, topo, kind, request);
+  if (!r.ok()) {
+    std::fprintf(stderr, "bench run failed: %s\n",
+                 r.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+// Aborts unless |got - want| <= tol·max(1, |want|): the benches self-check
+// the analyzer/timeline invariants against the simulator's own accounting
+// before printing anything.
+inline void CheckClose(const char* what, double got, double want,
+                       double tol = 1e-9) {
+  if (std::abs(got - want) > tol * std::max(1.0, std::abs(want))) {
+    std::fprintf(stderr, "self-check FAILED: %s: got %.12g want %.12g\n", what,
+                 got, want);
+    std::abort();
+  }
 }
 
 inline CollectiveReport MeasureWithOptions(const Algorithm& algo,

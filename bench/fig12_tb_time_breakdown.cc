@@ -1,11 +1,18 @@
-// Fig. 12: per-TB time-cost breakdown (sync vs execution) for ResCCL and
-// MSCCL executing the same expert and synthesized algorithms on the V100
-// cluster, including the early-release saving of ResCCL's smaller plan.
-#include <algorithm>
-
+// Fig. 12: per-TB time-cost breakdown for ResCCL and MSCCL executing the
+// same expert and synthesized algorithms on the V100 cluster, including the
+// early-release saving of ResCCL's smaller plan.
+//
+// The numbers come from the critical-path analyzer (obs/critical_path.h)
+// rather than the raw TbStats: each TB's execution time is split into
+// α (startup latency), bandwidth (bytes at the solo rate) and contention
+// (γ·L(z) sharing), and the makespan is additionally attributed along the
+// realized critical chain. The bench self-checks the analyzer's invariant —
+// every TB's buckets sum to its finish and both makespan views tile the
+// makespan — before printing.
 #include "algorithms/hierarchical.h"
 #include "algorithms/synthesized.h"
 #include "bench/bench_util.h"
+#include "obs/critical_path.h"
 
 using namespace resccl;
 using namespace resccl::bench;
@@ -15,20 +22,44 @@ namespace {
 void Panel(const char* label, const Algorithm& algo, const Topology& topo) {
   std::printf("--- %s ---\n", label);
   for (BackendKind kind : {BackendKind::kMscclLike, BackendKind::kResCCL}) {
-    const CollectiveReport r = Measure(algo, topo, kind, Size::MiB(256));
+    const CollectiveReport r =
+        MeasureObserved(algo, topo, kind, Size::MiB(256));
+    const obs::CriticalPathReport cp =
+        obs::AnalyzeCriticalPath(r.lowered->program, r.sim);
+
+    // Analyzer invariants, checked against the simulator's own accounting.
+    for (const obs::TbBreakdown& tb : cp.tbs) {
+      CheckClose("TB buckets sum to finish", tb.buckets.Total().us(),
+                 tb.finish.us());
+    }
+    CheckClose("critical-TB view sums to makespan",
+               cp.critical_tb_buckets.Total().us(), cp.makespan.us());
+    CheckClose("critical-chain view sums to makespan",
+               cp.path_buckets.Total().us(), cp.makespan.us());
+
     // Show rank 0's TBs, the figure's "workers".
-    TextTable table({"TB", "exec ms", "sync ms", "release ms",
-                     "saving vs makespan"});
+    TextTable table({"TB", "alpha ms", "bw ms", "cont ms", "sync ms",
+                     "release ms", "saving vs makespan"});
     int shown = 0;
-    for (const TbStats& tb : r.sim.tbs) {
+    for (const obs::TbBreakdown& tb : cp.tbs) {
       if (tb.rank != 0) continue;
-      table.AddRow({"TB" + std::to_string(shown++), Fixed(tb.busy.ms(), 2),
-                    Fixed(tb.sync.ms(), 2), Fixed(tb.finish.ms(), 2),
-                    Fixed((r.sim.makespan - tb.finish).ms(), 2)});
+      const obs::AttributionBuckets& b = tb.buckets;
+      table.AddRow({"TB" + std::to_string(shown++), Fixed(b.alpha.ms(), 2),
+                    Fixed(b.bandwidth.ms(), 2), Fixed(b.contention.ms(), 2),
+                    Fixed(b.sync.ms(), 2), Fixed(tb.finish.ms(), 2),
+                    Fixed((cp.makespan - tb.finish).ms(), 2)});
     }
     std::printf("%s backend: %d TBs on rank 0 (total %d), makespan %.2f ms\n",
-                BackendName(kind), shown, r.total_tbs, r.sim.makespan.ms());
-    std::printf("%s\n", table.ToString().c_str());
+                BackendName(kind), shown, r.total_tbs, cp.makespan.ms());
+    std::printf("%s", table.ToString().c_str());
+    const obs::AttributionBuckets& pb = cp.path_buckets;
+    std::printf("critical chain (TB%d): alpha %.1f%%, bandwidth %.1f%%, "
+                "contention %.1f%%, sync %.1f%%, overhead %.1f%%%s\n\n",
+                cp.critical_tb, pb.alpha / cp.makespan * 100,
+                pb.bandwidth / cp.makespan * 100,
+                pb.contention / cp.makespan * 100,
+                pb.sync / cp.makespan * 100, pb.overhead / cp.makespan * 100,
+                cp.chain_complete ? "" : " [chain incomplete]");
   }
 }
 

@@ -17,7 +17,12 @@
 //      fewer RecomputeFlow calls on the co-run and >= 2x solo.
 //   2. Event-loop throughput — repeated Executes of the same plan;
 //      events/sec is the headline regression metric.
-//   3. Parallel sweep — a fig7-style candidates x buffers grid run with
+//   3. Registry overhead — interleaved Executes with the global metrics
+//      registry disabled and enabled. Asserts the event counts are
+//      identical (publication never changes simulation) and that the
+//      enabled registry costs <= 10% event throughput; check_perf.py pins
+//      obs.registry_overhead_frac against the same cap.
+//   4. Parallel sweep — a fig7-style candidates x buffers grid run with
 //      --jobs=1 and with all cores. Asserts bit-identical reports, and a
 //      >= 2x wall-clock speedup when the machine has >= 4 cores (on
 //      smaller machines the assert is skipped but the JSON still records
@@ -39,6 +44,7 @@
 #include "algorithms/hierarchical.h"
 #include "algorithms/synthesized.h"
 #include "bench/bench_util.h"
+#include "obs/metrics.h"
 #include "runtime/lowering.h"
 #include "runtime/multi_job.h"
 #include "sim/machine.h"
@@ -233,6 +239,61 @@ ThroughputMetrics ThroughputWorkload(bool naive_only) {
   return m;
 }
 
+struct ObsMetrics {
+  double events_per_sec_disabled = 0;
+  double events_per_sec_enabled = 0;
+  double registry_overhead_frac = 0;  // 1 - enabled/disabled, floored at 0
+};
+
+// Pins the cost of the metrics registry on the Execute hot path. Disabled
+// (the default for every other workload in this bench) the registry costs
+// one relaxed atomic load per Execute; enabled it pays the publication
+// walk. Reps interleave the two modes so frequency drift and cache state
+// hit both sides equally.
+ObsMetrics ObsWorkload() {
+  const Topology topo(presets::A100(2, 8));
+  const Algorithm algo = algorithms::HierarchicalMeshAllReduce(topo);
+  const PreparedPlan plan = PrepareOrDie(algo, topo, BackendKind::kResCCL);
+  RunRequest request;
+  request.launch.buffer = Size::MiB(64);
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  constexpr int kPairs = 6;
+  double disabled_us = 0, enabled_us = 0;
+  std::uint64_t disabled_events = 0, enabled_events = 0;
+  for (int i = 0; i < kPairs; ++i) {
+    reg.Enable(false);
+    double t0 = NowUs();
+    disabled_events += Execute(*plan, request).sim.events;
+    disabled_us += NowUs() - t0;
+
+    reg.Enable(true);
+    t0 = NowUs();
+    enabled_events += Execute(*plan, request).sim.events;
+    enabled_us += NowUs() - t0;
+  }
+  reg.Enable(false);  // restore the bench-wide default
+
+  // Publication only reads the finished report; it must never change what
+  // the simulator does.
+  Check(disabled_events == enabled_events,
+        "metrics publication must not change simulated event counts");
+
+  ObsMetrics m;
+  m.events_per_sec_disabled =
+      static_cast<double>(disabled_events) / (disabled_us / 1e6);
+  m.events_per_sec_enabled =
+      static_cast<double>(enabled_events) / (enabled_us / 1e6);
+  m.registry_overhead_frac = std::max(
+      0.0, 1.0 - m.events_per_sec_enabled / m.events_per_sec_disabled);
+  // The structural bound is far smaller (a few counter/histogram updates
+  // per Execute against a full simulation); 10% absorbs timer noise while
+  // still catching an accidental hot-path publication.
+  Check(m.registry_overhead_frac <= 0.10,
+        "enabled metrics registry must cost <= 10% event throughput");
+  return m;
+}
+
 struct SweepMetrics {
   std::size_t cells = 0;
   int jobs = 1;
@@ -290,7 +351,8 @@ SweepMetrics SweepWorkload(int jobs) {
 }
 
 void WriteJson(const char* path, const RerateMetrics& rr,
-               const ThroughputMetrics& tp, const SweepMetrics& sw) {
+               const ThroughputMetrics& tp, const ObsMetrics& ob,
+               const SweepMetrics& sw) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "FAIL: cannot write %s\n", path);
@@ -325,6 +387,14 @@ void WriteJson(const char* path, const RerateMetrics& rr,
   std::fprintf(f, "    \"events_per_sec_naive\": %.1f,\n",
                tp.events_per_sec_naive);
   std::fprintf(f, "    \"speedup_vs_naive\": %.4f\n", tp.speedup_vs_naive);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"obs\": {\n");
+  std::fprintf(f, "    \"events_per_sec_disabled\": %.1f,\n",
+               ob.events_per_sec_disabled);
+  std::fprintf(f, "    \"events_per_sec_enabled\": %.1f,\n",
+               ob.events_per_sec_enabled);
+  std::fprintf(f, "    \"registry_overhead_frac\": %.4f\n",
+               ob.registry_overhead_frac);
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"sweep\": {\n");
   std::fprintf(f, "    \"cells\": %zu,\n", sw.cells);
@@ -369,13 +439,19 @@ int main(int argc, char** argv) {
   std::printf("event loop: %.0f events/sec (%.2fx vs naive walk)\n",
               tp.events_per_sec, tp.speedup_vs_naive);
 
+  const ObsMetrics ob = ObsWorkload();
+  std::printf("obs registry: %.0f events/sec disabled, %.0f enabled "
+              "(overhead %.1f%%)\n",
+              ob.events_per_sec_disabled, ob.events_per_sec_enabled,
+              ob.registry_overhead_frac * 100);
+
   const SweepMetrics sw = SweepWorkload(jobs);
   std::printf("sweep: %zu cells, serial %.0f ms, --jobs=%d %.0f ms "
               "(%.2fx)%s\n",
               sw.cells, sw.serial_us / 1e3, sw.jobs, sw.parallel_us / 1e3,
               sw.speedup, sw.asserted ? "" : " [wall-clock assert skipped]");
 
-  WriteJson(out, rr, tp, sw);
+  WriteJson(out, rr, tp, ob, sw);
   std::printf("wrote %s\n", out);
 
   if (failures != 0) {

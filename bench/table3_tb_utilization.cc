@@ -2,9 +2,16 @@
 // topologies (2×4, 2×8, 4×4, 4×8) for expert and synthesized AllReduce /
 // AllGather: per-GPU TB count, mean communication (busy) share, mean and
 // max idle ratio.
+//
+// Busy/idle shares come from the critical-path analyzer's per-TB buckets
+// (obs/critical_path.h): busy = α + bandwidth + contention (transfers in
+// flight), idle = sync. The bench self-checks that these reproduce the
+// simulator's own AvgBusyRatio/AvgIdleRatio/MaxIdleRatio exactly before
+// printing.
 #include "algorithms/hierarchical.h"
 #include "algorithms/synthesized.h"
 #include "bench/bench_util.h"
+#include "obs/critical_path.h"
 
 using namespace resccl;
 using namespace resccl::bench;
@@ -18,9 +25,36 @@ struct Metrics {
 
 Metrics MeasureMetrics(const Algorithm& algo, const Topology& topo,
                        BackendKind kind) {
-  const CollectiveReport r = Measure(algo, topo, kind, Size::MiB(256));
-  return {r.max_tbs_per_rank, r.sim.AvgBusyRatio(), r.sim.AvgIdleRatio(),
-          r.sim.MaxIdleRatio()};
+  const CollectiveReport r =
+      MeasureObserved(algo, topo, kind, Size::MiB(256));
+  const obs::CriticalPathReport cp =
+      obs::AnalyzeCriticalPath(r.lowered->program, r.sim);
+
+  Metrics m;
+  m.tbs = r.max_tbs_per_rank;
+  for (const obs::TbBreakdown& tb : cp.tbs) {
+    if (tb.finish <= SimTime::Zero()) continue;
+    const obs::AttributionBuckets& b = tb.buckets;
+    const SimTime busy = b.alpha + b.bandwidth + b.contention;
+    m.comm += busy / tb.finish;
+    m.avg_idle += b.sync / tb.finish;
+    m.max_idle = std::max(m.max_idle, b.sync / tb.finish);
+  }
+  if (!cp.tbs.empty()) {
+    m.comm /= static_cast<double>(cp.tbs.size());
+    m.avg_idle /= static_cast<double>(cp.tbs.size());
+  }
+
+  // The analyzer's buckets must reproduce the simulator's own ratios: the
+  // α/bandwidth/contention tiling partitions exactly the machine's recorded
+  // in-flight (busy) time, and the analyzer's sync is the machine's sync.
+  CheckClose("analyzer busy share == AvgBusyRatio", m.comm,
+             r.sim.AvgBusyRatio());
+  CheckClose("analyzer idle share == AvgIdleRatio", m.avg_idle,
+             r.sim.AvgIdleRatio());
+  CheckClose("analyzer max idle == MaxIdleRatio", m.max_idle,
+             r.sim.MaxIdleRatio());
+  return m;
 }
 
 void Section(const char* label,

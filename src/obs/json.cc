@@ -1,0 +1,43 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace resccl::obs {
+
+std::string EscapeJson(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char raw : s) {
+    const auto c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g",
+                std::numeric_limits<double>::max_digits10, v);
+  return buf;
+}
+
+}  // namespace resccl::obs

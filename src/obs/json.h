@@ -1,0 +1,29 @@
+// Shared JSON string/number formatting for every exporter in the repo.
+//
+// Two correctness pitfalls motivated pulling this out of trace.cc:
+//   * strings were concatenated into JSON unescaped, so any name containing
+//     a quote, backslash, or control character produced invalid output;
+//   * doubles were streamed at the default 6-significant-digit ostream
+//     precision, so trace timestamps lost sub-µs placement once simulated
+//     time passed ~1 s (1e6 µs).
+// Every JSON producer (Chrome trace, metrics snapshot, CLI output) routes
+// strings through EscapeJson and numbers through FormatDouble.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace resccl::obs {
+
+// Escapes `s` for embedding inside a JSON string literal per RFC 8259 §7:
+// quote, backslash, and all control characters below 0x20 (common ones as
+// two-character escapes, the rest as \u00XX). Bytes >= 0x20 pass through
+// untouched, so UTF-8 payloads survive.
+[[nodiscard]] std::string EscapeJson(std::string_view s);
+
+// Formats `v` with max_digits10 significant digits, the minimum that makes
+// every finite double round-trip bit-exactly through strtod. Non-finite
+// values (not valid JSON) are clamped to 0.
+[[nodiscard]] std::string FormatDouble(double v);
+
+}  // namespace resccl::obs

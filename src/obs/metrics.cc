@@ -1,0 +1,155 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "obs/json.h"
+
+namespace resccl::obs {
+
+namespace {
+
+// std::atomic<double>::fetch_add is C++20 but not universally lowered to
+// hardware; a CAS loop is portable and the contention here (post-run
+// publication) is negligible.
+void AtomicAdd(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void MetricsRegistry::Counter::Add(double v) {
+  if (!owner_->enabled()) return;
+  AtomicAdd(value_, v);
+}
+
+void MetricsRegistry::Gauge::Set(double v) {
+  if (!owner_->enabled()) return;
+  value_.store(v, std::memory_order_relaxed);
+}
+
+MetricsRegistry::Histogram::Histogram(const MetricsRegistry* owner,
+                                      std::vector<double> bounds)
+    : owner_(owner), bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    RESCCL_CHECK_MSG(bounds_[i - 1] < bounds_[i],
+                     "histogram bounds must be strictly ascending");
+  }
+}
+
+void MetricsRegistry::Histogram::Observe(double v) {
+  if (!owner_->enabled()) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, v);
+}
+
+MetricsRegistry::Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(new Counter(this)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsRegistry::Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name), std::unique_ptr<Gauge>(new Gauge(this)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsRegistry::Histogram& MetricsRegistry::histogram(
+    std::string_view name, std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::unique_ptr<Histogram>(
+                                             new Histogram(this,
+                                                           std::move(bounds))))
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::Reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) {
+    c->value_.store(0.0, std::memory_order_relaxed);
+  }
+  for (auto& [name, g] : gauges_) {
+    g->value_.store(0.0, std::memory_order_relaxed);
+  }
+  for (auto& [name, h] : histograms_) {
+    for (auto& b : h->buckets_) b.store(0, std::memory_order_relaxed);
+    h->count_.store(0, std::memory_order_relaxed);
+    h->sum_.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+std::string MetricsRegistry::ToJson() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "\n" : ",\n") << "    \"" << EscapeJson(name)
+       << "\": " << FormatDouble(c->value());
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "\n" : ",\n") << "    \"" << EscapeJson(name)
+       << "\": " << FormatDouble(g->value());
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "\n" : ",\n") << "    \"" << EscapeJson(name)
+       << "\": {\"count\": " << h->count()
+       << ", \"sum\": " << FormatDouble(h->sum()) << ", \"buckets\": [";
+    for (std::size_t i = 0; i <= h->bounds().size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "{\"le\": ";
+      if (i < h->bounds().size()) {
+        os << FormatDouble(h->bounds()[i]);
+      } else {
+        os << "\"inf\"";
+      }
+      os << ", \"n\": " << h->bucket_count(i) << "}";
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked singleton: publication sites may run during static teardown of
+  // callers, so the registry must never be destroyed. Starts disabled.
+  static MetricsRegistry* const g = [] {
+    auto* r = new MetricsRegistry();
+    r->Enable(false);
+    return r;
+  }();
+  return *g;
+}
+
+}  // namespace resccl::obs

@@ -1,0 +1,130 @@
+// Thread-safe metrics registry: counters, gauges, fixed-bucket histograms.
+//
+// This is the unified home for the accounting the repo used to scatter
+// across one-off structs (FluidNetwork::Stats, TbStats, CompileStats,
+// FaultImpact). Those structs still exist — they are the zero-overhead
+// per-run reports — but after every Execute their aggregates are published
+// here under stable metric names (catalog: docs/observability.md), so
+// long-running processes (sweeps, co-run servers, the CLI) accumulate one
+// queryable view instead of N ad-hoc printfs.
+//
+// Cost model. Handles are registered once under a mutex and stay valid for
+// the registry's lifetime; updates are lock-free atomics. When a registry
+// is disabled every update short-circuits on one relaxed atomic load — and
+// the publication sites additionally guard whole blocks with enabled(), so
+// a disabled registry costs one load per Execute, not one per metric.
+// Metrics never feed back into the simulator or the compile fingerprint
+// (DESIGN.md): enabling observability cannot change any simulated result.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace resccl::obs {
+
+class MetricsRegistry {
+ public:
+  // Monotonically increasing double (counts, accumulated microseconds).
+  class Counter {
+   public:
+    void Add(double v);
+    void Increment() { Add(1.0); }
+    [[nodiscard]] double value() const {
+      return value_.load(std::memory_order_relaxed);
+    }
+
+   private:
+    friend class MetricsRegistry;
+    explicit Counter(const MetricsRegistry* owner) : owner_(owner) {}
+    const MetricsRegistry* owner_;
+    std::atomic<double> value_{0.0};
+  };
+
+  // Last-write-wins instantaneous value.
+  class Gauge {
+   public:
+    void Set(double v);
+    [[nodiscard]] double value() const {
+      return value_.load(std::memory_order_relaxed);
+    }
+
+   private:
+    friend class MetricsRegistry;
+    explicit Gauge(const MetricsRegistry* owner) : owner_(owner) {}
+    const MetricsRegistry* owner_;
+    std::atomic<double> value_{0.0};
+  };
+
+  // Fixed ascending upper-bound buckets plus an overflow bucket; also
+  // tracks count and sum so means are recoverable.
+  class Histogram {
+   public:
+    void Observe(double v);
+    [[nodiscard]] std::uint64_t count() const {
+      return count_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] double sum() const {
+      return sum_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+    // i in [0, bounds().size()]: the last index is the overflow bucket.
+    [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
+      return buckets_[i].load(std::memory_order_relaxed);
+    }
+
+   private:
+    friend class MetricsRegistry;
+    Histogram(const MetricsRegistry* owner, std::vector<double> bounds);
+    const MetricsRegistry* owner_;
+    std::vector<double> bounds_;
+    std::vector<std::atomic<std::uint64_t>> buckets_;
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+  };
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  void Enable(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Find-or-register. Returned references stay valid for the registry's
+  // lifetime. For histogram, `bounds` must be strictly ascending; the first
+  // registration wins and later bounds are ignored.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  // Zeroes every value; handles stay registered and valid.
+  void Reset();
+
+  // Snapshot as one JSON object:
+  //   {"counters":{name:value,...},
+  //    "gauges":{name:value,...},
+  //    "histograms":{name:{"count":n,"sum":s,
+  //                        "buckets":[{"le":b,"n":c},...,{"le":"inf","n":c}]}}}
+  // Names are escaped and doubles formatted to round-trip (obs/json.h).
+  [[nodiscard]] std::string ToJson() const;
+
+  // Process-global registry. Starts *disabled*: default runs pay one atomic
+  // load per Execute. `resccl profile` and the obs tests enable it.
+  static MetricsRegistry& Global();
+
+ private:
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace resccl::obs

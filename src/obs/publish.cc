@@ -1,0 +1,101 @@
+#include "obs/publish.h"
+
+#include <vector>
+
+namespace resccl::obs {
+
+namespace {
+
+// Exponential µs buckets covering everything from a one-chunk hop to a
+// multi-second co-run.
+std::vector<double> MakespanBoundsUs() {
+  return {10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7};
+}
+
+std::vector<double> SlowdownBounds() {
+  return {1.0, 1.1, 1.25, 1.5, 2.0, 4.0, 8.0};
+}
+
+std::vector<double> BandwidthBoundsGbps() {
+  return {1.0, 10.0, 50.0, 100.0, 200.0, 400.0, 1000.0};
+}
+
+}  // namespace
+
+void PublishCollectiveReport(MetricsRegistry& reg,
+                             const CollectiveReport& report) {
+  if (!reg.enabled()) return;
+
+  reg.counter("run.count").Increment();
+  reg.counter("run.sim_us").Add(report.sim.makespan.us());
+  reg.histogram("run.makespan_us", MakespanBoundsUs())
+      .Observe(report.sim.makespan.us());
+  reg.histogram("run.algo_bw_gbps", BandwidthBoundsGbps())
+      .Observe(report.algo_bw.gbps());
+  reg.gauge("run.last_makespan_us").Set(report.sim.makespan.us());
+  reg.gauge("run.last_algo_bw_gbps").Set(report.algo_bw.gbps());
+  reg.counter("run.microbatches").Add(report.nmicrobatches);
+  reg.counter("run.tbs").Add(report.total_tbs);
+
+  reg.counter("compile.analysis_us").Add(report.compile.analysis_us);
+  reg.counter("compile.scheduling_us").Add(report.compile.scheduling_us);
+  reg.counter("compile.allocation_us").Add(report.compile.allocation_us);
+  reg.counter("compile.lowering_us").Add(report.compile.lowering_us);
+  reg.counter("compile.verify_us").Add(report.compile.verify_us);
+
+  reg.counter("sim.events").Add(static_cast<double>(report.sim.events));
+  const FluidNetwork::Stats& fl = report.sim.fluid;
+  reg.counter("sim.fluid.flows_started")
+      .Add(static_cast<double>(fl.flows_started));
+  reg.counter("sim.fluid.flows_recycled")
+      .Add(static_cast<double>(fl.flows_recycled));
+  reg.counter("sim.fluid.recompute_calls")
+      .Add(static_cast<double>(fl.recompute_calls));
+  reg.counter("sim.fluid.binding_skips")
+      .Add(static_cast<double>(fl.binding_skips));
+  reg.counter("sim.fluid.reschedules").Add(static_cast<double>(fl.reschedules));
+
+  SimTime busy;
+  SimTime sync;
+  SimTime overhead;
+  SimTime stall;
+  for (const TbStats& tb : report.sim.tbs) {
+    busy += tb.busy;
+    sync += tb.sync;
+    overhead += tb.overhead;
+    stall += tb.fault_stall;
+  }
+  reg.counter("sim.tb.busy_us").Add(busy.us());
+  reg.counter("sim.tb.sync_us").Add(sync.us());
+  reg.counter("sim.tb.overhead_us").Add(overhead.us());
+  reg.counter("sim.tb.fault_stall_us").Add(stall.us());
+
+  reg.gauge("links.avg_busy_frac").Set(report.links.avg);
+  reg.gauge("links.max_busy_frac").Set(report.links.max);
+  reg.gauge("links.carriers").Set(report.links.carriers);
+
+  if (report.fault.faulted) {
+    reg.counter("fault.runs").Increment();
+    reg.counter("fault.total_stall_us").Add(report.fault.total_stall.us());
+    reg.histogram("fault.slowdown_vs_clean", SlowdownBounds())
+        .Observe(report.fault.slowdown_vs_clean);
+  }
+}
+
+void PublishCoRun(MetricsRegistry& reg, const CoRunReport& report) {
+  if (!reg.enabled()) return;
+
+  reg.counter("multi_job.runs").Increment();
+  reg.counter("multi_job.jobs")
+      .Add(static_cast<double>(report.jobs.size()));
+  reg.gauge("multi_job.last_makespan_us").Set(report.makespan.us());
+  for (const JobOutcome& job : report.jobs) {
+    reg.histogram("multi_job.slowdown", SlowdownBounds())
+        .Observe(job.slowdown);
+    reg.counter(job.plan_cache_hit ? "plan_cache.hit_runs"
+                                   : "plan_cache.miss_runs")
+        .Increment();
+  }
+}
+
+}  // namespace resccl::obs

@@ -1,0 +1,28 @@
+// Publication of per-run reports into the metrics registry.
+//
+// The run path keeps its zero-overhead report structs (SimRunReport,
+// CompileStats, FaultImpact, ...); after a run completes, these helpers
+// fold the aggregates into stable metric names (docs/observability.md).
+// Every helper early-outs on a disabled registry, so the default cost is
+// one relaxed atomic load per run. Publication is side-effect-free with
+// respect to simulation and compilation: nothing here feeds back into
+// timing, results, or the compile fingerprint.
+#pragma once
+
+#include "obs/metrics.h"
+#include "runtime/backend.h"
+#include "runtime/multi_job.h"
+
+namespace resccl::obs {
+
+// Folds one Execute's report into `reg`: run counters, makespan/algo-bw
+// histograms, compile-phase times, fluid re-rate counters, per-TB time
+// buckets, link utilization gauges, and fault impact (when faulted).
+void PublishCollectiveReport(MetricsRegistry& reg,
+                             const CollectiveReport& report);
+
+// Folds one RunConcurrently outcome into `reg`: job counts, per-job co-run
+// slowdown histogram, and plan-cache hit counters.
+void PublishCoRun(MetricsRegistry& reg, const CoRunReport& report);
+
+}  // namespace resccl::obs

@@ -1,0 +1,61 @@
+// Per-resource link-utilization timelines.
+//
+// The fluid model's rates are piecewise constant between events, and the
+// simulator (when observing) logs every aggregate-rate change per resource
+// (FluidNetwork::RateDelta). Replaying those deltas by prefix sum yields
+// each link's *exact* utilization timeline — no sampling, no binning. Two
+// invariants tie the timelines back to the simulator's own accounting, and
+// the property tests assert both across the algorithm library:
+//
+//   * integral:   ∫ rate(t) dt  ==  bytes carried (ResourceUsage::bytes),
+//                 up to the sub-millibyte completion residue per flow;
+//   * support:    time with rate > 0  ==  ResourceUsage::active.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+#include "sim/machine.h"
+#include "topology/topology.h"
+
+namespace resccl::obs {
+
+struct LinkTimeline {
+  ResourceId resource{-1};
+  std::string name;           // topology resource name
+  Bandwidth capacity;         // unfaulted capacity, for utilization fractions
+  std::int64_t bytes = 0;     // total carried (from the run's link_usage)
+  SimTime active;             // total busy time (from the run's link_usage)
+
+  // rate holds from t until the next sample's t (bytes/us); the last sample
+  // always has rate 0.
+  struct Sample {
+    SimTime t;
+    double rate = 0.0;
+  };
+  std::vector<Sample> samples;
+
+  // ∫ rate dt in bytes over the whole timeline.
+  [[nodiscard]] double IntegralBytes() const;
+  // Total time with rate > 0.
+  [[nodiscard]] SimTime BusyTime() const;
+  // BusyTime / makespan (0 for an empty makespan).
+  [[nodiscard]] double BusyFraction(SimTime makespan) const;
+  // Peak aggregate rate over the timeline, bytes/us.
+  [[nodiscard]] double PeakRate() const;
+};
+
+// One timeline per topology resource that carried data, in ResourceId
+// order. Requires a report produced with SimMachine::set_observe(true)
+// (link_rates recorded); returns an empty vector otherwise.
+[[nodiscard]] std::vector<LinkTimeline> BuildLinkTimelines(
+    const Topology& topo, const SimRunReport& report);
+
+// Flat CSV: resource,name,t_us,rate_bytes_per_us — one row per sample,
+// doubles formatted to round-trip.
+[[nodiscard]] std::string TimelinesToCsv(
+    const std::vector<LinkTimeline>& timelines);
+
+}  // namespace resccl::obs

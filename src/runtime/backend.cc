@@ -7,6 +7,7 @@
 
 #include "analysis/analyzer.h"
 #include "common/check.h"
+#include "obs/publish.h"
 
 namespace resccl {
 
@@ -91,13 +92,17 @@ CollectiveReport Execute(const PreparedCollective& prepared,
   const Topology& topo = *prepared.topo;
   const CompiledCollective& cc = prepared.plan;
 
-  const LoweredProgram lowered = Lower(cc, request.cost, request.launch);
+  auto lowered_ptr = std::make_shared<const LoweredProgram>(
+      Lower(cc, request.cost, request.launch));
+  const LoweredProgram& lowered = *lowered_ptr;
 
   const bool faulted = !request.faults.empty();
   SimMachine machine(topo, request.cost, request.naive_rerate);
+  machine.set_observe(request.observe);
   CollectiveReport report;
   report.sim =
       machine.Run(lowered.program, faulted ? &request.faults : nullptr);
+  if (request.observe) report.lowered = lowered_ptr;
 
   if (faulted) {
     // Replay the identical lowered program on an unperturbed fabric; the
@@ -147,10 +152,10 @@ CollectiveReport Execute(const PreparedCollective& prepared,
   report.compile = cc.stats;
   report.prepare_us = prepared.prepare_us;
 
-  // Link utilization over resources that carried data.
-  const FluidNetwork& net = machine.network();
-  for (std::size_t r = 0; r < topo.resources().size(); ++r) {
-    const auto& usage = net.usage(ResourceId(static_cast<std::int32_t>(r)));
+  // Link utilization over resources that carried data, read from the
+  // report's always-recorded per-resource totals (the same numbers the
+  // observability timelines reconcile against).
+  for (const FluidNetwork::ResourceUsage& usage : report.sim.link_usage) {
     if (usage.bytes == 0) continue;
     const double frac =
         report.elapsed > SimTime::Zero() ? usage.active / report.elapsed : 0.0;
@@ -171,6 +176,9 @@ CollectiveReport Execute(const PreparedCollective& prepared,
     report.verified = v.ok;
     report.verify_error = v.error;
   }
+  // One relaxed atomic load when the global registry is disabled (the
+  // default) — the publication body never runs.
+  obs::PublishCollectiveReport(obs::MetricsRegistry::Global(), report);
   return report;
 }
 

@@ -72,6 +72,12 @@ struct RunRequest {
   // (bench/micro_sim --naive-rerate) uses it as the baseline its speedup
   // assertions compare against. Within one mode, runs stay bit-identical.
   bool naive_rerate = false;
+  // Record observability extras for this run: the per-resource rate log
+  // (SimRunReport::link_rates, feeding obs/timeline.h) and the lowered
+  // program in the report (CollectiveReport::lowered, feeding
+  // obs/critical_path.h and trace export). Never changes any simulated
+  // result — it only adds recording.
+  bool observe = false;
 };
 
 struct LinkUtilization {
@@ -112,6 +118,10 @@ struct CollectiveReport {
   double prepare_us = 0;        // wall-clock spent preparing for this call
   bool verified = false;     // only meaningful when RunRequest.verify
   std::string verify_error;
+  // The lowered program this report was simulated from; populated only
+  // when RunRequest.observe, so callers can run the critical-path analyzer
+  // or export a trace without re-lowering.
+  std::shared_ptr<const LoweredProgram> lowered;
 };
 
 // The immutable compiled artifact: the plan plus the topology it was

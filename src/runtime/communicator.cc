@@ -6,6 +6,7 @@
 #include "algorithms/hierarchical.h"
 #include "algorithms/ring.h"
 #include "algorithms/rooted.h"
+#include "obs/metrics.h"
 
 namespace resccl {
 
@@ -91,6 +92,11 @@ CollectiveReport Communicator::Run(const Algorithm& algo,
   CollectiveReport report = Execute(*lookup.plan, request);
   report.plan_cache_hit = lookup.hit;
   report.prepare_us = lookup.prepare_us;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  if (reg.enabled()) {
+    reg.counter(lookup.hit ? "plan_cache.hit_runs" : "plan_cache.miss_runs")
+        .Increment();
+  }
   return report;
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "obs/publish.h"
 #include "runtime/data_engine.h"
 #include "runtime/lowering.h"
 #include "sim/machine.h"
@@ -148,6 +149,7 @@ CoRunReport RunConcurrently(const std::vector<JobSpec>& jobs,
                                        ? outcome.co_run / outcome.isolated
                                        : 0.0;
               });
+  obs::PublishCoRun(obs::MetricsRegistry::Global(), report);
   return report;
 }
 

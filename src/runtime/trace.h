@@ -6,6 +6,13 @@
 // injected straggler pause (phase "fault_stall").
 // The result is the visual counterpart of Fig. 5(d)'s pipeline — open it in
 // a trace viewer to see sub-pipelines streaming micro-batches.
+//
+// Formatting correctness: timestamps/durations are emitted with
+// max_digits10 precision (default ostream precision collapses sub-µs
+// placement past ~1 s of simulated time), zero-duration transfers become
+// instant events ("ph":"i") instead of being dropped (slice + instant
+// count always equals 2 × transfers), and every string field is escaped
+// through obs::EscapeJson.
 #pragma once
 
 #include <string>
@@ -13,13 +20,26 @@
 #include "core/compiler.h"
 #include "runtime/lowering.h"
 #include "sim/machine.h"
+#include "topology/topology.h"
 
 namespace resccl {
+
+// Optional enrichment for the profile exporter.
+struct TraceOptions {
+  // When set and the report carries link_rates (RunRequest.observe), emits
+  // one counter track ("ph":"C", in GB/s) per resource that carried data,
+  // under a dedicated "network" process.
+  const Topology* topo = nullptr;
+  // Emits flow arrows ("ph":"s"/"f") from each transfer's send-side slice
+  // to its recv-side slice, visualizing rendezvous pairs across ranks.
+  bool flow_arrows = false;
+};
 
 // Renders the run as trace-event JSON. `lowered` must be the program the
 // report came from (it maps transfers back to tasks and micro-batches).
 [[nodiscard]] std::string ExportChromeTrace(const CompiledCollective& compiled,
                                             const LoweredProgram& lowered,
-                                            const SimRunReport& report);
+                                            const SimRunReport& report,
+                                            const TraceOptions& options = {});
 
 }  // namespace resccl

@@ -305,6 +305,7 @@ void FluidNetwork::RecomputeFlow(std::size_t index, SimTime now,
     ++stats_.rate_unchanged_skips;
     return;
   }
+  if (rate_log_enabled_) LogRateChange(f, now, rate - f.rate);
   f.rate = rate;
   const SimTime done = now + SimTime::Us(f.remaining / f.rate);
   // If the residue would drain in less than one representable time
@@ -327,6 +328,10 @@ void FluidNetwork::RecomputeFlow(std::size_t index, SimTime now,
 void FluidNetwork::Complete(std::size_t index, SimTime now) {
   Flow& f = flows_[index];
   RESCCL_CHECK(f.active);
+  // Close out the rate log before zeroing: every flow's deltas telescope
+  // back to zero here, so per-resource aggregates return to the pre-flow
+  // level exactly.
+  if (rate_log_enabled_) LogRateChange(f, now, -f.rate);
   f.active = false;
   f.remaining = 0.0;
   f.rate = 0.0;
@@ -353,6 +358,13 @@ void FluidNetwork::Complete(std::size_t index, SimTime now) {
   if (naive_rerate_) RecomputeAffected(flows_[index].resources, now);
   // Fire completion last: the callback may start new flows.
   if (cb) cb(now);
+}
+
+void FluidNetwork::LogRateChange(const Flow& f, SimTime now, double delta) {
+  if (delta == 0.0) return;
+  for (ResourceId r : f.resources) {
+    rate_log_.push_back({now, r, delta});
+  }
 }
 
 double FluidNetwork::FlowRate(FlowId id) const {

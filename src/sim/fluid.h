@@ -110,6 +110,28 @@ class FluidNetwork {
   [[nodiscard]] const ResourceUsage& usage(ResourceId r) const {
     return usage_[static_cast<std::size_t>(r.value)];
   }
+  [[nodiscard]] std::span<const ResourceUsage> all_usage() const {
+    return usage_;
+  }
+
+  // One aggregate-rate change on one resource: at time `t` the summed flow
+  // rate through `resource` moved by `delta` bytes/us. Because rates are
+  // piecewise constant between changes, replaying the deltas in order
+  // reconstructs each resource's exact utilization timeline (obs/timeline.h)
+  // — no sampling involved. Entries are globally time-ordered (simulated
+  // time is monotonic) and deltas for one flow telescope to zero by its
+  // completion.
+  struct RateDelta {
+    SimTime t;
+    ResourceId resource;
+    double delta = 0.0;  // bytes/us
+  };
+  // Off by default (zero cost: one branch per re-rate). Arm before the
+  // first StartFlow; the log only records changes from then on.
+  void EnableRateLog() { rate_log_enabled_ = true; }
+  [[nodiscard]] std::vector<RateDelta> TakeRateLog() {
+    return std::move(rate_log_);
+  }
 
  private:
   struct Flow {
@@ -160,6 +182,7 @@ class FluidNetwork {
   bool FlushDeferred();
   void RecomputeFlow(std::size_t index, SimTime now, bool allow_skip);
   void Complete(std::size_t index, SimTime now);
+  void LogRateChange(const Flow& f, SimTime now, double delta);
   [[nodiscard]] double ResourceShare(ResourceId r, int z, SimTime now) const;
   [[nodiscard]] double CurrentRate(const Flow& f, SimTime now) const;
   [[nodiscard]] SimTime NextFaultTransition(const Flow& f, SimTime now) const;
@@ -195,6 +218,8 @@ class FluidNetwork {
   bool in_flush_ = false;
   int active_count_ = 0;
   bool naive_rerate_ = false;
+  bool rate_log_enabled_ = false;
+  std::vector<RateDelta> rate_log_;
   Stats stats_;
 };
 

@@ -61,8 +61,10 @@ SimRunReport SimMachine::Run(const SimProgram& program,
   program_ = &program;
   faults_ = (faults != nullptr && !faults->empty()) ? faults : nullptr;
   stall_slices_.clear();
+  barrier_waits_.clear();
   queue_.emplace();
   net_.emplace(topo_, cost_, *queue_, faults_, naive_rerate_);
+  if (observe_) net_->EnableRateLog();
 
   transfers_.assign(program.transfers.size(), {});
   for (std::size_t t = 0; t < program.transfers.size(); ++t) {
@@ -123,6 +125,10 @@ SimRunReport SimMachine::Run(const SimProgram& program,
     report.transfers.push_back(t.stats);
   }
   report.stalls = stall_slices_;
+  report.barrier_waits = barrier_waits_;
+  const std::span<const FluidNetwork::ResourceUsage> usage = net_->all_usage();
+  report.link_usage.assign(usage.begin(), usage.end());
+  if (observe_) report.link_rates = net_->TakeRateLog();
   report.events = queue_->events_fired();
   report.fluid = net_->stats();
   return report;
@@ -181,6 +187,8 @@ void SimMachine::Arrive(std::size_t tb, std::size_t instr_index, SimTime now) {
       for (std::size_t i = 0; i < bar.parked.size(); ++i) {
         const std::size_t peer = bar.parked[i];
         tbs_[peer].stats.sync += now - bar.parked_since[i];
+        barrier_waits_.push_back({static_cast<int>(peer), instr.barrier,
+                                  bar.parked_since[i], now});
         queue_->Schedule(now,
                          [this, peer](SimTime t) { AdvanceTb(peer, t); });
       }
@@ -207,6 +215,8 @@ void SimMachine::Arrive(std::size_t tb, std::size_t instr_index, SimTime now) {
                      "send side on wrong rank");
     tr.send_tb = tb;
     tr.send_arrival = now;
+    tr.stats.send_tb = static_cast<int>(tb);
+    tr.stats.send_arrival = now;
   } else {
     RESCCL_CHECK_MSG(tr.recv_tb == SIZE_MAX,
                      "two recv sides for one transfer");
@@ -214,6 +224,8 @@ void SimMachine::Arrive(std::size_t tb, std::size_t instr_index, SimTime now) {
                      "recv side on wrong rank");
     tr.recv_tb = tb;
     tr.recv_arrival = now;
+    tr.stats.recv_tb = static_cast<int>(tb);
+    tr.stats.recv_arrival = now;
   }
   if (tr.injection_cap == Bandwidth()) {
     tr.injection_cap = tb_cap;
@@ -251,6 +263,10 @@ void SimMachine::TryStart(std::size_t transfer, SimTime now) {
   if (faults_ != nullptr) {
     latency = latency * faults_->LatencyScale(static_cast<int>(transfer));
   }
+  tr.stats.latency = latency;
+  tr.stats.wire_bytes = bytes;
+  tr.stats.ideal_rate = std::min(tr.injection_cap.bytes_per_us(),
+                                 tr.path->bottleneck.bytes_per_us());
   queue_->Schedule(now + latency, [this, transfer, bytes](SimTime t0) {
     TransferState& state = transfers_[transfer];
     net_->StartFlow(*state.path, bytes, state.injection_cap,

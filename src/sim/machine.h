@@ -84,6 +84,20 @@ struct TbStats {
 struct TransferStats {
   SimTime start;      // network occupation begins (after sync resolved)
   SimTime complete;
+  // Attribution inputs for the observability layer (obs/critical_path.h):
+  // who rendezvoused and when, the effective startup latency α (protocol-
+  // scaled and fault-jittered), the bytes actually pushed onto the wire
+  // (after reduce/protocol inflation), and the best rate the transfer could
+  // have sustained alone — min(injection cap, unfaulted path bottleneck) in
+  // bytes/us. Anything slower than that in the realized [start, complete]
+  // span is contention (γ·L(z) sharing or fault capacity loss).
+  int send_tb = -1;
+  int recv_tb = -1;
+  SimTime send_arrival;
+  SimTime recv_arrival;
+  SimTime latency;
+  std::int64_t wire_bytes = 0;
+  double ideal_rate = 0.0;
 };
 
 // What the machine observed when a run could make no further progress.
@@ -118,10 +132,30 @@ struct SimRunReport {
     SimTime duration;
   };
 
+  // One record per TB per barrier passage: when the TB parked and when the
+  // barrier released everyone. The last arriver's park equals the release —
+  // which is exactly how the critical-path analyzer identifies whom a
+  // barrier wait should be blamed on.
+  struct BarrierWait {
+    int tb = 0;
+    int barrier = 0;
+    SimTime park;
+    SimTime release;
+  };
+
   SimTime makespan;
   std::vector<TbStats> tbs;
   std::vector<TransferStats> transfers;
   std::vector<StallSlice> stalls;  // empty on clean runs
+  std::vector<BarrierWait> barrier_waits;
+
+  // Per-resource carried-bytes / busy-time totals, indexed by ResourceId.
+  // Always recorded (one entry per topology resource).
+  std::vector<FluidNetwork::ResourceUsage> link_usage;
+  // Exact piecewise-constant aggregate-rate deltas per resource, only
+  // recorded when SimMachine::set_observe(true) (obs/timeline.h replays
+  // them into utilization timelines).
+  std::vector<FluidNetwork::RateDelta> link_rates;
 
   // Event-loop accounting for the perf harness (bench/micro_sim): events
   // actually fired by the queue, and the fluid model's re-rate counters.
@@ -146,6 +180,12 @@ class SimMachine {
   ~SimMachine();  // out-of-line: members hold nested types private to the .cc
   SimMachine(const SimMachine&) = delete;
   SimMachine& operator=(const SimMachine&) = delete;
+
+  // Arms the per-resource rate log for the next Run (SimRunReport::
+  // link_rates). Everything else the observability layer needs — transfer
+  // attribution fields, barrier waits, link usage totals — is recorded
+  // unconditionally; the rate log is the only part with a per-event cost.
+  void set_observe(bool on) { observe_ = on; }
 
   // Runs the program to completion. Throws DeadlockError (derived from
   // std::runtime_error) carrying a DeadlockReport if the program deadlocks
@@ -184,7 +224,9 @@ class SimMachine {
   std::vector<TbState> tbs_;
   std::vector<BarrierState> barriers_;
   std::vector<SimRunReport::StallSlice> stall_slices_;
+  std::vector<SimRunReport::BarrierWait> barrier_waits_;
   int unfinished_tbs_ = 0;
+  bool observe_ = false;
 };
 
 }  // namespace resccl

@@ -1,0 +1,76 @@
+// Shared labeled algorithm-factory table for the property suites: every
+// library algorithm that runs on an arbitrary topology (17 entries). Used
+// by the fault-injection sweep (test_faults_property.cc) and the
+// observability sweep (test_obs_property.cc) so both cover the identical
+// algorithm library.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "algorithms/hierarchical.h"
+#include "algorithms/recursive.h"
+#include "algorithms/ring.h"
+#include "algorithms/synthesized.h"
+#include "algorithms/tree.h"
+#include "topology/topology.h"
+
+namespace resccl::tests {
+
+struct AlgoCase {
+  std::string label;
+  Algorithm (*make)(const Topology&);
+};
+
+inline std::vector<AlgoCase> AlgorithmCases() {
+  return {
+      {"ring_ag",
+       [](const Topology& t) { return algorithms::RingAllGather(t.nranks()); }},
+      {"ring_rs",
+       [](const Topology& t) {
+         return algorithms::RingReduceScatter(t.nranks());
+       }},
+      {"ring_ar",
+       [](const Topology& t) { return algorithms::RingAllReduce(t.nranks()); }},
+      {"mc_ring_ag",
+       [](const Topology& t) {
+         return algorithms::MultiChannelRingAllGather(t,
+                                                      t.spec().nics_per_node);
+       }},
+      {"mc_ring_rs",
+       [](const Topology& t) {
+         return algorithms::MultiChannelRingReduceScatter(
+             t, t.spec().nics_per_node);
+       }},
+      {"mc_ring_ar",
+       [](const Topology& t) {
+         return algorithms::MultiChannelRingAllReduce(t,
+                                                      t.spec().nics_per_node);
+       }},
+      {"tree_ar",
+       [](const Topology& t) {
+         return algorithms::DoubleBinaryTreeAllReduce(t.nranks());
+       }},
+      {"rhd_ar",
+       [](const Topology& t) {
+         return algorithms::RecursiveHalvingDoublingAllReduce(t.nranks());
+       }},
+      {"rd_ag",
+       [](const Topology& t) {
+         return algorithms::RecursiveDoublingAllGather(t.nranks());
+       }},
+      {"oneshot_ag",
+       [](const Topology& t) {
+         return algorithms::OneShotAllGather(t.nranks());
+       }},
+      {"hm_ag", algorithms::HierarchicalMeshAllGather},
+      {"hm_rs", algorithms::HierarchicalMeshReduceScatter},
+      {"hm_ar", algorithms::HierarchicalMeshAllReduce},
+      {"taccl_ag", algorithms::TacclLikeAllGather},
+      {"taccl_ar", algorithms::TacclLikeAllReduce},
+      {"teccl_ag", algorithms::TecclLikeAllGather},
+      {"teccl_ar", algorithms::TecclLikeAllReduce},
+  };
+}
+
+}  // namespace resccl::tests

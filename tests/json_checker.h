@@ -1,0 +1,120 @@
+// Minimal recursive-descent JSON reader for the test suites: accepts
+// exactly the grammar of RFC 8259 values, rejects trailing garbage.
+// Golden-free structural check that an exporter emits real JSON, not just
+// something brace-shaped. Shared by the trace tests and the observability
+// tests.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace resccl::tests {
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  [[nodiscard]] bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool Literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool String() {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      // A raw control character inside a string is not legal JSON — the
+      // escaping bug this guards against produced exactly that.
+      if (static_cast<unsigned char>(s_[pos_]) < 0x20) return false;
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool Number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           ((s_[pos_] >= '0' && s_[pos_] <= '9') || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' ||
+            s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Members(char open, char close, bool keyed) {
+    if (pos_ >= s_.size() || s_[pos_] != open) return false;
+    ++pos_;
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == close) {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (keyed) {
+        if (!String()) return false;
+        SkipWs();
+        if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+        ++pos_;
+        SkipWs();
+      }
+      if (!Value()) return false;
+      SkipWs();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == close) {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return Members('{', '}', /*keyed=*/true);
+      case '[': return Members('[', ']', /*keyed=*/false);
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+inline std::size_t CountOccurrences(const std::string& haystack,
+                                    const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + 1)) {
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace resccl::tests

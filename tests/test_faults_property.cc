@@ -10,10 +10,7 @@
 #include <cstdlib>
 
 #include "algorithms/hierarchical.h"
-#include "algorithms/recursive.h"
-#include "algorithms/ring.h"
-#include "algorithms/synthesized.h"
-#include "algorithms/tree.h"
+#include "algo_cases.h"
 #include "runtime/backend.h"
 #include "sim/faults.h"
 #include "topology/topology.h"
@@ -21,69 +18,12 @@
 namespace resccl {
 namespace {
 
+using tests::AlgoCase;
+using tests::AlgorithmCases;
+
 std::uint64_t BaseSeed() {
   const char* env = std::getenv("RESCCL_FAULT_SEED");
   return env != nullptr ? std::strtoull(env, nullptr, 10) : 1;
-}
-
-using AlgorithmFactory = Algorithm (*)(const Topology&);
-
-Algorithm MakeRingAg(const Topology& t) {
-  return algorithms::RingAllGather(t.nranks());
-}
-Algorithm MakeRingRs(const Topology& t) {
-  return algorithms::RingReduceScatter(t.nranks());
-}
-Algorithm MakeRingAr(const Topology& t) {
-  return algorithms::RingAllReduce(t.nranks());
-}
-Algorithm MakeTreeAr(const Topology& t) {
-  return algorithms::DoubleBinaryTreeAllReduce(t.nranks());
-}
-Algorithm MakeRhdAr(const Topology& t) {
-  return algorithms::RecursiveHalvingDoublingAllReduce(t.nranks());
-}
-Algorithm MakeRdAg(const Topology& t) {
-  return algorithms::RecursiveDoublingAllGather(t.nranks());
-}
-Algorithm MakeOneShotAg(const Topology& t) {
-  return algorithms::OneShotAllGather(t.nranks());
-}
-Algorithm MakeMcRingAg(const Topology& t) {
-  return algorithms::MultiChannelRingAllGather(t, t.spec().nics_per_node);
-}
-Algorithm MakeMcRingRs(const Topology& t) {
-  return algorithms::MultiChannelRingReduceScatter(t, t.spec().nics_per_node);
-}
-Algorithm MakeMcRingAr(const Topology& t) {
-  return algorithms::MultiChannelRingAllReduce(t, t.spec().nics_per_node);
-}
-
-struct FaultCase {
-  std::string label;
-  AlgorithmFactory make;
-};
-
-std::vector<FaultCase> AlgorithmCases() {
-  return {
-      {"ring_ag", MakeRingAg},
-      {"ring_rs", MakeRingRs},
-      {"ring_ar", MakeRingAr},
-      {"mc_ring_ag", MakeMcRingAg},
-      {"mc_ring_rs", MakeMcRingRs},
-      {"mc_ring_ar", MakeMcRingAr},
-      {"tree_ar", MakeTreeAr},
-      {"rhd_ar", MakeRhdAr},
-      {"rd_ag", MakeRdAg},
-      {"oneshot_ag", MakeOneShotAg},
-      {"hm_ag", algorithms::HierarchicalMeshAllGather},
-      {"hm_rs", algorithms::HierarchicalMeshReduceScatter},
-      {"hm_ar", algorithms::HierarchicalMeshAllReduce},
-      {"taccl_ag", algorithms::TacclLikeAllGather},
-      {"taccl_ar", algorithms::TacclLikeAllReduce},
-      {"teccl_ag", algorithms::TecclLikeAllGather},
-      {"teccl_ar", algorithms::TecclLikeAllReduce},
-  };
 }
 
 // Field-exact equality of two run reports; any divergence means the fault
@@ -113,7 +53,7 @@ void ExpectIdenticalReports(const SimRunReport& a, const SimRunReport& b) {
 }
 
 class FaultProperty
-    : public ::testing::TestWithParam<std::tuple<FaultCase, BackendKind>> {};
+    : public ::testing::TestWithParam<std::tuple<AlgoCase, BackendKind>> {};
 
 // Four seeded fault plans per (algorithm, backend) on one prepared plan:
 // 17 algorithms x 3 backends x 4 seeds = 204 faulted executions.
@@ -173,7 +113,7 @@ TEST_P(FaultProperty, FaultsPerturbTimingNeverData) {
 }
 
 std::string FaultPropertyName(
-    const ::testing::TestParamInfo<std::tuple<FaultCase, BackendKind>>& info) {
+    const ::testing::TestParamInfo<std::tuple<AlgoCase, BackendKind>>& info) {
   const auto& [a, b] = info.param;
   return a.label + "_" + BackendName(b);
 }

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "algorithms/hierarchical.h"
+#include "json_checker.h"
 #include "runtime/selector.h"
 #include "runtime/trace.h"
 #include "sim/faults.h"
@@ -10,112 +11,8 @@
 namespace resccl {
 namespace {
 
-// Minimal recursive-descent JSON reader: accepts exactly the grammar of
-// RFC 8259 values, rejects trailing garbage. Golden-free structural check
-// that the exporter emits real JSON, not just something brace-shaped.
-class JsonChecker {
- public:
-  explicit JsonChecker(const std::string& text) : s_(text) {}
-
-  [[nodiscard]] bool Valid() {
-    SkipWs();
-    if (!Value()) return false;
-    SkipWs();
-    return pos_ == s_.size();
-  }
-
- private:
-  void SkipWs() {
-    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
-                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-  bool Literal(const char* lit) {
-    const std::size_t n = std::string(lit).size();
-    if (s_.compare(pos_, n, lit) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-  bool String() {
-    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
-    ++pos_;
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      if (s_[pos_] == '\\') ++pos_;
-      ++pos_;
-    }
-    if (pos_ >= s_.size()) return false;
-    ++pos_;  // closing quote
-    return true;
-  }
-  bool Number() {
-    const std::size_t start = pos_;
-    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
-    while (pos_ < s_.size() &&
-           ((s_[pos_] >= '0' && s_[pos_] <= '9') || s_[pos_] == '.' ||
-            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' ||
-            s_[pos_] == '-')) {
-      ++pos_;
-    }
-    return pos_ > start;
-  }
-  bool Members(char open, char close, bool keyed) {
-    if (pos_ >= s_.size() || s_[pos_] != open) return false;
-    ++pos_;
-    SkipWs();
-    if (pos_ < s_.size() && s_[pos_] == close) {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      SkipWs();
-      if (keyed) {
-        if (!String()) return false;
-        SkipWs();
-        if (pos_ >= s_.size() || s_[pos_] != ':') return false;
-        ++pos_;
-        SkipWs();
-      }
-      if (!Value()) return false;
-      SkipWs();
-      if (pos_ >= s_.size()) return false;
-      if (s_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (s_[pos_] == close) {
-        ++pos_;
-        return true;
-      }
-      return false;
-    }
-  }
-  bool Value() {
-    if (pos_ >= s_.size()) return false;
-    switch (s_[pos_]) {
-      case '{': return Members('{', '}', /*keyed=*/true);
-      case '[': return Members('[', ']', /*keyed=*/false);
-      case '"': return String();
-      case 't': return Literal("true");
-      case 'f': return Literal("false");
-      case 'n': return Literal("null");
-      default: return Number();
-    }
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
-
-std::size_t CountOccurrences(const std::string& haystack,
-                             const std::string& needle) {
-  std::size_t count = 0;
-  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
-       pos = haystack.find(needle, pos + 1)) {
-    ++count;
-  }
-  return count;
-}
+using tests::CountOccurrences;
+using tests::JsonChecker;
 
 TEST(TraceTest, ExportsValidSkeleton) {
   const Topology topo(presets::A100(2, 4));
@@ -137,14 +34,13 @@ TEST(TraceTest, ExportsValidSkeleton) {
     EXPECT_NE(json.find("\"name\":\"rank " + std::to_string(r) + "\""),
               std::string::npos);
   }
-  // Every transfer appears twice (sender + receiver rows).
-  const std::string needle = "\"ph\":\"X\"";
-  std::size_t count = 0;
-  for (std::size_t pos = json.find(needle); pos != std::string::npos;
-       pos = json.find(needle, pos + 1)) {
-    ++count;
-  }
-  EXPECT_EQ(count, 2 * report.transfers.size());
+  // Every transfer appears twice (sender + receiver rows). Zero-duration
+  // transfers surface as instant events instead of slices, so the count
+  // parity holds over slices + instants regardless of durations.
+  const std::size_t slices = CountOccurrences(json, "\"ph\":\"X\"");
+  const std::size_t instants = CountOccurrences(json, "\"ph\":\"i\"");
+  EXPECT_EQ(slices, 2 * report.transfers.size());
+  EXPECT_EQ(slices + instants, 2 * report.transfers.size());
   EXPECT_NE(json.find("rrc"), std::string::npos);
   EXPECT_NE(json.find("\"wave\":"), std::string::npos);
 }

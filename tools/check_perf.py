@@ -11,6 +11,10 @@ Two classes of metric, two policies:
     regression larger than --max-regression (default 25%) below baseline.
     Faster-than-baseline runs always pass; refresh the baseline with
     --update when an intentional speedup or workload change lands.
+  * Capped metrics carry an absolute ceiling independent of any baseline
+    (the bench already computed the ratio on one machine, so no cross-run
+    normalization is needed). Today: the enabled metrics registry may cost
+    at most 10% of disabled event throughput (obs.registry_overhead_frac).
 
 Usage:
   tools/check_perf.py BENCH_sim.json [--baseline bench/baselines/micro_sim_baseline.json]
@@ -34,6 +38,12 @@ DETERMINISTIC = [
 
 WALL_CLOCK = [
     ("throughput", "events_per_sec"),
+]
+
+# (section, key, ceiling): current value must be <= ceiling. No baseline
+# entry needed; missing keys (runs of an older bench binary) are skipped.
+CAPPED = [
+    ("obs", "registry_overhead_frac", 0.10),
 ]
 
 
@@ -95,6 +105,16 @@ def main():
         else:
             print(f"ok   {section}.{key}: {got:.0f} "
                   f"(baseline {want:.0f}, floor {floor:.0f})")
+
+    for section, key, ceiling in CAPPED:
+        got = get(current, section, key)
+        if got is None:
+            continue
+        if got > ceiling:
+            print(f"FAIL {section}.{key}: {got} > ceiling {ceiling}")
+            failures += 1
+        else:
+            print(f"ok   {section}.{key}: {got} (ceiling {ceiling})")
 
     if failures:
         print(f"{failures} perf check(s) failed")
