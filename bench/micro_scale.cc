@@ -1,0 +1,293 @@
+// Thousand-rank scaling harness for the simulator (self-checking).
+//
+// The rail-aligned Clos presets and the N-level composed collectives exist
+// so the repo can reason about fabrics far beyond the paper's 32-GPU
+// testbed. This bench pins down that the simulator actually scales there:
+// it runs the composed AllReduce on RailClos fabrics of 64, 256 and 1024
+// ranks — the 1024-rank point is the acceptance bar — with the incremental
+// (aggregated) re-rate walk and with the --naive-rerate reference walk,
+// and emits machine-readable metrics to BENCH_scale.json (CI compares them
+// against a checked-in baseline via tools/check_perf.py).
+//
+// Each size runs two workloads:
+//
+//   1. A solo verified Execute — the 1024-rank composed AllReduce is not
+//      just simulated, the data engine replays it and checks every rank's
+//      result. Events/sec from this run is the throughput headline.
+//   2. A 4-job co-run (four copies of the lowered program merged into one
+//      machine, runtime/multi_job.h) — the contended regime the flow
+//      aggregation targets: dirty resources touch many flows at once, so
+//      the walk cost is what separates the aggregated and naive re-raters.
+//      Both walks run over the identical merged program.
+//
+// Self-checks:
+//   * The solo run completes with verified data at every size.
+//   * Both walks agree on the co-run makespan to 1e-9 relative tolerance
+//     and start the same flows (aggregation must not change the physics).
+//   * The aggregated walk's binding tests (walk visits) per flow grow
+//     sub-linearly from 64 to 1024 ranks: the growth ratio must stay under
+//     half the rank growth. The naive walk visits every (resource, flow)
+//     incidence, so its visits/flow track the per-resource flow population;
+//     the aggregated walk visits (resource, bucket) and buckets stay few.
+//   * At 1024 ranks the aggregated walk must beat the naive walk by >= 3x
+//     on walk visits — the reason the thousand-rank point is affordable.
+//
+// The composed AllReduce runs with a coarse chunk count (64, a multiple of
+// every gpus_per_node here) so the 1024-rank plan stays ~130k transfers;
+// chunk classes still cover all rails evenly, so the plan is rail-aligned.
+//
+// Flags: --out=PATH (default BENCH_scale.json in the current directory —
+// CI runs from the repo root).
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "algorithms/composition.h"
+#include "bench/bench_util.h"
+#include "runtime/lowering.h"
+#include "runtime/multi_job.h"
+#include "sim/machine.h"
+
+using namespace resccl;
+using namespace resccl::bench;
+
+namespace {
+
+int failures = 0;
+
+void Check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: %s\n", what);
+    ++failures;
+  }
+}
+
+double NowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double RelErr(double a, double b) {
+  const double mag = std::max(std::fabs(a), std::fabs(b));
+  return mag > 0 ? std::fabs(a - b) / mag : 0.0;
+}
+
+constexpr double kTimingTolerance = 1e-9;
+
+// Chunk count for every size: coarse enough that 1024 ranks stay ~130k
+// transfers, a multiple of gpus_per_node (8) so chunk classes stripe all
+// rails, and identical across sizes so visits/flow compares like with like.
+constexpr int kChunks = 64;
+
+// Co-run width: four copies of the collective contending for the fabric,
+// matching micro_sim's re-rate workload.
+constexpr int kCoJobs = 4;
+
+struct ScalePoint {
+  int ranks = 0;
+  int nodes = 0;
+  int racks = 0;
+  int pods = 0;
+  // Solo verified run (incremental walk).
+  std::uint64_t flows = 0;
+  std::uint64_t events = 0;
+  double wall_us = 0;
+  double events_per_sec = 0;
+  // 4-job co-run, aggregated vs naive walk over the identical program.
+  FluidNetwork::Stats incr;
+  FluidNetwork::Stats naive;
+  double wall_us_naive = 0;  // co-run naive walk wall-clock
+  // Derived (co-run).
+  double rerates_per_flow = 0;        // incr recomputes / flows
+  double visits_per_flow = 0;         // incr walk visits / flows
+  double visits_per_flow_naive = 0;
+  double visits_reduction = 0;        // naive visits / incr visits
+  double timing_relerr = 0;
+};
+
+ScalePoint MeasureSize(int nodes, int racks) {
+  const Topology topo(presets::RailClos(nodes, /*gpus_per_node=*/8,
+                                        /*nics_per_node=*/4, racks));
+  const CostModel cost;
+  ScalePoint p;
+  p.ranks = topo.nranks();
+  p.nodes = nodes;
+  p.racks = racks;
+  p.pods = topo.pods();
+
+  algorithms::CompositionSpec spec;
+  spec.chunks = kChunks;
+  const Algorithm algo = algorithms::ComposedAllReduce(topo, spec);
+  const PreparedPlan plan = PrepareOrDie(algo, topo, BackendKind::kResCCL);
+
+  RunRequest request;
+  request.launch.buffer = Size::MiB(64);
+  request.verify = true;  // data engine replays + checks every rank
+
+  const double t0 = NowUs();
+  const CollectiveReport solo = Execute(*plan, request);
+  p.wall_us = NowUs() - t0;
+  Check(solo.verified, "composed AllReduce must verify");
+  p.flows = solo.sim.fluid.flows_started;
+  p.events = solo.sim.events;
+  p.events_per_sec =
+      p.wall_us > 0 ? static_cast<double>(p.events) / (p.wall_us / 1e6) : 0;
+
+  // Contended co-run: kCoJobs copies of the lowered program merged into
+  // one machine, each walk over the identical merged program.
+  const LoweredProgram lowered = Lower(plan->plan, cost, request.launch);
+  SimProgram merged;
+  for (int j = 0; j < kCoJobs; ++j) AppendProgram(merged, lowered.program);
+  SimMachine incr_machine(topo, cost, /*naive_rerate=*/false);
+  const SimRunReport co_incr = incr_machine.Run(merged);
+  const double t1 = NowUs();
+  SimMachine naive_machine(topo, cost, /*naive_rerate=*/true);
+  const SimRunReport co_naive = naive_machine.Run(merged);
+  p.wall_us_naive = NowUs() - t1;
+
+  p.timing_relerr = RelErr(co_incr.makespan.us(), co_naive.makespan.us());
+  Check(p.timing_relerr <= kTimingTolerance,
+        "incremental and naive walks must agree on the co-run makespan to "
+        "1e-9 relative tolerance");
+  Check(co_incr.fluid.flows_started == co_naive.fluid.flows_started,
+        "both walks must start the same flows");
+
+  p.incr = co_incr.fluid;
+  p.naive = co_naive.fluid;
+  const auto flows = static_cast<double>(p.incr.flows_started);
+  p.rerates_per_flow = static_cast<double>(p.incr.recompute_calls) / flows;
+  p.visits_per_flow = static_cast<double>(p.incr.walk_visits) / flows;
+  p.visits_per_flow_naive =
+      static_cast<double>(p.naive.walk_visits) / flows;
+  p.visits_reduction = static_cast<double>(p.naive.walk_visits) /
+                       static_cast<double>(p.incr.walk_visits);
+  return p;
+}
+
+void WriteJson(const char* path, const std::vector<ScalePoint>& points) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    ++failures;
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"micro_scale\",\n");
+  std::fprintf(f, "  \"chunks\": %d,\n", kChunks);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const ScalePoint& p = points[i];
+    std::fprintf(f, "  \"ranks%d\": {\n", p.ranks);
+    std::fprintf(f, "    \"nodes\": %d,\n", p.nodes);
+    std::fprintf(f, "    \"racks\": %d,\n", p.racks);
+    std::fprintf(f, "    \"pods\": %d,\n", p.pods);
+    std::fprintf(f, "    \"flows\": %" PRIu64 ",\n", p.flows);
+    std::fprintf(f, "    \"events\": %" PRIu64 ",\n", p.events);
+    std::fprintf(f, "    \"co_flows\": %" PRIu64 ",\n",
+                 p.incr.flows_started);
+    std::fprintf(f, "    \"recompute_calls\": %" PRIu64 ",\n",
+                 p.incr.recompute_calls);
+    std::fprintf(f, "    \"recompute_calls_naive\": %" PRIu64 ",\n",
+                 p.naive.recompute_calls);
+    std::fprintf(f, "    \"walk_visits\": %" PRIu64 ",\n",
+                 p.incr.walk_visits);
+    std::fprintf(f, "    \"walk_visits_naive\": %" PRIu64 ",\n",
+                 p.naive.walk_visits);
+    std::fprintf(f, "    \"binding_skips\": %" PRIu64 ",\n",
+                 p.incr.binding_skips);
+    std::fprintf(f, "    \"rerates_per_flow\": %.4f,\n", p.rerates_per_flow);
+    std::fprintf(f, "    \"visits_per_flow\": %.4f,\n", p.visits_per_flow);
+    std::fprintf(f, "    \"visits_per_flow_naive\": %.4f,\n",
+                 p.visits_per_flow_naive);
+    std::fprintf(f, "    \"visits_reduction\": %.4f,\n", p.visits_reduction);
+    std::fprintf(f, "    \"visits_over_naive_frac\": %.6f,\n",
+                 static_cast<double>(p.incr.walk_visits) /
+                     static_cast<double>(p.naive.walk_visits));
+    std::fprintf(f, "    \"events_per_sec\": %.0f,\n", p.events_per_sec);
+    std::fprintf(f, "    \"wall_us\": %.1f,\n", p.wall_us);
+    std::fprintf(f, "    \"wall_us_naive\": %.1f,\n", p.wall_us_naive);
+    std::fprintf(f, "    \"timing_relerr\": %.3e\n", p.timing_relerr);
+    std::fprintf(f, "  },\n");
+  }
+  const ScalePoint& lo = points.front();
+  const ScalePoint& hi = points.back();
+  const double rank_growth =
+      static_cast<double>(hi.ranks) / static_cast<double>(lo.ranks);
+  std::fprintf(f, "  \"scaling\": {\n");
+  std::fprintf(f, "    \"rank_growth\": %.1f,\n", rank_growth);
+  std::fprintf(f, "    \"visits_per_flow_growth\": %.4f,\n",
+               hi.visits_per_flow / lo.visits_per_flow);
+  std::fprintf(f, "    \"visits_per_flow_growth_naive\": %.4f,\n",
+               hi.visits_per_flow_naive / lo.visits_per_flow_naive);
+  std::fprintf(f, "    \"visits_reduction_at_%d\": %.4f\n", hi.ranks,
+               hi.visits_reduction);
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out = "BENCH_scale.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out = argv[i] + 6;
+  }
+
+  PrintHeader("micro — thousand-rank scaling",
+              "scaling harness for RailClos + composed collectives "
+              "(not a paper figure)",
+              "");
+
+  // 64 -> 256 -> 1024 ranks; racks grow with the fabric so the 256- and
+  // 1024-rank points exercise the pod/spine tier.
+  const std::vector<ScalePoint> points = {
+      MeasureSize(/*nodes=*/8, /*racks=*/2),
+      MeasureSize(/*nodes=*/32, /*racks=*/4),
+      MeasureSize(/*nodes=*/128, /*racks=*/8),
+  };
+  for (const ScalePoint& p : points) {
+    std::printf("%5d ranks (%3d nodes, %d racks, %d pods): %" PRIu64
+                " flows solo (%.0f events/sec, verified), co-run %" PRIu64
+                " flows: %.2f visits/flow aggregated vs %.2f naive "
+                "(%.2fx), %.2f recomputes/flow\n",
+                p.ranks, p.nodes, p.racks, p.pods, p.flows,
+                p.events_per_sec, p.incr.flows_started, p.visits_per_flow,
+                p.visits_per_flow_naive, p.visits_reduction,
+                p.rerates_per_flow);
+  }
+
+  const ScalePoint& lo = points.front();
+  const ScalePoint& hi = points.back();
+  const double rank_growth =
+      static_cast<double>(hi.ranks) / static_cast<double>(lo.ranks);
+  const double visit_growth = hi.visits_per_flow / lo.visits_per_flow;
+  std::printf("scaling 64 -> 1024: ranks x%.0f, visits/flow x%.2f "
+              "(naive x%.2f)\n",
+              rank_growth, visit_growth,
+              hi.visits_per_flow_naive / lo.visits_per_flow_naive);
+
+  // The acceptance bars: the aggregated walk's per-flow binding-test count
+  // must grow sub-linearly in rank count (under half the rank growth), and
+  // at 1024 ranks it must visit >= 3x fewer (resource, x) pairs than the
+  // naive per-flow walk.
+  Check(visit_growth <= 0.5 * rank_growth,
+        "aggregated walk visits/flow must grow sub-linearly (<= half the "
+        "rank growth) from 64 to 1024 ranks");
+  Check(hi.visits_reduction >= 3.0,
+        "aggregated walk must visit >= 3x fewer pairs than the naive walk "
+        "at 1024 ranks");
+
+  WriteJson(out, points);
+  std::printf("wrote %s\n", out);
+
+  if (failures != 0) {
+    std::fprintf(stderr, "%d perf self-check(s) failed\n", failures);
+    return 1;
+  }
+  std::printf("all perf self-checks passed\n");
+  return 0;
+}

@@ -30,7 +30,9 @@
 //
 // Flags: --jobs=N (sweep parallelism; default all cores), --naive-rerate
 // (run workloads 1/2 on the reference walk only — the baseline the
-// speedup numbers are measured against), --out=PATH (default
+// speedup numbers are measured against), --require-sweep-assert (fail if
+// the sweep wall-clock bar would be skipped — CI passes this so a runner
+// downgrade can't silently disable the assertion), --out=PATH (default
 // BENCH_sim.json in the current directory — CI runs from the repo root).
 #include <chrono>
 #include <cinttypes>
@@ -414,10 +416,14 @@ void WriteJson(const char* path, const RerateMetrics& rr,
 int main(int argc, char** argv) {
   const char* out = "BENCH_sim.json";
   bool naive_only = false;
+  bool require_sweep_assert = false;
   int jobs = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--out=", 6) == 0) out = argv[i] + 6;
     if (std::strcmp(argv[i], "--naive-rerate") == 0) naive_only = true;
+    if (std::strcmp(argv[i], "--require-sweep-assert") == 0) {
+      require_sweep_assert = true;
+    }
     if (std::strncmp(argv[i], "--jobs=", 7) == 0) jobs = std::atoi(argv[i] + 7);
   }
   if (jobs <= 0) jobs = ThreadPool::HardwareJobs();
@@ -450,6 +456,12 @@ int main(int argc, char** argv) {
               "(%.2fx)%s\n",
               sw.cells, sw.serial_us / 1e3, sw.jobs, sw.parallel_us / 1e3,
               sw.speedup, sw.asserted ? "" : " [wall-clock assert skipped]");
+  // Guard against the assert silently rotting: CI passes
+  // --require-sweep-assert, so a runner downgrade (or a --jobs=1 typo in
+  // the workflow) that would skip the wall-clock bar fails loudly instead.
+  Check(!require_sweep_assert || sw.asserted,
+        "--require-sweep-assert: sweep wall-clock bar was skipped (needs "
+        ">= 4 cores and --jobs >= 4)");
 
   WriteJson(out, rr, tp, ob, sw);
   std::printf("wrote %s\n", out);

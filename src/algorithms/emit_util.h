@@ -1,0 +1,22 @@
+// Shared emission helpers for the algorithm library (internal).
+#pragma once
+
+#include "core/algorithm.h"
+
+namespace resccl::algorithms {
+
+// Mathematical modulo: non-negative for any a when n > 0.
+[[nodiscard]] inline int Mod(int a, int n) { return ((a % n) + n) % n; }
+
+inline void Emit(Algorithm& algo, int src, int dst, int step, int chunk,
+                 TransferOp op) {
+  Transfer t;
+  t.src = src;
+  t.dst = dst;
+  t.step = step;
+  t.chunk = chunk;
+  t.op = op;
+  algo.transfers.push_back(t);
+}
+
+}  // namespace resccl::algorithms

@@ -1,23 +1,11 @@
 #include "algorithms/hierarchical.h"
 
+#include "algorithms/emit_util.h"
 #include "common/check.h"
 
 namespace resccl::algorithms {
 
 namespace {
-
-int Mod(int a, int n) { return ((a % n) + n) % n; }
-
-void Emit(Algorithm& algo, int src, int dst, int step, int chunk,
-          TransferOp op) {
-  Transfer t;
-  t.src = src;
-  t.dst = dst;
-  t.step = step;
-  t.chunk = chunk;
-  t.op = op;
-  algo.transfers.push_back(t);
-}
 
 // Stage 1 of HM-RS/AR: full-mesh intra-node ReduceScatter. Every GPU sends,
 // for each local peer j, all chunks of j's class (ids ≡ j mod G) with

@@ -40,11 +40,10 @@ bool ConnectionTable::Conflicts(LinkId a, LinkId b) const {
   const Path& pa = path(a);
   const Path& pb = path(b);
   // Distinct pairs conflict only through serializing resources: a shared
-  // NIC or trunk (§4.4). Fabric/PCIe pools multiplex without scheduling
-  // consequences.
+  // NIC, trunk, or spine link (§4.4). Fabric/PCIe pools multiplex without
+  // scheduling consequences.
   for (ResourceId ra : pa.resources) {
-    const ResourceKind kind = topo_.resource(ra).kind;
-    if (kind != ResourceKind::kNic && kind != ResourceKind::kTrunk) continue;
+    if (!IsSerializing(topo_.resource(ra).kind)) continue;
     if (std::find(pb.resources.begin(), pb.resources.end(), ra) !=
         pb.resources.end()) {
       return true;

@@ -78,6 +78,11 @@ Fingerprint FingerprintOf(const Algorithm& algo, const TopologySpec& topo,
   h.I32(topo.gpus_per_node);
   h.I32(topo.nics_per_node);
   h.I32(topo.nodes_per_rack);
+  h.I32(topo.racks_per_pod);
+  h.U64(topo.rail_of_gpu.size());
+  for (const int rail : topo.rail_of_gpu) h.I32(rail);
+  h.F64(topo.oversubscription);
+  h.F64(topo.cross_pod_extra.us());
   h.F64(topo.gpu_fabric.gbps());
   h.F64(topo.pcie.gbps());
   h.F64(topo.nic.gbps());
@@ -86,6 +91,7 @@ Fingerprint FingerprintOf(const Algorithm& algo, const TopologySpec& topo,
   h.F64(topo.cross_rack_extra.us());
   h.F64(topo.fabric_gamma);
   h.F64(topo.nic_gamma);
+  h.F64(topo.trunk_gamma);
 
   // CompileOptions. strict_verify is deliberately NOT hashed: verification
   // gates a Prepare call but never changes the compiled artifact, so strict

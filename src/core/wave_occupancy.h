@@ -48,8 +48,7 @@ class WaveOccupancy {
 
  private:
   [[nodiscard]] bool Serializes(ResourceId r) const {
-    const ResourceKind kind = connections_.topology().resource(r).kind;
-    return kind == ResourceKind::kNic || kind == ResourceKind::kTrunk;
+    return IsSerializing(connections_.topology().resource(r).kind);
   }
 
   const ConnectionTable& connections_;

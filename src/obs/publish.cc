@@ -1,5 +1,6 @@
 #include "obs/publish.h"
 
+#include <string>
 #include <vector>
 
 namespace resccl::obs {
@@ -73,6 +74,15 @@ void PublishCollectiveReport(MetricsRegistry& reg,
   reg.gauge("links.avg_busy_frac").Set(report.links.avg);
   reg.gauge("links.max_busy_frac").Set(report.links.max);
   reg.gauge("links.carriers").Set(report.links.carriers);
+  // Per-rail NIC-link rows: near-equal values mean the transfer striping is
+  // rail-aligned; a hot rail shows up as a high max over its siblings.
+  for (const RailUtilization& rail : report.rails) {
+    if (rail.carriers == 0) continue;  // rail idle this run (or unused NIC)
+    const std::string prefix = "links.rail" + std::to_string(rail.rail);
+    reg.counter(prefix + ".bytes").Add(static_cast<double>(rail.bytes));
+    reg.gauge(prefix + ".avg_busy_frac").Set(rail.avg_busy_frac);
+    reg.gauge(prefix + ".max_busy_frac").Set(rail.max_busy_frac);
+  }
 
   if (report.fault.faulted) {
     reg.counter("fault.runs").Increment();

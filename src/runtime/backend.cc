@@ -154,8 +154,14 @@ CollectiveReport Execute(const PreparedCollective& prepared,
 
   // Link utilization over resources that carried data, read from the
   // report's always-recorded per-resource totals (the same numbers the
-  // observability timelines reconcile against).
-  for (const FluidNetwork::ResourceUsage& usage : report.sim.link_usage) {
+  // observability timelines reconcile against). NIC links additionally
+  // aggregate into per-rail rows so rail skew is visible at a glance.
+  report.rails.resize(static_cast<std::size_t>(topo.spec().nics_per_node));
+  for (std::size_t i = 0; i < report.rails.size(); ++i) {
+    report.rails[i].rail = static_cast<int>(i);
+  }
+  for (std::size_t ri = 0; ri < report.sim.link_usage.size(); ++ri) {
+    const FluidNetwork::ResourceUsage& usage = report.sim.link_usage[ri];
     if (usage.bytes == 0) continue;
     const double frac =
         report.elapsed > SimTime::Zero() ? usage.active / report.elapsed : 0.0;
@@ -163,11 +169,23 @@ CollectiveReport Execute(const PreparedCollective& prepared,
     report.links.min = std::min(report.links.min, frac);
     report.links.max = std::max(report.links.max, frac);
     ++report.links.carriers;
+    const int rail =
+        topo.RailOfResource(ResourceId(static_cast<std::int32_t>(ri)));
+    if (rail >= 0) {
+      RailUtilization& row = report.rails[static_cast<std::size_t>(rail)];
+      row.bytes += usage.bytes;
+      row.avg_busy_frac += frac;
+      row.max_busy_frac = std::max(row.max_busy_frac, frac);
+      ++row.carriers;
+    }
   }
   if (report.links.carriers > 0) {
     report.links.avg /= report.links.carriers;
   } else {
     report.links.min = 0;
+  }
+  for (RailUtilization& row : report.rails) {
+    if (row.carriers > 0) row.avg_busy_frac /= row.carriers;
   }
 
   if (request.verify) {

@@ -87,6 +87,17 @@ struct LinkUtilization {
   int carriers = 0; // links that carried any data
 };
 
+// Busy fraction and bytes over the NIC up/down links of one rail, across
+// every node. A rail-aligned algorithm shows near-equal rows; skew here is
+// the first sign of a fan-in hot spot (one NIC serving foreign traffic).
+struct RailUtilization {
+  int rail = 0;
+  std::int64_t bytes = 0;
+  double avg_busy_frac = 0;
+  double max_busy_frac = 0;
+  int carriers = 0;  // NIC links on this rail that carried data
+};
+
 // Outcome of a faulted Execute (RunRequest.faults non-empty): the same
 // lowered program is also run clean so the report can state how much the
 // schedule absorbed. Worst-rank fields describe the straggling rank — the
@@ -112,6 +123,7 @@ struct CollectiveReport {
   int max_tbs_per_rank = 0;
   SimRunReport sim;          // per-TB busy/sync/overhead + transfer times
   LinkUtilization links;
+  std::vector<RailUtilization> rails;  // one row per rail that carried data
   CompileStats compile;
   FaultImpact fault;            // populated when RunRequest.faults non-empty
   bool plan_cache_hit = false;  // plan served without compiling in this call

@@ -25,7 +25,9 @@ Algorithm DefaultAlgorithm(BackendKind kind, CollectiveOp op,
                : algorithms::ChainReduce(topo.nranks());
   }
   if (kind == BackendKind::kNcclLike) {
-    const int channels = topo.spec().nics_per_node;
+    // One ring channel per driven rail — shared with CandidateAlgorithms
+    // (runtime/selector.cc) via Topology::CommChannels.
+    const int channels = topo.CommChannels();
     switch (op) {
       case CollectiveOp::kAllGather:
         return algorithms::MultiChannelRingAllGather(topo, channels);

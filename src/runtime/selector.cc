@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "algorithms/composition.h"
 #include "algorithms/hierarchical.h"
 #include "algorithms/recursive.h"
 #include "algorithms/ring.h"
@@ -104,8 +105,15 @@ SelectionResult SelectAtSize(const std::vector<PreparedCandidate>& prepared,
 std::vector<Algorithm> CandidateAlgorithms(CollectiveOp op,
                                            const Topology& topo) {
   const int n = topo.nranks();
-  const int channels = topo.spec().nics_per_node;
+  // One ring channel per driven rail (Topology::CommChannels) — the shared
+  // rail-aware helper; see also DefaultAlgorithm in runtime/communicator.cc.
+  const int channels = topo.CommChannels();
   std::vector<Algorithm> out;
+  // The N-level rail-aligned composition joins the candidate set once the
+  // fabric has real hierarchy beyond one rack; on flat testbeds it would
+  // collapse to the HM shapes already present.
+  const bool composed =
+      topo.racks() > 1 && algorithms::ComposableTopology(topo);
   switch (op) {
     case CollectiveOp::kAllGather:
       out.push_back(algorithms::HierarchicalMeshAllGather(topo));
@@ -114,10 +122,12 @@ std::vector<Algorithm> CandidateAlgorithms(CollectiveOp op,
       if (IsPowerOfTwo(n)) {
         out.push_back(algorithms::RecursiveDoublingAllGather(n));
       }
+      if (composed) out.push_back(algorithms::ComposedAllGather(topo));
       break;
     case CollectiveOp::kReduceScatter:
       out.push_back(algorithms::HierarchicalMeshReduceScatter(topo));
       out.push_back(algorithms::MultiChannelRingReduceScatter(topo, channels));
+      if (composed) out.push_back(algorithms::ComposedReduceScatter(topo));
       break;
     case CollectiveOp::kAllReduce:
       out.push_back(algorithms::HierarchicalMeshAllReduce(topo));
@@ -125,6 +135,16 @@ std::vector<Algorithm> CandidateAlgorithms(CollectiveOp op,
       out.push_back(algorithms::DoubleBinaryTreeAllReduce(n));
       if (IsPowerOfTwo(n)) {
         out.push_back(algorithms::RecursiveHalvingDoublingAllReduce(n));
+      }
+      if (composed) {
+        out.push_back(algorithms::ComposedAllReduce(topo));
+        // Coarse-chunk variant: one chunk class per local GPU instead of
+        // one per rank. Fewer, larger flows keep fan-in low on
+        // oversubscribed trunks, which is where the composition earns its
+        // keep; the sweep picks whichever granularity the fabric favors.
+        algorithms::CompositionSpec coarse;
+        coarse.chunks = topo.gpus_per_node();
+        out.push_back(algorithms::ComposedAllReduce(topo, coarse));
       }
       break;
     case CollectiveOp::kBroadcast:

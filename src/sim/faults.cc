@@ -44,8 +44,7 @@ FaultPlan FaultPlan::Make(std::uint64_t seed, double intensity,
   // perturbation so faulted makespans degrade monotonically with intensity.
   for (int r = 0; r < nresources; ++r) {
     const Resource& res = topo.resource(ResourceId(r));
-    const bool serializing =
-        res.kind == ResourceKind::kNic || res.kind == ResourceKind::kTrunk;
+    const bool serializing = IsSerializing(res.kind);
     const double depth = serializing ? 0.25 + 0.25 * rng.NextDouble()
                                      : 0.10 + 0.15 * rng.NextDouble();
     plan.AddLinkFault({ResourceId(r), SimTime::Zero(), SimTime::Infinity(),

@@ -1,6 +1,7 @@
 #include "sim/fluid.h"
 
 #include <algorithm>
+#include <bit>
 #include <utility>
 
 #include "common/check.h"
@@ -18,7 +19,11 @@ FluidNetwork::FluidNetwork(const Topology& topo, const CostModel& cost,
       naive_rerate_(naive_rerate) {
   const std::size_t n = topo_.resources().size();
   resource_active_.assign(n, 0);
-  resource_flows_.assign(n, {});
+  if (naive_rerate_) {
+    resource_flows_.assign(n, {});
+  } else {
+    resource_buckets_.assign(n, {});
+  }
   usage_.assign(n, {});
   resource_busy_since_.assign(n, SimTime::Zero());
   mark_stamp_.assign(n, 0);
@@ -57,9 +62,12 @@ FlowId FluidNetwork::StartFlow(const Path& path, std::int64_t bytes,
 
   UpdateResourceCounts(f.resources, +1, now);
   for (ResourceId r : f.resources) {
-    resource_flows_[static_cast<std::size_t>(r.value)].push_back(index);
+    if (naive_rerate_) {
+      resource_flows_[static_cast<std::size_t>(r.value)].push_back(index);
+    }
     usage_[static_cast<std::size_t>(r.value)].bytes += bytes;
   }
+  if (!naive_rerate_) InsertIntoBuckets(index);
   ++active_count_;
   const FlowId id(static_cast<std::int32_t>(index));
   if (naive_rerate_) {
@@ -169,11 +177,90 @@ void FluidNetwork::RecomputeAffected(const std::vector<ResourceId>& resources,
   for (ResourceId r : scratch.resources) {
     const auto ri = static_cast<std::size_t>(r.value);
     scratch.affected = resource_flows_[ri];  // copy: re-rates mutate it
+    stats_.walk_visits += scratch.affected.size();
     for (std::size_t fi : scratch.affected) {
       if (flows_[fi].active) RecomputeFlow(fi, now, /*allow_skip=*/false);
     }
   }
   --walk_depth_;
+}
+
+std::uint64_t FluidNetwork::BucketKey(double rate, bool capped) {
+  // Rates are non-negative finite, so the sign bit is free to carry the
+  // cap-bound flag; the remaining bits are the exact rate pattern — two
+  // flows share a bucket iff the binding test cannot distinguish them.
+  std::uint64_t key = std::bit_cast<std::uint64_t>(rate);
+  if (capped) key |= std::uint64_t{1} << 63;
+  return key;
+}
+
+void FluidNetwork::InsertIntoBuckets(std::size_t index) {
+  Flow& f = flows_[index];
+  const bool capped = f.rate == f.cap;
+  const std::uint64_t key = BucketKey(f.rate, capped);
+  f.bucket_refs.clear();
+  f.bucket_refs.reserve(f.resources.size());
+  for (ResourceId r : f.resources) {
+    ResourceBuckets& rb = resource_buckets_[static_cast<std::size_t>(r.value)];
+    auto [it, inserted] = rb.by_key.try_emplace(key, 0);
+    if (inserted) {
+      if (!rb.free.empty()) {
+        it->second = rb.free.back();
+        rb.free.pop_back();
+      } else {
+        it->second = static_cast<std::uint32_t>(rb.buckets.size());
+        rb.buckets.emplace_back();
+      }
+      Bucket& fresh = rb.buckets[it->second];
+      fresh.rate = f.rate;
+      fresh.capped = capped;
+      fresh.max_reseq = 0;
+      fresh.flows.clear();
+    }
+    Bucket& b = rb.buckets[it->second];
+    b.max_reseq = std::max(b.max_reseq, f.reseq);
+    f.bucket_refs.push_back(
+        {it->second, static_cast<std::uint32_t>(b.flows.size())});
+    b.flows.push_back(index);
+  }
+}
+
+void FluidNetwork::RemoveFromBuckets(std::size_t index) {
+  Flow& f = flows_[index];
+  RESCCL_CHECK(f.bucket_refs.size() == f.resources.size());
+  for (std::size_t k = 0; k < f.resources.size(); ++k) {
+    const auto ri = static_cast<std::size_t>(f.resources[k].value);
+    ResourceBuckets& rb = resource_buckets_[ri];
+    Bucket& b = rb.buckets[f.bucket_refs[k].bucket];
+    const std::uint32_t pos = f.bucket_refs[k].pos;
+    const std::size_t moved = b.flows.back();
+    b.flows[pos] = moved;
+    b.flows.pop_back();
+    if (moved != index) {
+      // Patch the displaced flow's position for this resource (a path
+      // visits a resource at most once, so the match is unique).
+      Flow& mf = flows_[moved];
+      for (std::size_t k2 = 0; k2 < mf.resources.size(); ++k2) {
+        if (static_cast<std::size_t>(mf.resources[k2].value) == ri) {
+          mf.bucket_refs[k2].pos = pos;
+          break;
+        }
+      }
+    }
+    if (b.flows.empty()) {
+      rb.by_key.erase(BucketKey(b.rate, b.capped));
+      rb.free.push_back(f.bucket_refs[k].bucket);
+    }
+  }
+  f.bucket_refs.clear();
+}
+
+void FluidNetwork::BumpBucketReseq(const Flow& f) {
+  for (std::size_t k = 0; k < f.resources.size(); ++k) {
+    const auto ri = static_cast<std::size_t>(f.resources[k].value);
+    Bucket& b = resource_buckets_[ri].buckets[f.bucket_refs[k].bucket];
+    b.max_reseq = std::max(b.max_reseq, f.reseq);
+  }
 }
 
 bool FluidNetwork::FlushDeferred() {
@@ -189,7 +276,7 @@ bool FluidNetwork::FlushDeferred() {
   //     stamp can never equal a fresh epoch (the counter only grows), so
   //     recycled entries need no clearing pass.
   //
-  //  2. O(1) binding test per (resource, flow) incidence. Only dirty
+  //  2. O(1) binding test per (resource, bucket) incidence. Only dirty
   //     resources changed count, so flow f's rate can have moved only if
   //     for some dirty resource r on its path:
   //       - r's final share dropped below f's current rate (the min
@@ -202,6 +289,14 @@ bool FluidNetwork::FlushDeferred() {
   //         [z_lo, z_hi], so the test widens to rate ∈ [s(z_hi), s(z_lo)].
   //         A flow at its injection cap is exempt: rates never rise past
   //         the cap, whatever the shares do.
+  //     The test reads nothing but the flow's rate and cap-bound status —
+  //     exactly the resource's bucket key — so it runs once per bucket and
+  //     its verdict covers every member. The one widening: a bucket's
+  //     max_reseq stands in for each member's reseq, so a bucket holding
+  //     any mid-batch-rated flow takes the range test for all members; the
+  //     range test is a superset of the exact test (z_first ∈ [z_lo, z_hi]
+  //     and the share is decreasing in z), so this only ever re-rates more,
+  //     never misses one.
   //     Rates rise only when every binding resource loosens, and a binding
   //     resource loosens only by changing count, which marks it — so a flow
   //     failing the test for all dirty resources on its path keeps its rate
@@ -243,26 +338,29 @@ bool FluidNetwork::FlushDeferred() {
       const double s_hi = ResourceShare(r, m.z_hi, now);  // smallest share
       const double s_lo =
           ResourceShare(r, m.z_lo > 0 ? m.z_lo : 1, now);  // largest share
-      for (std::size_t fi : resource_flows_[m.ri]) {
-        Flow& f = flows_[fi];
+      for (const Bucket& b : resource_buckets_[m.ri].buckets) {
         ++stats_.walk_visits;
-        if (f.visit_stamp == epoch) continue;
+        if (b.flows.empty()) continue;  // free-listed slot
         bool maybe_changed;
-        if (s_new < f.rate) {
+        if (s_new < b.rate) {
           maybe_changed = true;  // the min tightened below the stored rate
-        } else if (f.rate == f.cap) {
+        } else if (b.capped) {
           maybe_changed = false;  // cap-bound: cannot rise
-        } else if (f.reseq > batch_seq) {
-          maybe_changed = s_hi <= f.rate && f.rate <= s_lo;
+        } else if (b.max_reseq > batch_seq) {
+          maybe_changed = s_hi <= b.rate && b.rate <= s_lo;
         } else {
-          maybe_changed = f.rate == s_first && s_new != s_first;
+          maybe_changed = b.rate == s_first && s_new != s_first;
         }
         if (!maybe_changed) {
-          ++stats_.binding_skips;
+          stats_.binding_skips += b.flows.size();
           continue;
         }
-        f.visit_stamp = epoch;
-        flush_affected_.push_back(fi);
+        for (std::size_t fi : b.flows) {
+          Flow& f = flows_[fi];
+          if (f.visit_stamp == epoch) continue;
+          f.visit_stamp = epoch;
+          flush_affected_.push_back(fi);
+        }
       }
     }
     for (std::size_t fi : flush_affected_) {
@@ -302,10 +400,25 @@ void FluidNetwork::RecomputeFlow(std::size_t index, SimTime now,
     // still exact — keep it. Skipping is only legal from the flush: a
     // slot-fired wake passes allow_skip=false because its event has
     // already been consumed and the flow must either complete or requeue.
+    // The flow keeps its buckets, but their max_reseq must track the fresh
+    // reseq or the next flush would misclassify it as pre-batch-rated.
+    if (!naive_rerate_) BumpBucketReseq(f);
     ++stats_.rate_unchanged_skips;
     return;
   }
   if (rate_log_enabled_) LogRateChange(f, now, rate - f.rate);
+  if (!naive_rerate_) {
+    // Refile under the new rate's bucket; an unchanged-rate wake (slot
+    // events reaching here with allow_skip=false) keeps its buckets and
+    // just propagates the fresh reseq.
+    if (rate != f.rate) {
+      RemoveFromBuckets(index);
+      f.rate = rate;
+      InsertIntoBuckets(index);
+    } else {
+      BumpBucketReseq(f);
+    }
+  }
   f.rate = rate;
   const SimTime done = now + SimTime::Us(f.remaining / f.rate);
   // If the residue would drain in less than one representable time
@@ -337,12 +450,16 @@ void FluidNetwork::Complete(std::size_t index, SimTime now) {
   f.rate = 0.0;
   queue_.FreeSlot(f.slot);
   UpdateResourceCounts(f.resources, -1, now);
-  for (ResourceId r : f.resources) {
-    auto& list = resource_flows_[static_cast<std::size_t>(r.value)];
-    const auto it = std::find(list.begin(), list.end(), index);
-    RESCCL_CHECK(it != list.end());
-    *it = list.back();  // swap-remove: order within a list is irrelevant
-    list.pop_back();
+  if (naive_rerate_) {
+    for (ResourceId r : f.resources) {
+      auto& list = resource_flows_[static_cast<std::size_t>(r.value)];
+      const auto it = std::find(list.begin(), list.end(), index);
+      RESCCL_CHECK(it != list.end());
+      *it = list.back();  // swap-remove: order within a list is irrelevant
+      list.pop_back();
+    }
+  } else {
+    RemoveFromBuckets(index);
   }
   --active_count_;
   CompletionFn cb = std::move(f.on_complete);

@@ -19,19 +19,34 @@
 // mark their resources dirty, and a single flush — driven by the event
 // queue's advance hook just before the clock moves — re-rates the affected
 // flows once. Within the flush, an epoch-stamped visited set considers each
-// flow at most once, and an O(1) binding test per (resource, flow)
-// incidence proves most flows' rates unchanged without recomputing them: a
-// flow is only re-rated if a dirty resource now constrains below its
-// current rate, or could have been binding for it at some count the
-// resource took during the timestamp. Skipped flows keep their queued
-// completion events and defer integration to their next re-rate; that is
-// exact, not an approximation, because a skipped flow's rate is constant
-// over the deferred span. (Deferral does reassociate the floating-point
-// partial sums, so the incremental path matches the naive reference walk to
-// relative fp tolerance rather than bit-exactly; each path on its own stays
-// fully deterministic.) Completed Flow entries and their event-queue slots
-// recycle through free lists, so arbitrarily long simulations run in
-// bounded memory with no steady-state allocation.
+// flow at most once, and an O(1) binding test per incidence proves most
+// flows' rates unchanged without recomputing them: a flow is only re-rated
+// if a dirty resource now constrains below its current rate, or could have
+// been binding for it at some count the resource took during the timestamp.
+// Skipped flows keep their queued completion events and defer integration
+// to their next re-rate; that is exact, not an approximation, because a
+// skipped flow's rate is constant over the deferred span. (Deferral does
+// reassociate the floating-point partial sums, so the incremental path
+// matches the naive reference walk to relative fp tolerance rather than
+// bit-exactly; each path on its own stays fully deterministic.) Completed
+// Flow entries and their event-queue slots recycle through free lists, so
+// arbitrarily long simulations run in bounded memory with no steady-state
+// allocation.
+//
+// The binding test's inputs are only the flow's current rate and whether it
+// sits at its injection cap — so flows on one resource with bit-identical
+// rate and the same cap-bound status are interchangeable, and the
+// incremental walk *aggregates* them: each resource keeps its active flows
+// bucketed by exact (rate, cap-bound) key, the flush's dirty-resource scan
+// tests one bucket instead of each member, and a skipped bucket skips all
+// its flows at once. On a rail-aligned fabric this is the difference
+// between O(flows) and O(aggregates) per dirty trunk or spine link: the
+// hundreds of same-(level, rail, direction) flows a hierarchical collective
+// drives through a shared uplink land in a handful of buckets because the
+// fair-share rate math gives symmetric flows bit-identical rates. The
+// grouping is exact, not a heuristic — no rate is approximated; flows whose
+// rates diverge (fault windows, asymmetric paths) just occupy more buckets,
+// degrading gracefully toward the per-flow walk.
 //
 // With a FaultPlan attached, capacity(r) additionally carries the plan's
 // time-varying degradation scale; flows crossing a fault-window boundary are
@@ -43,6 +58,7 @@
 #include <deque>
 #include <functional>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
@@ -69,8 +85,10 @@ class FluidNetwork {
     std::uint64_t flows_started = 0;
     std::uint64_t flows_recycled = 0;  // entries reused from the free list
     std::uint64_t recompute_calls = 0;  // RecomputeFlow invocations
-    std::uint64_t walk_visits = 0;  // O(1) (resource, flow) incidence checks
-    std::uint64_t binding_skips = 0;  // proven unchanged without recompute
+    std::uint64_t walk_visits = 0;  // O(1) binding tests: (resource, bucket)
+                                    // in the aggregated incremental walk,
+                                    // (resource, flow) in the naive walk
+    std::uint64_t binding_skips = 0;  // flows proven unchanged w/o recompute
     std::uint64_t rate_unchanged_skips = 0;  // recomputed, rate identical
     std::uint64_t reschedules = 0;  // completion/wake events (re)queued
   };
@@ -134,9 +152,18 @@ class FluidNetwork {
   }
 
  private:
+  // Where one flow sits inside one resource's bucket table: bucket index
+  // and position within the bucket's member list. Parallel to
+  // Flow::resources (aggregated incremental mode only).
+  struct BucketRef {
+    std::uint32_t bucket = 0;
+    std::uint32_t pos = 0;
+  };
+
   struct Flow {
     // Copied from the starting Path; capacity is recycled with the entry.
     std::vector<ResourceId> resources;
+    std::vector<BucketRef> bucket_refs;  // parallel to `resources`
     double remaining = 0.0;   // bytes
     double rate = 0.0;        // bytes/us
     double cap = 0.0;         // bytes/us
@@ -146,6 +173,28 @@ class FluidNetwork {
     std::uint64_t visit_stamp = 0;  // epoch of the last flush-walk visit
     std::uint64_t reseq = 0;  // recompute sequence of the last re-rate
     bool active = false;
+  };
+
+  // One aggregate: the flows on one resource sharing a bit-identical rate
+  // and cap-bound status. The flush's binding test runs once per bucket;
+  // `max_reseq` is the conservative max over members' reseq (monotonic
+  // while the bucket lives — a stale high value only widens the test).
+  struct Bucket {
+    double rate = 0.0;
+    bool capped = false;  // every member at its injection cap
+    std::uint64_t max_reseq = 0;
+    std::vector<std::size_t> flows;
+  };
+
+  // Per-resource bucket table. Bucket indices are stable (a free list
+  // recycles emptied slots), so BucketRefs stay valid while the table
+  // grows; `by_key` maps the exact (rate bits, cap-bound) key to its
+  // bucket. Iteration for the flush scan is over the dense `buckets`
+  // vector, never the map — deterministic order, replay-stable.
+  struct ResourceBuckets {
+    std::vector<Bucket> buckets;
+    std::vector<std::uint32_t> free;
+    std::unordered_map<std::uint64_t, std::uint32_t> by_key;
   };
 
   // One dirty resource within the current timestamp: the count it had
@@ -174,6 +223,15 @@ class FluidNetwork {
   // Naive reference walk only; the incremental path defers to FlushDeferred.
   void RecomputeAffected(const std::vector<ResourceId>& resources,
                          SimTime now);
+  // Aggregated incremental mode: (re)files the flow under the bucket
+  // matching its current rate on every path resource / unfiles it (on
+  // completion or before a rate change refiles it).
+  void InsertIntoBuckets(std::size_t index);
+  void RemoveFromBuckets(std::size_t index);
+  // Rate-unchanged skips still advance the flow's reseq; its buckets'
+  // max_reseq must follow for the flush's mid-batch classification.
+  void BumpBucketReseq(const Flow& f);
+  [[nodiscard]] static std::uint64_t BucketKey(double rate, bool capped);
   // Records a count change on one resource for the pending flush batch.
   void MarkResource(std::size_t ri, int z_before, int z_after);
   // Re-rates everything affected by the pending batch; returns true if it
@@ -194,7 +252,10 @@ class FluidNetwork {
   std::vector<Flow> flows_;
   std::vector<std::size_t> free_flows_;              // recyclable entries
   std::vector<int> resource_active_;                 // per-resource flow count
-  std::vector<std::vector<std::size_t>> resource_flows_;  // active flow ids
+  // Per-resource active flow ids — naive reference mode only; the
+  // aggregated incremental mode tracks membership via resource_buckets_.
+  std::vector<std::vector<std::size_t>> resource_flows_;
+  std::vector<ResourceBuckets> resource_buckets_;    // incremental mode only
   std::vector<ResourceUsage> usage_;
   std::vector<SimTime> resource_busy_since_;
   std::deque<WalkScratch> walk_scratch_;

@@ -1,5 +1,5 @@
 // Shared labeled algorithm-factory table for the property suites: every
-// library algorithm that runs on an arbitrary topology (17 entries). Used
+// library algorithm that runs on an arbitrary topology (20 entries). Used
 // by the fault-injection sweep (test_faults_property.cc) and the
 // observability sweep (test_obs_property.cc) so both cover the identical
 // algorithm library.
@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "algorithms/composition.h"
 #include "algorithms/hierarchical.h"
 #include "algorithms/recursive.h"
 #include "algorithms/ring.h"
@@ -34,18 +35,15 @@ inline std::vector<AlgoCase> AlgorithmCases() {
        [](const Topology& t) { return algorithms::RingAllReduce(t.nranks()); }},
       {"mc_ring_ag",
        [](const Topology& t) {
-         return algorithms::MultiChannelRingAllGather(t,
-                                                      t.spec().nics_per_node);
+         return algorithms::MultiChannelRingAllGather(t, t.CommChannels());
        }},
       {"mc_ring_rs",
        [](const Topology& t) {
-         return algorithms::MultiChannelRingReduceScatter(
-             t, t.spec().nics_per_node);
+         return algorithms::MultiChannelRingReduceScatter(t, t.CommChannels());
        }},
       {"mc_ring_ar",
        [](const Topology& t) {
-         return algorithms::MultiChannelRingAllReduce(t,
-                                                      t.spec().nics_per_node);
+         return algorithms::MultiChannelRingAllReduce(t, t.CommChannels());
        }},
       {"tree_ar",
        [](const Topology& t) {
@@ -66,6 +64,12 @@ inline std::vector<AlgoCase> AlgorithmCases() {
       {"hm_ag", algorithms::HierarchicalMeshAllGather},
       {"hm_rs", algorithms::HierarchicalMeshReduceScatter},
       {"hm_ar", algorithms::HierarchicalMeshAllReduce},
+      {"hc_ag",
+       [](const Topology& t) { return algorithms::ComposedAllGather(t); }},
+      {"hc_rs",
+       [](const Topology& t) { return algorithms::ComposedReduceScatter(t); }},
+      {"hc_ar",
+       [](const Topology& t) { return algorithms::ComposedAllReduce(t); }},
       {"taccl_ag", algorithms::TacclLikeAllGather},
       {"taccl_ar", algorithms::TacclLikeAllReduce},
       {"teccl_ag", algorithms::TecclLikeAllGather},

@@ -3,6 +3,7 @@
 // sane. This is the library's main end-to-end correctness net.
 #include <gtest/gtest.h>
 
+#include "algorithms/composition.h"
 #include "algorithms/hierarchical.h"
 #include "algorithms/recursive.h"
 #include "algorithms/ring.h"
@@ -39,13 +40,41 @@ Algorithm MakeOneShotAg(const Topology& t) {
   return algorithms::OneShotAllGather(t.nranks());
 }
 Algorithm MakeMcRingAg(const Topology& t) {
-  return algorithms::MultiChannelRingAllGather(t, t.spec().nics_per_node);
+  return algorithms::MultiChannelRingAllGather(t, t.CommChannels());
 }
 Algorithm MakeMcRingRs(const Topology& t) {
-  return algorithms::MultiChannelRingReduceScatter(t, t.spec().nics_per_node);
+  return algorithms::MultiChannelRingReduceScatter(t, t.CommChannels());
 }
 Algorithm MakeMcRingAr(const Topology& t) {
-  return algorithms::MultiChannelRingAllReduce(t, t.spec().nics_per_node);
+  return algorithms::MultiChannelRingAllReduce(t, t.CommChannels());
+}
+Algorithm MakeComposedAg(const Topology& t) {
+  return algorithms::ComposedAllGather(t);
+}
+Algorithm MakeComposedRs(const Topology& t) {
+  return algorithms::ComposedReduceScatter(t);
+}
+Algorithm MakeComposedAr(const Topology& t) {
+  return algorithms::ComposedAllReduce(t);
+}
+// Force every level onto one primitive so each primitive's reduce and
+// broadcast emitters get exercised at every scope, not just its default.
+Algorithm MakeComposedArRings(const Topology& t) {
+  algorithms::CompositionSpec spec;
+  spec.primitives.assign(4, algorithms::LevelPrimitive::kRing);
+  return algorithms::ComposedAllReduce(t, spec);
+}
+Algorithm MakeComposedArTrees(const Topology& t) {
+  algorithms::CompositionSpec spec;
+  spec.primitives.assign(4, algorithms::LevelPrimitive::kTree);
+  return algorithms::ComposedAllReduce(t, spec);
+}
+Algorithm MakeComposedArCoarse(const Topology& t) {
+  // Coarse striping: one chunk class per local GPU (the thousand-rank
+  // regime's transfer-count lever).
+  algorithms::CompositionSpec spec;
+  spec.chunks = t.gpus_per_node();
+  return algorithms::ComposedAllReduce(t, spec);
 }
 
 struct PropertyCase {
@@ -68,6 +97,12 @@ std::vector<PropertyCase> AlgorithmCases() {
       {"hm_ag", algorithms::HierarchicalMeshAllGather},
       {"hm_rs", algorithms::HierarchicalMeshReduceScatter},
       {"hm_ar", algorithms::HierarchicalMeshAllReduce},
+      {"hc_ag", MakeComposedAg},
+      {"hc_rs", MakeComposedRs},
+      {"hc_ar", MakeComposedAr},
+      {"hc_ar_rings", MakeComposedArRings},
+      {"hc_ar_trees", MakeComposedArTrees},
+      {"hc_ar_coarse", MakeComposedArCoarse},
       {"taccl_ag", algorithms::TacclLikeAllGather},
       {"taccl_ar", algorithms::TacclLikeAllReduce},
       {"teccl_ag", algorithms::TecclLikeAllGather},

@@ -119,6 +119,36 @@ TEST(ParallelSweepTest, SelectSweepBitIdenticalUnderFaults) {
   EXPECT_NE(HashSweep(serial), HashSweep(clean_sweep));
 }
 
+// The thousand-rank acceptance angle: on a rail-aligned Clos fabric the
+// candidate set includes the composed N-level plans, whose flows are
+// re-rated through the aggregated per-resource buckets. Serial and
+// parallel sweeps must still land on identical bits — aggregation may
+// change how the solver walks, never what it computes.
+TEST(ParallelSweepTest, SelectSweepBitIdenticalOnRailClosWithAggregation) {
+  const Topology topo(presets::RailClos(8, 4, 2, 4, /*oversubscription=*/2.0));
+  bool has_composed = false;
+  for (const Algorithm& a :
+       CandidateAlgorithms(CollectiveOp::kAllReduce, topo)) {
+    if (a.name.rfind("hc_", 0) == 0) has_composed = true;
+  }
+  ASSERT_TRUE(has_composed);
+
+  const std::vector<Size> sizes = {Size::MiB(4), Size::MiB(16)};
+  RunRequest request;
+  const SweepResult serial =
+      SelectAlgorithmSweep(CollectiveOp::kAllReduce, topo,
+                           BackendKind::kResCCL, request, sizes, nullptr, 1);
+  const SweepResult parallel =
+      SelectAlgorithmSweep(CollectiveOp::kAllReduce, topo,
+                           BackendKind::kResCCL, request, sizes, nullptr, 8);
+  EXPECT_EQ(HashSweep(serial), HashSweep(parallel));
+  ASSERT_EQ(serial.points.size(), parallel.points.size());
+  for (std::size_t i = 0; i < serial.points.size(); ++i) {
+    EXPECT_EQ(serial.points[i].report.algorithm,
+              parallel.points[i].report.algorithm);
+  }
+}
+
 TEST(ParallelSweepTest, RunConcurrentlyBitIdenticalAcrossSimJobs) {
   const Topology topo(presets::A100(2, 8));
   std::vector<JobSpec> jobs;

@@ -119,12 +119,44 @@ TEST(FingerprintTest, EveryInputFieldChangesTheKey) {
   }
   {
     TopologySpec m = spec;
+    m.trunk_gamma += 0.01;
+    add(FingerprintOf(algo, m, options));
+  }
+  {
+    TopologySpec m = spec;
     m.inter_latency = SimTime::Us(7.5);
     add(FingerprintOf(algo, m, options));
   }
   {
     TopologySpec m = spec;
     m.nics_per_node = 2;
+    add(FingerprintOf(algo, m, options));
+  }
+  // Hierarchy / rail fields: a cached plan compiled for one fabric shape
+  // must never serve a differently-tiered or differently-railed one.
+  {
+    TopologySpec m = spec;
+    m.nodes_per_rack = 1;
+    add(FingerprintOf(algo, m, options));
+  }
+  {
+    TopologySpec m = spec;
+    m.racks_per_pod = 2;
+    add(FingerprintOf(algo, m, options));
+  }
+  {
+    TopologySpec m = spec;
+    m.rail_of_gpu = {0, 0, 1, 1};
+    add(FingerprintOf(algo, m, options));
+  }
+  {
+    TopologySpec m = spec;
+    m.oversubscription = 2.0;
+    add(FingerprintOf(algo, m, options));
+  }
+  {
+    TopologySpec m = spec;
+    m.cross_pod_extra = SimTime::Us(4.0);
     add(FingerprintOf(algo, m, options));
   }
 

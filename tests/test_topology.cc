@@ -83,7 +83,7 @@ TEST(TopologyTest, SameRackSkipsTrunk) {
 
 TEST(TopologyTest, ResourceKindsAndGammas) {
   const Topology topo(presets::A100(2, 8));
-  int fabric = 0, pcie = 0, nic = 0, trunk = 0;
+  int fabric = 0, pcie = 0, nic = 0, trunk = 0, spine = 0;
   for (const Resource& r : topo.resources()) {
     switch (r.kind) {
       case ResourceKind::kFabric:
@@ -95,13 +95,21 @@ TEST(TopologyTest, ResourceKindsAndGammas) {
         ++nic;
         EXPECT_DOUBLE_EQ(r.contention_gamma, topo.spec().nic_gamma);
         break;
-      case ResourceKind::kTrunk: ++trunk; break;
+      case ResourceKind::kTrunk:
+        ++trunk;
+        EXPECT_DOUBLE_EQ(r.contention_gamma, topo.spec().trunk_gamma);
+        break;
+      case ResourceKind::kSpine:
+        ++spine;
+        EXPECT_DOUBLE_EQ(r.contention_gamma, topo.spec().trunk_gamma);
+        break;
     }
   }
   EXPECT_EQ(fabric, 32);  // in + out per GPU
   EXPECT_EQ(pcie, 32);
   EXPECT_EQ(nic, 16);     // up + down per (node, nic)
   EXPECT_EQ(trunk, 2);    // single rack: one ToR pair
+  EXPECT_EQ(spine, 0);    // flat two-tier spec: no spine links
 }
 
 TEST(TopologyTest, PathsAreSymmetricInShape) {
@@ -157,6 +165,99 @@ TEST(TopologyTest, BoundsChecked) {
   EXPECT_THROW((void)topo.PathBetween(-1, 0), std::logic_error);
   EXPECT_THROW((void)topo.PathBetween(3, 3), std::logic_error);
   EXPECT_THROW((void)topo.NodeOf(99), std::logic_error);
+}
+
+TEST(TopologyTest, RailClos1024RankFabric) {
+  // 128 nodes × 8 GPUs in 8 racks of 16; racks group into 2 pods of 4
+  // under a spine tier. Four rails, two GPUs per NIC.
+  const Topology topo(presets::RailClos(128, 8, /*nics_per_node=*/4,
+                                        /*racks=*/8));
+  EXPECT_EQ(topo.nranks(), 1024);
+  EXPECT_EQ(topo.racks(), 8);
+  EXPECT_EQ(topo.pods(), 2);
+  EXPECT_EQ(topo.PodOf(3), 0);
+  EXPECT_EQ(topo.PodOf(4), 1);
+  EXPECT_EQ(topo.num_rails(), 4);
+  EXPECT_EQ(topo.CommChannels(), 4);
+  // The explicit rail map: GPU j drives NIC j/2.
+  EXPECT_EQ(topo.RailOf(0), 0);
+  EXPECT_EQ(topo.RailOf(1), 0);
+  EXPECT_EQ(topo.RailOf(2), 1);
+  EXPECT_EQ(topo.RailOf(7), 3);
+  EXPECT_EQ(topo.RailOf(1023), 3);  // local index 7 on node 127
+
+  int fabric = 0, pcie = 0, nic = 0, trunk = 0, spine = 0;
+  for (const Resource& r : topo.resources()) {
+    switch (r.kind) {
+      case ResourceKind::kFabric: ++fabric; break;
+      case ResourceKind::kPcie: ++pcie; break;
+      case ResourceKind::kNic: ++nic; break;
+      case ResourceKind::kTrunk:
+        ++trunk;
+        EXPECT_DOUBLE_EQ(r.contention_gamma, topo.spec().trunk_gamma);
+        break;
+      case ResourceKind::kSpine:
+        ++spine;
+        EXPECT_DOUBLE_EQ(r.contention_gamma, topo.spec().trunk_gamma);
+        break;
+    }
+  }
+  EXPECT_EQ(fabric, 2048);  // in + out per GPU
+  EXPECT_EQ(pcie, 2048);
+  EXPECT_EQ(nic, 1024);     // up + down per (node, nic)
+  EXPECT_EQ(trunk, 16);     // up + down per rack ToR
+  EXPECT_EQ(spine, 4);      // up + down per pod
+}
+
+TEST(TopologyTest, RailClosPathsTraverseRailNics) {
+  const Topology topo(presets::RailClos(128, 8, /*nics_per_node=*/4,
+                                        /*racks=*/8));
+  // Cross-pod worst case: node 0 / pod 0 -> node 127 / pod 1 climbs the
+  // full tier — NIC, ToR, spine pair, ToR, NIC.
+  const Path& p = topo.PathBetween(0, 1023);
+  ASSERT_EQ(p.resources.size(), 8u);
+  EXPECT_EQ(topo.resource(p.resources[0]).name, "gpu0.pcie_out");
+  EXPECT_EQ(topo.resource(p.resources[1]).name, "node0.nic0.up");
+  EXPECT_EQ(topo.resource(p.resources[2]).name, "tor0.up");
+  EXPECT_EQ(topo.resource(p.resources[3]).name, "pod0.spine.up");
+  EXPECT_EQ(topo.resource(p.resources[4]).name, "pod1.spine.down");
+  EXPECT_EQ(topo.resource(p.resources[5]).name, "tor7.down");
+  EXPECT_EQ(topo.resource(p.resources[6]).name, "node127.nic3.down");
+  EXPECT_EQ(topo.resource(p.resources[7]).name, "gpu1023.pcie_in");
+  // inter + cross-rack extra + cross-pod extra.
+  EXPECT_DOUBLE_EQ(p.latency.us(), 9.0);
+  EXPECT_DOUBLE_EQ(p.bottleneck.gbps(), topo.spec().nic.gbps());
+
+  // Same rack skips ToR and spine entirely.
+  EXPECT_EQ(topo.PathBetween(0, 8 * 15).resources.size(), 4u);
+  // Cross-rack same-pod climbs only to the ToRs.
+  const Path& rack = topo.PathBetween(0, 8 * 16);
+  EXPECT_EQ(rack.resources.size(), 6u);
+  EXPECT_DOUBLE_EQ(rack.latency.us(), 7.0);
+
+  // Every cross-node path leaves on the sender's rail NIC and lands on
+  // the receiver's — sampled across the fabric.
+  for (Rank src : {0, 513, 1022}) {
+    for (Rank dst = 3; dst < topo.nranks(); dst += 97) {
+      if (topo.SameNode(src, dst)) continue;
+      const Path& q = topo.PathBetween(src, dst);
+      EXPECT_EQ(topo.RailOfResource(q.resources[1]), topo.RailOf(src));
+      EXPECT_EQ(topo.RailOfResource(q.resources[q.resources.size() - 2]),
+                topo.RailOf(dst));
+    }
+  }
+}
+
+TEST(TopologyTest, RailClosOversubscriptionThinsTrunks) {
+  const auto trunk_gbps = [](const Topology& t) {
+    for (const Resource& r : t.resources()) {
+      if (r.kind == ResourceKind::kTrunk) return r.capacity.gbps();
+    }
+    return 0.0;
+  };
+  const Topology full(presets::RailClos(32, 8, 4, 4));
+  const Topology thin(presets::RailClos(32, 8, 4, 4, /*oversubscription=*/2));
+  EXPECT_DOUBLE_EQ(trunk_gbps(thin), trunk_gbps(full) / 2.0);
 }
 
 TEST(TopologyTest, LargeEmulatedScale) {

@@ -1,12 +1,16 @@
 #!/usr/bin/env python3
-"""Compare a micro_sim run (BENCH_sim.json) against the checked-in baseline.
+"""Compare a bench run (BENCH_*.json) against its checked-in baseline.
 
-Two classes of metric, two policies:
+Handles both perf harnesses — micro_sim (BENCH_sim.json) and micro_scale
+(BENCH_scale.json); the JSON's top-level "bench" field selects the metric
+set and the default baseline path (bench/baselines/<bench>_baseline.json).
+
+Three classes of metric, three policies:
 
   * Deterministic simulation counters (flow counts, RecomputeFlow calls,
-    events fired) do not depend on the machine at all — they must match the
-    baseline exactly. A mismatch means the simulator's behavior changed, not
-    that the runner was slow.
+    walk visits, events fired) do not depend on the machine at all — they
+    must match the baseline exactly. A mismatch means the simulator's
+    behavior changed, not that the runner was slow.
   * Wall-clock metrics (events/sec) vary with hardware — they fail only on a
     regression larger than --max-regression (default 25%) below baseline.
     Faster-than-baseline runs always pass; refresh the baseline with
@@ -17,7 +21,7 @@ Two classes of metric, two policies:
     at most 10% of disabled event throughput (obs.registry_overhead_frac).
 
 Usage:
-  tools/check_perf.py BENCH_sim.json [--baseline bench/baselines/micro_sim_baseline.json]
+  tools/check_perf.py BENCH_sim.json [--baseline PATH]
                       [--max-regression 0.25] [--update]
 
 Exit status 0 on pass, 1 on any failure.
@@ -27,24 +31,44 @@ import argparse
 import json
 import sys
 
-DETERMINISTIC = [
-    ("rerate", "flows"),
-    ("rerate", "recompute_calls"),
-    ("rerate", "recompute_calls_naive"),
-    ("rerate", "flows_recycled"),
-    ("throughput", "events"),
-    ("sweep", "cells"),
-]
-
-WALL_CLOCK = [
-    ("throughput", "events_per_sec"),
-]
-
-# (section, key, ceiling): current value must be <= ceiling. No baseline
-# entry needed; missing keys (runs of an older bench binary) are skipped.
-CAPPED = [
-    ("obs", "registry_overhead_frac", 0.10),
-]
+# Per-bench metric sets: (section, key) pairs for the deterministic and
+# wall-clock policies, (section, key, ceiling) for caps.
+METRICS = {
+    "micro_sim": {
+        "deterministic": [
+            ("rerate", "flows"),
+            ("rerate", "recompute_calls"),
+            ("rerate", "recompute_calls_naive"),
+            ("rerate", "flows_recycled"),
+            ("throughput", "events"),
+            ("sweep", "cells"),
+        ],
+        "wall_clock": [
+            ("throughput", "events_per_sec"),
+        ],
+        "capped": [
+            ("obs", "registry_overhead_frac", 0.10),
+        ],
+    },
+    "micro_scale": {
+        "deterministic": [
+            (ranks, key)
+            for ranks in ("ranks64", "ranks256", "ranks1024")
+            for key in ("flows", "events", "co_flows", "recompute_calls",
+                        "recompute_calls_naive", "walk_visits",
+                        "walk_visits_naive")
+        ],
+        "wall_clock": [
+            ("ranks1024", "events_per_sec"),
+        ],
+        # The bench's own acceptance bars, re-checked here so a baseline
+        # refresh can't quietly accept a regression past them: at 1024
+        # ranks the aggregated walk must do <= 1/3 the naive walk's visits.
+        "capped": [
+            ("ranks1024", "visits_over_naive_frac", 1.0 / 3.0),
+        ],
+    },
+}
 
 
 def get(doc, section, key):
@@ -56,9 +80,10 @@ def get(doc, section, key):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("current", help="BENCH_sim.json from this run")
+    parser.add_argument("current", help="BENCH_*.json from this run")
     parser.add_argument(
-        "--baseline", default="bench/baselines/micro_sim_baseline.json")
+        "--baseline", default=None,
+        help="baseline path (default bench/baselines/<bench>_baseline.json)")
     parser.add_argument("--max-regression", type=float, default=0.25,
                         help="allowed fractional drop in wall-clock metrics")
     parser.add_argument("--update", action="store_true",
@@ -68,19 +93,26 @@ def main():
     with open(args.current) as f:
         current = json.load(f)
 
+    bench = current.get("bench", "micro_sim")
+    if bench not in METRICS:
+        print(f"FAIL unknown bench '{bench}' in {args.current}")
+        return 1
+    metrics = METRICS[bench]
+    baseline_path = args.baseline or f"bench/baselines/{bench}_baseline.json"
+
     if args.update:
-        with open(args.baseline, "w") as f:
+        with open(baseline_path, "w") as f:
             json.dump(current, f, indent=2)
             f.write("\n")
-        print(f"baseline updated from {args.current} -> {args.baseline}")
+        print(f"baseline updated from {args.current} -> {baseline_path}")
         return 0
 
-    with open(args.baseline) as f:
+    with open(baseline_path) as f:
         baseline = json.load(f)
 
     failures = 0
 
-    for section, key in DETERMINISTIC:
+    for section, key in metrics["deterministic"]:
         want, got = get(baseline, section, key), get(current, section, key)
         if want is None:
             continue  # metric added after this baseline was captured
@@ -92,7 +124,7 @@ def main():
         else:
             print(f"ok   {section}.{key}: {got}")
 
-    for section, key in WALL_CLOCK:
+    for section, key in metrics["wall_clock"]:
         want, got = get(baseline, section, key), get(current, section, key)
         if want is None or got is None:
             continue
@@ -106,7 +138,7 @@ def main():
             print(f"ok   {section}.{key}: {got:.0f} "
                   f"(baseline {want:.0f}, floor {floor:.0f})")
 
-    for section, key, ceiling in CAPPED:
+    for section, key, ceiling in metrics["capped"]:
         got = get(current, section, key)
         if got is None:
             continue
