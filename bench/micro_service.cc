@@ -1,0 +1,301 @@
+// micro_service: open-loop load generator for the scheduling service.
+//
+// Drives SchedulingService (src/service) in deterministic mode with the
+// shared seeded workload generator: 4 tenants x 3 priority classes,
+// exponential arrivals swept from an idle server to well past saturation.
+// Everything runs under the virtual clock, so every number below — admits,
+// sheds, queue waits, coalesce rate — is exactly reproducible and the
+// self-checks are equalities, not thresholds over wall-clock noise.
+//
+// Self-checks (exit non-zero on violation):
+//   - identical workload (one compile shape) coalesces: rate >= 0.9 and
+//     exactly one Prepare for the whole stream;
+//   - shedding is priority-ordered: zero recorded inversions (a drop while
+//     something strictly less urgent stayed queued) at every load point,
+//     and the high class is never shed at all;
+//   - queue depth never exceeds the configured bound;
+//   - the service quiesces at every load point (every submitted request
+//     has a recorded outcome);
+//   - replaying the most-loaded point is bit-identical;
+//   - backlogged same-class tenants share throughput by weight (10%).
+//
+// Writes BENCH_service.json next to the binary (tools/check_perf.py
+// compares it against bench/baselines/micro_service_baseline.json).
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "algorithms/ring.h"
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "service/service.h"
+#include "service/workload.h"
+
+using namespace resccl;
+using namespace resccl::bench;
+using namespace resccl::service;
+
+namespace {
+
+int failures = 0;
+
+void Check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: %s\n", what);
+    ++failures;
+  }
+}
+
+constexpr int kRequests = 240;
+constexpr std::size_t kQueueBound = 24;
+constexpr int kMaxInFlight = 4;
+constexpr std::uint64_t kSeed = 42;
+
+std::vector<TenantSpec> Tenants() {
+  return {{"alpha", 4.0}, {"beta", 2.0}, {"gamma", 1.0}, {"delta", 1.0}};
+}
+
+ServiceConfig Config() {
+  ServiceConfig config;
+  config.queue_bound = kQueueBound;
+  config.max_in_flight = kMaxInFlight;
+  config.tenants = Tenants();
+  return config;
+}
+
+struct LoadPoint {
+  double mean_interarrival_us = 0;
+  std::uint64_t served = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t compiles = 0;
+  std::size_t max_depth = 0;
+  double mean_wait_us = 0;
+  double makespan_us = 0;       // virtual time to drain the whole stream
+  double served_per_sec = 0;    // vs virtual time: the service rate
+};
+
+LoadPoint RunPoint(const std::shared_ptr<const Topology>& topo,
+                   double mean_interarrival_us, int shapes,
+                   std::uint64_t* response_digest = nullptr) {
+  WorkloadSpec wl;
+  wl.seed = kSeed;
+  wl.requests = kRequests;
+  wl.mean_interarrival_us = mean_interarrival_us;
+  wl.distinct_shapes = shapes;
+  wl.tenants = Tenants();
+
+  SchedulingService svc(topo, Config());
+  ReplayOpenLoop(svc, GenerateWorkload(*topo, wl));
+  const SchedulingService::Stats stats = svc.stats();
+  const std::vector<Response> responses = svc.Drain();
+
+  Check(svc.queued() == 0 && svc.in_flight() == 0,
+        "service must quiesce at every load point");
+  Check(stats.submitted == static_cast<std::uint64_t>(kRequests),
+        "every generated request must be submitted");
+  Check(stats.served + stats.failed + stats.rejected + stats.shed ==
+            stats.submitted,
+        "every submitted request must have exactly one outcome");
+  Check(stats.failed == 0, "no request may fail on a clean workload");
+  Check(stats.shed_inversions == 0,
+        "shedding must be priority-ordered (0 inversions)");
+  Check(stats.shed_by_class[0] == 0, "the high class must never be shed");
+  Check(stats.max_queue_depth <= kQueueBound,
+        "queue depth must never exceed the bound");
+
+  LoadPoint p;
+  p.mean_interarrival_us = mean_interarrival_us;
+  p.served = stats.served;
+  p.rejected = stats.rejected;
+  p.shed = stats.shed;
+  p.coalesced = stats.coalesced;
+  p.compiles = stats.prepares;
+  p.max_depth = stats.max_queue_depth;
+  p.makespan_us = svc.VirtualNow();
+  double wait_sum = 0;
+  std::uint64_t digest = 1469598103934665603ULL;  // FNV offset basis
+  for (const Response& r : responses) {
+    if (r.outcome == Outcome::kServed) wait_sum += r.queue_wait_us;
+    // Order-sensitive digest over (id, outcome): equal digests mean the
+    // two replays completed the same requests the same way in the same
+    // order.
+    const std::uint64_t prime = 0x100000001b3ULL;
+    digest ^= r.id * prime + static_cast<std::uint64_t>(r.outcome);
+    digest *= prime;
+  }
+  if (stats.served > 0) {
+    p.mean_wait_us = wait_sum / static_cast<double>(stats.served);
+  }
+  if (p.makespan_us > 0) {
+    p.served_per_sec =
+        static_cast<double>(stats.served) / (p.makespan_us * 1e-6);
+  }
+  if (response_digest != nullptr) *response_digest = digest;
+  return p;
+}
+
+// Identical workload: every request shares one fingerprint, so the whole
+// stream must cost exactly one compile regardless of how requests batch.
+void CheckCoalescing(const std::shared_ptr<const Topology>& topo,
+                     double* coalesce_rate_out) {
+  WorkloadSpec wl;
+  wl.seed = kSeed;
+  wl.requests = kRequests;
+  wl.mean_interarrival_us = 100.0;
+  wl.distinct_shapes = 1;
+  wl.tenants = Tenants();
+
+  SchedulingService svc(topo, Config());
+  ReplayOpenLoop(svc, GenerateWorkload(*topo, wl));
+  const SchedulingService::Stats stats = svc.stats();
+  const PlanCache::Stats cache = svc.plan_cache().stats();
+
+  Check(cache.misses == 1, "identical workload must compile exactly once");
+  const double rate =
+      stats.served > 0
+          ? static_cast<double>(stats.coalesced) /
+                static_cast<double>(stats.served)
+          : 0.0;
+  Check(rate >= 0.9, "identical workload must coalesce >= 90% of serves");
+  *coalesce_rate_out = rate;
+  std::printf("coalesce: %" PRIu64 "/%" PRIu64
+              " served without compiling (rate %.3f, compiles %" PRIu64
+              ")\n\n",
+              stats.coalesced, stats.served, rate, cache.misses);
+}
+
+// Backlogged fairness: every tenant keeps identical same-class work queued,
+// so the weighted-fair dequeue alone decides throughput. Served-byte shares
+// must track weight shares within 10% relative.
+void CheckFairness(const std::shared_ptr<const Topology>& topo) {
+  ServiceConfig config = Config();
+  config.queue_bound = 256;
+  SchedulingService svc(topo, config);
+
+  Request req;
+  req.algorithm = algorithms::RingAllReduce(topo->nranks());
+  req.run.launch.buffer = Size::MiB(4);
+  const int per_tenant = 48;
+  for (int i = 0; i < per_tenant; ++i) {
+    for (const TenantSpec& t : Tenants()) {
+      req.tenant = t.name;
+      (void)svc.Submit(req);
+    }
+  }
+  // Serve half the backlog: every tenant must still be backlogged at the
+  // end, otherwise the lighter tenants' queues drain and the shares drift
+  // toward uniform.
+  const int steps = per_tenant * static_cast<int>(Tenants().size()) / 2 /
+                    config.max_in_flight;
+  for (int s = 0; s < steps; ++s) Check(svc.Step(), "backlog must not drain");
+
+  const SchedulingService::Stats stats = svc.stats();
+  double weight_total = 0;
+  std::int64_t bytes_total = 0;
+  for (const TenantSpec& t : Tenants()) {
+    weight_total += t.weight;
+    bytes_total += stats.served_bytes.at(t.name);
+  }
+  std::printf("fairness (backlogged, weights 4:2:1:1):\n");
+  for (const TenantSpec& t : Tenants()) {
+    const double share = static_cast<double>(stats.served_bytes.at(t.name)) /
+                         static_cast<double>(bytes_total);
+    const double target = t.weight / weight_total;
+    std::printf("  %-6s share %.3f target %.3f\n", t.name.c_str(), share,
+                target);
+    Check(std::fabs(share - target) <= 0.1 * target,
+          "backlogged tenant share must track weight within 10%");
+  }
+  std::printf("\n");
+  svc.RunUntilQuiescent();
+}
+
+void WriteJson(const char* path, const std::vector<LoadPoint>& points,
+               double coalesce_rate) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    ++failures;
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"micro_service\",\n");
+  std::fprintf(f, "  \"requests\": %d,\n", kRequests);
+  std::fprintf(f, "  \"queue_bound\": %zu,\n", kQueueBound);
+  std::fprintf(f, "  \"coalesce_rate_identical\": %.4f,\n", coalesce_rate);
+  for (const LoadPoint& p : points) {
+    std::fprintf(f, "  \"mean_us%.0f\": {\n", p.mean_interarrival_us);
+    std::fprintf(f, "    \"served\": %" PRIu64 ",\n", p.served);
+    std::fprintf(f, "    \"rejected\": %" PRIu64 ",\n", p.rejected);
+    std::fprintf(f, "    \"shed\": %" PRIu64 ",\n", p.shed);
+    std::fprintf(f, "    \"coalesced\": %" PRIu64 ",\n", p.coalesced);
+    std::fprintf(f, "    \"compiles\": %" PRIu64 ",\n", p.compiles);
+    std::fprintf(f, "    \"max_depth\": %zu,\n", p.max_depth);
+    std::fprintf(f, "    \"mean_wait_us\": %.2f,\n", p.mean_wait_us);
+    std::fprintf(f, "    \"makespan_us\": %.2f,\n", p.makespan_us);
+    std::fprintf(f, "    \"served_per_sec\": %.1f\n", p.served_per_sec);
+    std::fprintf(f, "  },\n");
+  }
+  const LoadPoint& sat = points.back();
+  std::fprintf(f, "  \"saturation\": {\n");
+  std::fprintf(f, "    \"served\": %" PRIu64 ",\n", sat.served);
+  std::fprintf(f, "    \"dropped\": %" PRIu64 ",\n",
+               sat.rejected + sat.shed);
+  std::fprintf(f, "    \"served_per_sec\": %.1f\n", sat.served_per_sec);
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main() {
+  auto topo =
+      std::make_shared<const Topology>(presets::A100(/*nodes=*/2,
+                                                     /*gpus_per_node=*/8));
+
+  double coalesce_rate = 0;
+  CheckCoalescing(topo, &coalesce_rate);
+  CheckFairness(topo);
+
+  // Sweep mean interarrival from an idle server (10ms between requests)
+  // past saturation (10us): offered load rises ~1000x left to right.
+  const std::vector<double> sweep = {10000.0, 2000.0, 500.0, 100.0, 10.0};
+  std::vector<LoadPoint> points;
+  TextTable table({"mean_us", "served", "rejected", "shed", "max_depth",
+                   "mean_wait_us", "served_per_sec"});
+  for (const double mean_us : sweep) {
+    points.push_back(RunPoint(topo, mean_us, /*shapes=*/4));
+    const LoadPoint& p = points.back();
+    table.AddRow({Fixed(p.mean_interarrival_us, 0),
+                  std::to_string(p.served), std::to_string(p.rejected),
+                  std::to_string(p.shed), std::to_string(p.max_depth),
+                  Fixed(p.mean_wait_us, 1), Fixed(p.served_per_sec, 1)});
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  // The idle end must not drop anything; the saturated end must shed/reject.
+  Check(points.front().rejected + points.front().shed == 0,
+        "an idle server must not drop requests");
+  Check(points.back().rejected + points.back().shed > 0,
+        "the saturated point must exercise backpressure");
+
+  // Determinism: replaying the saturated point is bit-identical.
+  std::uint64_t digest_a = 0;
+  std::uint64_t digest_b = 0;
+  const LoadPoint replay_a = RunPoint(topo, 10.0, 4, &digest_a);
+  const LoadPoint replay_b = RunPoint(topo, 10.0, 4, &digest_b);
+  Check(digest_a == digest_b && replay_a.served == replay_b.served &&
+            replay_a.makespan_us == replay_b.makespan_us,
+        "replaying the saturated point must be bit-identical");
+
+  WriteJson("BENCH_service.json", points, coalesce_rate);
+  if (failures == 0) {
+    std::printf("\nself-checks: all passed; wrote BENCH_service.json\n");
+  }
+  return failures == 0 ? 0 : 1;
+}

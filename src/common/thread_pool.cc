@@ -88,6 +88,23 @@ int ThreadPool::HardwareJobs() {
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
+void TaskGroup::Run(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  pool_.Submit([this, task = std::move(task)] {
+    task();
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (--pending_ == 0) cv_.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return pending_ == 0; });
+}
+
 void ParallelFor(int jobs, std::size_t n,
                  const std::function<void(std::size_t)>& body) {
   if (n == 0) return;

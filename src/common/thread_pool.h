@@ -99,4 +99,33 @@ class ThreadPool {
 void ParallelFor(int jobs, std::size_t n,
                  const std::function<void(std::size_t)>& body);
 
+// A set of tasks submitted to one pool whose completion can be awaited
+// together — the primitive behind "drain every in-flight request before
+// shutting down" in the scheduling service (src/service). Unlike
+// ParallelFor, tasks trickle in over time (Run may be called from any
+// thread, including from inside another group task) and Wait blocks only
+// until the tasks Run so far have finished. Tasks must not throw: a group
+// task is completion-tracked fire-and-forget, so there is no caller to
+// rethrow into — wrap fallible work in its own try/catch.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+  ~TaskGroup() { Wait(); }  // never outlive your tasks
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  // Submits `task` to the pool and tracks its completion.
+  void Run(std::function<void()> task);
+
+  // Blocks until every task Run() so far has completed. Tasks Run from
+  // other threads while Wait blocks extend the wait.
+  void Wait();
+
+ private:
+  ThreadPool& pool_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t pending_ = 0;
+};
+
 }  // namespace resccl

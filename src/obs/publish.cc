@@ -108,4 +108,45 @@ void PublishCoRun(MetricsRegistry& reg, const CoRunReport& report) {
   }
 }
 
+void PublishServiceDecision(MetricsRegistry& reg, std::string_view decision,
+                            std::string_view priority) {
+  if (!reg.enabled()) return;
+  reg.counter(std::string("service.requests.") + std::string(decision))
+      .Increment();
+  // Drops are the per-class signal the load bench watches: shedding must
+  // concentrate on the lowest class, so high/normal drop counters staying
+  // at zero *is* the priority-ordering property.
+  if (decision == "rejected" || decision == "shed") {
+    reg.counter("service.class." + std::string(priority) + "." +
+                std::string(decision))
+        .Increment();
+  }
+}
+
+void PublishServiceCompletion(MetricsRegistry& reg, std::string_view tenant,
+                              bool failed, bool coalesced,
+                              double queue_wait_us, double bytes) {
+  if (!reg.enabled()) return;
+  reg.counter(failed ? "service.requests.failed" : "service.requests.served")
+      .Increment();
+  reg.counter(coalesced ? "service.prepare.coalesced"
+                        : "service.prepare.compiles")
+      .Increment();
+  // Same exponential µs grid as run.makespan_us: queue waits under load
+  // range from sub-batch to multi-second.
+  reg.histogram("service.queue.wait_us", MakespanBoundsUs())
+      .Observe(queue_wait_us);
+  if (!failed) {
+    reg.counter("service.tenant." + std::string(tenant) + ".served_bytes")
+        .Add(bytes);
+  }
+}
+
+void PublishServiceDepth(MetricsRegistry& reg, double queued,
+                         double in_flight) {
+  if (!reg.enabled()) return;
+  reg.gauge("service.queue.depth").Set(queued);
+  reg.gauge("service.in_flight").Set(in_flight);
+}
+
 }  // namespace resccl::obs

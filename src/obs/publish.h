@@ -25,4 +25,26 @@ void PublishCollectiveReport(MetricsRegistry& reg,
 // slowdown histogram, and plan-cache hit counters.
 void PublishCoRun(MetricsRegistry& reg, const CoRunReport& report);
 
+// Scheduling-service (src/service) telemetry under stable service.* names.
+// These take plain scalars so obs stays independent of the service layer;
+// the registered names are cataloged in docs/observability.md.
+
+// One admission event: `decision` is "submitted" | "admitted" |
+// "rejected" | "shed", `priority` the class name ("high" | "normal" |
+// "low"). Feeds service.requests.<decision>; rejections and sheds also
+// land in per-class counters (service.class.<p>.<decision>).
+void PublishServiceDecision(MetricsRegistry& reg, std::string_view decision,
+                            std::string_view priority);
+
+// One completed (dispatched) request: served-vs-failed, the coalesce
+// split (plan shared vs freshly compiled), the queue-wait histogram, and
+// the per-tenant served-bytes counter the fairness bench reads.
+void PublishServiceCompletion(MetricsRegistry& reg, std::string_view tenant,
+                              bool failed, bool coalesced,
+                              double queue_wait_us, double bytes);
+
+// Live queue state after any transition (gauges).
+void PublishServiceDepth(MetricsRegistry& reg, double queued,
+                         double in_flight);
+
 }  // namespace resccl::obs

@@ -97,38 +97,83 @@ Result<PlanCache::Lookup> PlanCache::GetOrPrepare(
   const Fingerprint key = FingerprintOf(algo, topo->spec(), options);
   Shard& shard = ShardFor(key);
 
+  std::shared_ptr<InFlight> flight;
+  bool leader = false;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
       ++shard.counters.hits;
-      return Lookup{it->second.plan, true, ElapsedUs(t0)};
+      return Lookup{it->second.plan, true, false, ElapsedUs(t0)};
     }
+    // Single-flight: the first thread missing a key leads the compile;
+    // later threads join its flight and wait instead of compiling again.
+    auto [fit, inserted] = shard.inflight.try_emplace(key, nullptr);
+    if (inserted) {
+      fit->second = std::make_shared<InFlight>();
+      leader = true;
+    }
+    flight = fit->second;
   }
 
-  // Miss path, outside the shard lock: disk restore, then full Prepare.
-  if (!config_.persist_dir.empty()) {
-    if (PreparedPlan loaded = TryLoadFromDisk(key, topo, backend_name)) {
-      {
-        std::lock_guard<std::mutex> lock(shard.mu);
-        ++shard.counters.disk_hits;
+  if (!leader) {
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->cv.wait(lock, [&] { return flight->done; });
+    if (flight->plan == nullptr) return flight->error;
+    {
+      std::lock_guard<std::mutex> shard_lock(shard.mu);
+      ++shard.counters.coalesced;
+    }
+    return Lookup{flight->plan, true, true, ElapsedUs(t0)};
+  }
+
+  // Leader path, outside the shard lock: disk restore, then full Prepare.
+  // Whatever happens — plan, error, or exception — the flight must resolve,
+  // or followers would wait forever.
+  const auto resolve = [&](PreparedPlan plan, Status error) {
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.inflight.erase(key);
+    }
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->done = true;
+    flight->plan = std::move(plan);
+    flight->error = std::move(error);
+    flight->cv.notify_all();
+  };
+
+  try {
+    if (!config_.persist_dir.empty()) {
+      if (PreparedPlan loaded = TryLoadFromDisk(key, topo, backend_name)) {
+        {
+          std::lock_guard<std::mutex> lock(shard.mu);
+          ++shard.counters.disk_hits;
+        }
+        Put(key, loaded);
+        resolve(loaded, Status::Ok());
+        return Lookup{std::move(loaded), true, false, ElapsedUs(t0)};
       }
-      Put(key, loaded);
-      return Lookup{std::move(loaded), true, ElapsedUs(t0)};
     }
-  }
 
-  Result<PreparedPlan> prepared = Prepare(algo, std::move(topo), options,
-                                          backend_name);
-  if (!prepared.ok()) return prepared.status();
-  {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    ++shard.counters.misses;
+    Result<PreparedPlan> prepared =
+        Prepare(algo, std::move(topo), options, backend_name);
+    if (!prepared.ok()) {
+      resolve(nullptr, prepared.status());
+      return prepared.status();
+    }
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      ++shard.counters.misses;
+    }
+    if (!config_.persist_dir.empty()) Persist(key, *prepared.value());
+    Put(key, prepared.value());
+    resolve(prepared.value(), Status::Ok());
+    return Lookup{std::move(prepared).value(), false, false, ElapsedUs(t0)};
+  } catch (...) {
+    resolve(nullptr, Status::Internal("Prepare threw; see leader thread"));
+    throw;
   }
-  if (!config_.persist_dir.empty()) Persist(key, *prepared.value());
-  Put(key, prepared.value());
-  return Lookup{std::move(prepared).value(), false, ElapsedUs(t0)};
 }
 
 PreparedPlan PlanCache::Get(const Fingerprint& key) {
@@ -167,6 +212,7 @@ PlanCache::Stats PlanCache::stats() const {
     total.hits += shard->counters.hits;
     total.disk_hits += shard->counters.disk_hits;
     total.misses += shard->counters.misses;
+    total.coalesced += shard->counters.coalesced;
     total.insertions += shard->counters.insertions;
     total.evictions += shard->counters.evictions;
     total.disk_rejects += shard->counters.disk_rejects;

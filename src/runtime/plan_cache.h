@@ -10,10 +10,13 @@
 //
 // Concurrency model: keys are distributed over independent shards, each
 // guarded by one mutex held only for map/LRU bookkeeping. Compilation runs
-// outside any lock, so a miss never blocks hits on other keys; two threads
-// missing the same key concurrently may both compile (the artifacts are
-// identical — last insert wins), which trades a rare duplicate compile for
-// a lock-free hot path.
+// outside any lock, so a miss never blocks hits on other keys. Concurrent
+// misses on the *same* key single-flight: the first thread becomes the
+// leader and compiles; followers block on that compile and share its
+// artifact (Stats.coalesced, Lookup.coalesced) — exactly one Prepare per
+// fingerprint no matter how many requesters race, which is what lets the
+// scheduling service (src/service) admit thousands of identical requests
+// at the cost of one compile.
 //
 // Persistence: with `persist_dir` set, every compiled plan is also written
 // through SavePlan as "<fingerprint-hex>.plan", and a miss first tries
@@ -24,6 +27,7 @@
 // is recompiled and rewritten; such rejections show up in Stats.disk_rejects.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <list>
@@ -51,6 +55,9 @@ class PlanCache {
     std::uint64_t hits = 0;       // served from memory
     std::uint64_t disk_hits = 0;  // restored from persist_dir, no compile
     std::uint64_t misses = 0;     // full Prepare performed
+    // Lookups that joined a concurrent in-flight Prepare of the same key
+    // instead of compiling (the single-flight path).
+    std::uint64_t coalesced = 0;
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;  // LRU entries dropped at capacity
     // Persisted plans that parsed and fingerprint-matched but failed the
@@ -58,12 +65,17 @@ class PlanCache {
     std::uint64_t disk_rejects = 0;
   };
 
-  // Outcome of one GetOrPrepare call. `hit` is true whenever no compilation
-  // happened (memory or disk); `prepare_us` is the wall-clock this call
-  // spent obtaining the plan — lookup-only (≈0) on a memory hit.
+  // Outcome of one GetOrPrepare call. `hit` is true whenever this call did
+  // no compilation (memory, disk, or a coalesced wait on another thread's
+  // compile); `coalesced` narrows that to the single-flight case — the
+  // plan came from a concurrent leader's Prepare that this call waited on.
+  // `prepare_us` is the wall-clock this call spent obtaining the plan —
+  // lookup-only (≈0) on a memory hit, the leader's remaining compile time
+  // on a coalesced wait.
   struct Lookup {
     PreparedPlan plan;
     bool hit = false;
+    bool coalesced = false;
     double prepare_us = 0;
   };
 
@@ -95,10 +107,22 @@ class PlanCache {
     PreparedPlan plan;
     std::list<Fingerprint>::iterator lru_pos;
   };
+  // One in-flight Prepare: the leader publishes plan-or-error under `mu`
+  // and notifies; followers hold a shared_ptr and wait, so the entry stays
+  // alive even after the leader unlinks it from the shard.
+  struct InFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    PreparedPlan plan;  // null on compile failure
+    Status error;
+  };
   struct Shard {
     mutable std::mutex mu;
     std::list<Fingerprint> lru;  // front = most recently used
     std::unordered_map<Fingerprint, Entry, FingerprintHash> map;
+    std::unordered_map<Fingerprint, std::shared_ptr<InFlight>, FingerprintHash>
+        inflight;
     Stats counters;
   };
 

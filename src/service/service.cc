@@ -1,0 +1,439 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/publish.h"
+
+namespace resccl::service {
+
+namespace {
+
+double SteadyNowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* PriorityName(Priority p) {
+  switch (p) {
+    case Priority::kHigh: return "high";
+    case Priority::kNormal: return "normal";
+    case Priority::kLow: return "low";
+  }
+  return "?";
+}
+
+const char* OutcomeName(Outcome o) {
+  switch (o) {
+    case Outcome::kServed: return "served";
+    case Outcome::kRejected: return "rejected";
+    case Outcome::kShed: return "shed";
+    case Outcome::kFailed: return "failed";
+  }
+  return "?";
+}
+
+SchedulingService::SchedulingService(std::shared_ptr<const Topology> topo,
+                                     ServiceConfig config)
+    : topo_(std::move(topo)),
+      config_(std::move(config)),
+      metrics_(config_.metrics != nullptr ? *config_.metrics
+                                          : obs::MetricsRegistry::Global()),
+      cache_(config_.cache),
+      group_(ThreadPool::Shared()) {
+  RESCCL_CHECK(topo_ != nullptr);
+  if (config_.max_in_flight < 1) config_.max_in_flight = 1;
+  config_.jobs = ThreadPool::ResolveJobs(config_.jobs);
+  for (const TenantSpec& t : config_.tenants) {
+    (void)TenantIndexLocked(t.name);
+    tenants_[tenant_index_.at(t.name)].weight = t.weight > 0 ? t.weight : 1.0;
+  }
+  wall_epoch_us_ = SteadyNowUs();
+}
+
+SchedulingService::~SchedulingService() {
+  // Live mode: every dispatched task must finish before members die. The
+  // queue keeps draining through the tasks' completion hooks, so waiting on
+  // the group alone is enough — each completion dispatches successors into
+  // the same group.
+  group_.Wait();
+}
+
+double SchedulingService::WallNowUs() const {
+  return SteadyNowUs() - wall_epoch_us_;
+}
+
+std::size_t SchedulingService::TenantIndexLocked(const std::string& name) {
+  auto it = tenant_index_.find(name);
+  if (it != tenant_index_.end()) return it->second;
+  TenantState state;
+  state.name = name;
+  tenants_.push_back(std::move(state));
+  tenant_index_.emplace(name, tenants_.size() - 1);
+  return tenants_.size() - 1;
+}
+
+int SchedulingService::LowestQueuedClassLocked() const {
+  for (int c = kPriorityClasses - 1; c >= 0; --c) {
+    for (const TenantState& t : tenants_) {
+      if (!t.queues[static_cast<std::size_t>(c)].empty()) return c;
+    }
+  }
+  return -1;
+}
+
+SchedulingService::Pending SchedulingService::PopShedVictimLocked(int cls) {
+  // The newest arrival in the class: within each tenant the newest is the
+  // deque back, so the victim is the back with the largest id. Dropping
+  // LIFO keeps the oldest (longest-waiting) work of the class alive.
+  TenantState* victim_tenant = nullptr;
+  std::uint64_t newest = 0;
+  for (TenantState& t : tenants_) {
+    auto& q = t.queues[static_cast<std::size_t>(cls)];
+    if (q.empty()) continue;
+    if (victim_tenant == nullptr || q.back().id > newest) {
+      victim_tenant = &t;
+      newest = q.back().id;
+    }
+  }
+  RESCCL_CHECK(victim_tenant != nullptr);
+  auto& q = victim_tenant->queues[static_cast<std::size_t>(cls)];
+  Pending victim = std::move(q.back());
+  q.pop_back();
+  --queued_total_;
+  return victim;
+}
+
+bool SchedulingService::PopNextLocked(Pending& out) {
+  for (int c = 0; c < kPriorityClasses; ++c) {
+    TenantState* best = nullptr;
+    double best_tag = std::numeric_limits<double>::infinity();
+    for (TenantState& t : tenants_) {
+      const auto& q = t.queues[static_cast<std::size_t>(c)];
+      if (q.empty()) continue;
+      // Start-time fair queuing over served bytes: the tenant whose
+      // charged work (including this head request) is smallest relative to
+      // its weight goes first. Ties resolve by registration order — the
+      // iteration order here — so the pick is deterministic.
+      const double tag =
+          (static_cast<double>(t.charged_bytes + q.front().bytes)) / t.weight;
+      if (best == nullptr || tag < best_tag) {
+        best = &t;
+        best_tag = tag;
+      }
+    }
+    if (best == nullptr) continue;
+    auto& q = best->queues[static_cast<std::size_t>(c)];
+    out = std::move(q.front());
+    q.pop_front();
+    --queued_total_;
+    best->charged_bytes += out.bytes;
+    return true;
+  }
+  return false;
+}
+
+void SchedulingService::EnqueueLocked(Pending p) {
+  const std::size_t t = TenantIndexLocked(p.req.tenant);
+  const auto c = static_cast<std::size_t>(p.req.priority);
+  tenants_[t].queues[c].push_back(std::move(p));
+  ++queued_total_;
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, queued_total_);
+}
+
+void SchedulingService::RecordDropLocked(Pending p, Outcome outcome) {
+  const auto cls = static_cast<std::size_t>(p.req.priority);
+  if (outcome == Outcome::kShed) {
+    ++stats_.shed;
+    ++stats_.shed_by_class[cls];
+  } else {
+    ++stats_.rejected;
+    ++stats_.rejected_by_class[cls];
+  }
+  // The invariant counter: dropping this request while something strictly
+  // less urgent is still queued would be a priority inversion. The policy
+  // always drops from the lowest queued class, so this stays 0; the load
+  // bench asserts that rather than assuming it.
+  const int lowest = LowestQueuedClassLocked();
+  if (lowest > static_cast<int>(cls)) ++stats_.shed_inversions;
+  obs::PublishServiceDecision(metrics_, OutcomeName(outcome),
+                              PriorityName(p.req.priority));
+
+  Response r;
+  r.id = p.id;
+  r.tenant = std::move(p.req.tenant);
+  r.priority = p.req.priority;
+  r.outcome = outcome;
+  r.bytes = p.bytes;
+  completed_.push_back(std::move(r));
+}
+
+void SchedulingService::RecordServedLocked(Pending p,
+                                           const PlanCache::Lookup& lookup,
+                                           CollectiveReport report,
+                                           double queue_wait_us) {
+  ++stats_.served;
+  if (lookup.hit) {
+    ++stats_.coalesced;
+  } else {
+    ++stats_.prepares;
+  }
+  stats_.served_bytes[p.req.tenant] += p.bytes;
+  obs::PublishServiceCompletion(metrics_, p.req.tenant, /*failed=*/false,
+                                lookup.hit, queue_wait_us,
+                                static_cast<double>(p.bytes));
+
+  Response r;
+  r.id = p.id;
+  r.tenant = std::move(p.req.tenant);
+  r.priority = p.req.priority;
+  r.outcome = Outcome::kServed;
+  r.coalesced = lookup.hit;
+  r.queue_wait_us = queue_wait_us;
+  r.bytes = p.bytes;
+  r.report = std::move(report);
+  r.report.plan_cache_hit = lookup.hit;
+  r.report.prepare_us = lookup.prepare_us;
+  completed_.push_back(std::move(r));
+}
+
+void SchedulingService::RecordFailedLocked(Pending p, std::string error,
+                                           double queue_wait_us) {
+  ++stats_.failed;
+  obs::PublishServiceCompletion(metrics_, p.req.tenant, /*failed=*/true,
+                                /*coalesced=*/false, queue_wait_us, 0.0);
+  Response r;
+  r.id = p.id;
+  r.tenant = std::move(p.req.tenant);
+  r.priority = p.req.priority;
+  r.outcome = Outcome::kFailed;
+  r.queue_wait_us = queue_wait_us;
+  r.bytes = p.bytes;
+  r.error = std::move(error);
+  completed_.push_back(std::move(r));
+}
+
+void SchedulingService::PublishDepthLocked() {
+  obs::PublishServiceDepth(metrics_, static_cast<double>(queued_total_),
+                           static_cast<double>(in_flight_));
+}
+
+std::uint64_t SchedulingService::Submit(Request req) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const double arrival =
+      config_.deterministic ? virtual_now_us_ : WallNowUs();
+  return SubmitInternal(std::move(req), arrival, /*explicit_arrival=*/false);
+}
+
+std::uint64_t SchedulingService::SubmitAt(Request req, double arrival_us) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  RESCCL_CHECK_MSG(config_.deterministic,
+                   "SubmitAt is a deterministic-mode interface");
+  RESCCL_CHECK_MSG(arrival_us <= virtual_now_us_,
+                   "arrival " << arrival_us << "us is ahead of the virtual "
+                   "clock; AdvanceTo it first");
+  return SubmitInternal(std::move(req), arrival_us, /*explicit_arrival=*/true);
+}
+
+std::uint64_t SchedulingService::SubmitInternal(Request req, double arrival_us,
+                                                bool /*explicit_arrival*/) {
+  // Callers hold mu_.
+  Pending p;
+  p.id = ++next_id_;
+  p.bytes = req.run.launch.buffer.bytes();
+  p.arrival_us = arrival_us;
+  p.req = std::move(req);
+  const std::uint64_t id = p.id;
+  const Priority priority = p.req.priority;
+
+  ++stats_.submitted;
+  obs::PublishServiceDecision(metrics_, "submitted", PriorityName(priority));
+
+  if (queued_total_ < config_.queue_bound) {
+    ++stats_.admitted;
+    obs::PublishServiceDecision(metrics_, "admitted", PriorityName(priority));
+    EnqueueLocked(std::move(p));
+  } else {
+    // Overload: make room by shedding from the least urgent queued class,
+    // but only for a strictly more urgent arrival — otherwise reject the
+    // arrival itself. Queue depth therefore never exceeds the bound.
+    const int lowest = LowestQueuedClassLocked();
+    if (lowest > static_cast<int>(priority)) {
+      Pending victim = PopShedVictimLocked(lowest);
+      RecordDropLocked(std::move(victim), Outcome::kShed);
+      ++stats_.admitted;
+      obs::PublishServiceDecision(metrics_, "admitted",
+                                  PriorityName(priority));
+      EnqueueLocked(std::move(p));
+    } else {
+      RecordDropLocked(std::move(p), Outcome::kRejected);
+    }
+  }
+  PublishDepthLocked();
+  if (!config_.deterministic) DispatchMoreLocked();
+  return id;
+}
+
+void SchedulingService::AdvanceTo(double virtual_us) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  RESCCL_CHECK_MSG(config_.deterministic,
+                   "AdvanceTo is a deterministic-mode interface");
+  RESCCL_CHECK_MSG(virtual_us >= virtual_now_us_,
+                   "virtual clock cannot run backwards");
+  virtual_now_us_ = virtual_us;
+}
+
+bool SchedulingService::Step() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  RESCCL_CHECK_MSG(config_.deterministic,
+                   "Step is a deterministic-mode interface; live mode "
+                   "dispatches on Submit");
+  if (queued_total_ == 0) return false;
+
+  std::vector<Pending> batch;
+  batch.reserve(static_cast<std::size_t>(config_.max_in_flight));
+  Pending next;
+  while (static_cast<int>(batch.size()) < config_.max_in_flight &&
+         PopNextLocked(next)) {
+    batch.push_back(std::move(next));
+  }
+  const double dispatch_us = virtual_now_us_;
+  in_flight_ = static_cast<int>(batch.size());
+  PublishDepthLocked();
+
+  // Prepare serially in batch order: misses single-flight through the
+  // shared cache, so duplicated fingerprints in (and across) batches cost
+  // one compile. Then execute the batch via ParallelFor — every report is
+  // written by index, so jobs = N is bit-identical to serial.
+  std::vector<Result<PlanCache::Lookup>> lookups;
+  lookups.reserve(batch.size());
+  for (const Pending& p : batch) {
+    lookups.push_back(cache_.GetOrPrepare(p.req.algorithm, topo_,
+                                          p.req.options, p.req.backend));
+  }
+  std::vector<CollectiveReport> reports(batch.size());
+  std::vector<std::string> errors(batch.size());
+  ParallelFor(config_.jobs, batch.size(), [&](std::size_t i) {
+    if (!lookups[i].ok()) return;
+    try {
+      reports[i] = Execute(*lookups[i].value().plan, batch[i].req.run);
+    } catch (const std::exception& e) {
+      errors[i] = e.what();
+    }
+  });
+
+  // The batch models max_in_flight concurrent executors: it occupies the
+  // virtual clock for as long as its slowest member simulates.
+  double batch_makespan_us = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (lookups[i].ok() && errors[i].empty()) {
+      batch_makespan_us =
+          std::max(batch_makespan_us, reports[i].elapsed.us());
+    }
+  }
+  virtual_now_us_ += batch_makespan_us;
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const double wait = dispatch_us - batch[i].arrival_us;
+    if (!lookups[i].ok()) {
+      RecordFailedLocked(std::move(batch[i]),
+                         lookups[i].status().ToString(), wait);
+    } else if (!errors[i].empty()) {
+      RecordFailedLocked(std::move(batch[i]), std::move(errors[i]), wait);
+    } else {
+      RecordServedLocked(std::move(batch[i]), lookups[i].value(),
+                         std::move(reports[i]), wait);
+    }
+  }
+  in_flight_ = 0;
+  PublishDepthLocked();
+  return true;
+}
+
+void SchedulingService::RunUntilQuiescent() {
+  if (config_.deterministic) {
+    while (Step()) {
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  quiescent_cv_.wait(lock,
+                     [&] { return queued_total_ == 0 && in_flight_ == 0; });
+}
+
+void SchedulingService::DispatchMoreLocked() {
+  Pending p;
+  while (in_flight_ < config_.max_in_flight && PopNextLocked(p)) {
+    ++in_flight_;
+    const double wait = WallNowUs() - p.arrival_us;
+    PublishDepthLocked();
+    auto task = std::make_shared<Pending>(std::move(p));
+    group_.Run([this, task, wait] { ExecuteOne(std::move(*task), wait); });
+  }
+}
+
+void SchedulingService::ExecuteOne(Pending p, double queue_wait_us) {
+  // Pool-task body (live mode): everything slow — the possibly-coalesced
+  // Prepare and the Execute — runs outside mu_; only the bookkeeping locks.
+  Result<PlanCache::Lookup> lookup =
+      cache_.GetOrPrepare(p.req.algorithm, topo_, p.req.options,
+                          p.req.backend);
+  CollectiveReport report;
+  std::string error;
+  if (lookup.ok()) {
+    try {
+      report = Execute(*lookup.value().plan, p.req.run);
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+  } else {
+    error = lookup.status().ToString();
+  }
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!lookup.ok() || !error.empty()) {
+    RecordFailedLocked(std::move(p), std::move(error), queue_wait_us);
+  } else {
+    RecordServedLocked(std::move(p), lookup.value(), std::move(report),
+                       queue_wait_us);
+  }
+  --in_flight_;
+  DispatchMoreLocked();
+  PublishDepthLocked();
+  if (queued_total_ == 0 && in_flight_ == 0) quiescent_cv_.notify_all();
+}
+
+std::vector<Response> SchedulingService::Drain() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Response> out;
+  out.swap(completed_);
+  return out;
+}
+
+SchedulingService::Stats SchedulingService::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+double SchedulingService::VirtualNow() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return virtual_now_us_;
+}
+
+std::size_t SchedulingService::queued() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return queued_total_;
+}
+
+int SchedulingService::in_flight() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+}  // namespace resccl::service

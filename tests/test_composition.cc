@@ -12,6 +12,7 @@
 
 #include "algorithms/composition.h"
 #include "runtime/backend.h"
+#include "analysis/analyzer.h"
 #include "runtime/selector.h"
 #include "topology/topology.h"
 
@@ -232,6 +233,96 @@ TEST(CompositionTest, ComposedCollectivesVerifyOnRailClos) {
     EXPECT_TRUE(report.value().verified)
         << algo.name << ": " << report.value().verify_error;
     EXPECT_GT(report.value().sim.makespan.us(), 0.0) << algo.name;
+  }
+}
+
+// --- Degenerate-fabric edge cases ------------------------------------------
+//
+// The composer, selector, and analyzer must handle the boundary fabrics
+// users actually type — a non-blocking Clos (oversubscription exactly 1),
+// a single-rail fabric (nics_per_node = 1), and one-node "clusters" —
+// without crashing, producing empty plans, or emitting lint errors.
+
+void ExpectServesAndLintsClean(const Topology& topo) {
+  // Selector end-to-end: candidates exist, the winner executes non-trivially.
+  RunRequest request;
+  request.launch.buffer = Size::MiB(8);
+  request.verify = true;
+  const SelectionResult sel = SelectAlgorithm(
+      CollectiveOp::kAllReduce, topo, BackendKind::kResCCL, request);
+  EXPECT_FALSE(sel.scoreboard.empty()) << topo.spec().name;
+  EXPECT_GT(sel.report.sim.makespan.us(), 0.0) << topo.spec().name;
+  EXPECT_TRUE(sel.report.verified)
+      << topo.spec().name << ": " << sel.report.verify_error;
+
+  // Analyzer lint over the winning plan: compile + AnalyzePlan, no errors.
+  const Result<CompiledCollective> compiled =
+      Compile(sel.algorithm, topo,
+              DefaultCompileOptions(BackendKind::kResCCL));
+  ASSERT_TRUE(compiled.ok()) << topo.spec().name;
+  EXPECT_FALSE(compiled.value().tbs.tbs.empty()) << topo.spec().name;
+  const AnalysisReport lint = AnalyzePlan(compiled.value(), &topo);
+  EXPECT_TRUE(lint.clean()) << topo.spec().name << ": " << lint.Summary();
+}
+
+TEST(CompositionEdgeTest, NonBlockingClosOversubscriptionOne) {
+  const Topology topo(presets::RailClos(8, 4, 2, 4, /*oversubscription=*/1.0));
+  EXPECT_TRUE(ComposableTopology(topo));
+  ExpectServesAndLintsClean(topo);
+}
+
+TEST(CompositionEdgeTest, SingleRailFabric) {
+  const Topology topo(presets::RailClos(4, 4, /*nics_per_node=*/1, 2));
+  EXPECT_TRUE(ComposableTopology(topo));
+  // Every inter-node transfer must ride rail 0 — there is no other.
+  const Algorithm algo = ComposedAllReduce(topo);
+  EXPECT_FALSE(algo.transfers.empty());
+  ExpectServesAndLintsClean(topo);
+}
+
+TEST(CompositionEdgeTest, OneNodeCluster) {
+  const Topology topo(presets::RailClos(1, 4, 1, 1));
+  // The hierarchy collapses to the node level; no rack/pod/cluster levels.
+  const std::vector<HierarchyLevel> levels = ResolveHierarchy(topo);
+  ASSERT_EQ(levels.size(), 1u);
+  EXPECT_STREQ(levels[0].scope, "node");
+  ExpectServesAndLintsClean(topo);
+}
+
+TEST(CompositionEdgeTest, OneNodeComposedCollectivesVerify) {
+  const Topology topo(presets::RailClos(1, 4, 1, 1));
+  if (!ComposableTopology(topo)) GTEST_SKIP();
+  for (const Algorithm& algo :
+       {ComposedAllReduce(topo), ComposedReduceScatter(topo),
+        ComposedAllGather(topo)}) {
+    EXPECT_FALSE(algo.transfers.empty()) << algo.name;
+    RunRequest request;
+    request.launch.buffer = Size::MiB(4);
+    request.verify = true;
+    const Result<CollectiveReport> report =
+        RunCollective(algo, topo, BackendKind::kResCCL, request);
+    ASSERT_TRUE(report.ok()) << algo.name;
+    EXPECT_TRUE(report.value().verified)
+        << algo.name << ": " << report.value().verify_error;
+  }
+}
+
+TEST(CompositionEdgeTest, DegenerateSweepStaysConsistent) {
+  // The selector sweep across sizes must stay crash-free and monotonic in
+  // work on the degenerate fabrics too.
+  for (const TopologySpec& spec :
+       {presets::RailClos(1, 4, 1, 1), presets::RailClos(4, 4, 1, 2),
+        presets::RailClos(8, 4, 2, 4, 1.0)}) {
+    const Topology topo(spec);
+    RunRequest request;
+    const SweepResult sweep = SelectAlgorithmSweep(
+        CollectiveOp::kAllReduce, topo, BackendKind::kResCCL, request,
+        {Size::MiB(1), Size::MiB(16)});
+    ASSERT_EQ(sweep.points.size(), 2u) << spec.name;
+    for (const SelectionResult& point : sweep.points) {
+      EXPECT_FALSE(point.scoreboard.empty()) << spec.name;
+      EXPECT_GT(point.report.sim.makespan.us(), 0.0) << spec.name;
+    }
   }
 }
 

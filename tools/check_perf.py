@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
 """Compare a bench run (BENCH_*.json) against its checked-in baseline.
 
-Handles both perf harnesses — micro_sim (BENCH_sim.json) and micro_scale
-(BENCH_scale.json); the JSON's top-level "bench" field selects the metric
-set and the default baseline path (bench/baselines/<bench>_baseline.json).
+Handles the perf harnesses — micro_sim (BENCH_sim.json), micro_scale
+(BENCH_scale.json), and micro_service (BENCH_service.json); the JSON's
+top-level "bench" field selects the metric set and the default baseline
+path (bench/baselines/<bench>_baseline.json).
 
 Three classes of metric, three policies:
 
@@ -67,6 +68,23 @@ METRICS = {
         "capped": [
             ("ranks1024", "visits_over_naive_frac", 1.0 / 3.0),
         ],
+    },
+    # The scheduling-service load sweep runs entirely under the virtual
+    # clock, so every admission/shedding/coalescing count is deterministic
+    # and must match the baseline exactly; there are no wall-clock metrics.
+    "micro_service": {
+        "deterministic": [
+            (point, key)
+            for point in ("mean_us10000", "mean_us2000", "mean_us500",
+                          "mean_us100", "mean_us10")
+            for key in ("served", "rejected", "shed", "coalesced",
+                        "compiles", "max_depth")
+        ] + [
+            ("saturation", "served"),
+            ("saturation", "dropped"),
+        ],
+        "wall_clock": [],
+        "capped": [],
     },
 }
 
@@ -135,8 +153,10 @@ def main():
                   f"{args.max_regression:.0%})")
             failures += 1
         else:
+            ratio = got / want if want else float("inf")
             print(f"ok   {section}.{key}: {got:.0f} "
-                  f"(baseline {want:.0f}, floor {floor:.0f})")
+                  f"(baseline {want:.0f}, floor {floor:.0f}, "
+                  f"{ratio:.2f}x of baseline)")
 
     for section, key, ceiling in metrics["capped"]:
         got = get(current, section, key)

@@ -61,6 +61,8 @@
 #include "runtime/communicator.h"
 #include "runtime/selector.h"
 #include "runtime/trace.h"
+#include "service/service.h"
+#include "service/workload.h"
 
 namespace {
 
@@ -580,6 +582,120 @@ int CmdProfile(const Args& args) {
   return 0;
 }
 
+// Parses --tenants name:weight[,name:weight...] (e.g. alpha:3,beta:1).
+std::vector<service::TenantSpec> MakeTenants(const Args& args) {
+  std::vector<service::TenantSpec> tenants;
+  std::string spec = args.Get("tenants", "alpha:3,beta:2,gamma:1,delta:1");
+  std::istringstream in(spec);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) continue;
+    const auto colon = item.find(':');
+    service::TenantSpec t;
+    t.name = item.substr(0, colon);
+    t.weight = colon == std::string::npos
+                   ? 1.0
+                   : std::atof(item.substr(colon + 1).c_str());
+    if (t.weight <= 0) t.weight = 1.0;
+    tenants.push_back(std::move(t));
+  }
+  if (tenants.empty()) tenants.push_back({"default", 1.0});
+  return tenants;
+}
+
+int CmdServe(const Args& args) {
+  auto topo = std::make_shared<const Topology>(MakeSpec(args));
+
+  service::ServiceConfig config;
+  config.queue_bound =
+      static_cast<std::size_t>(args.GetInt("queue-bound", 64));
+  config.max_in_flight = args.GetInt("max-in-flight", 4);
+  config.jobs = args.GetInt("jobs", 0);  // 0 -> RESCCL_JOBS
+  config.tenants = MakeTenants(args);
+
+  service::WorkloadSpec wl;
+  wl.seed = static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  wl.requests = args.GetInt("requests", 200);
+  wl.mean_interarrival_us =
+      std::atof(args.Get("mean-us", "200").c_str());
+  wl.distinct_shapes = args.GetInt("shapes", 4);
+  wl.tenants = config.tenants;
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.Enable(true);
+  config.metrics = &reg;
+
+  const std::vector<service::Arrival> arrivals =
+      service::GenerateWorkload(*topo, wl);
+  service::SchedulingService svc(topo, config);
+  service::ReplayOpenLoop(svc, arrivals);
+  const auto stats = svc.stats();
+  const std::vector<service::Response> responses = svc.Drain();
+
+  double wait_sum = 0;
+  std::uint64_t served = 0;
+  for (const service::Response& r : responses) {
+    if (r.outcome != service::Outcome::kServed) continue;
+    wait_sum += r.queue_wait_us;
+    ++served;
+  }
+  const PlanCache::Stats cache = svc.plan_cache().stats();
+
+  std::printf("served %d requests on %s (%zu tenants, seed %llu)\n",
+              wl.requests, topo->spec().name.c_str(), config.tenants.size(),
+              static_cast<unsigned long long>(wl.seed));
+  std::printf("  admitted / rejected / shed : %llu / %llu / %llu\n",
+              static_cast<unsigned long long>(stats.admitted),
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(stats.shed));
+  std::printf("  served / failed            : %llu / %llu\n",
+              static_cast<unsigned long long>(stats.served),
+              static_cast<unsigned long long>(stats.failed));
+  std::printf("  compiles / coalesced       : %llu / %llu (%zu distinct "
+              "shapes)\n",
+              static_cast<unsigned long long>(cache.misses),
+              static_cast<unsigned long long>(stats.coalesced),
+              static_cast<std::size_t>(std::min(4, wl.distinct_shapes)));
+  std::printf("  queue depth high-water     : %zu (bound %zu)\n",
+              stats.max_queue_depth, config.queue_bound);
+  std::printf("  mean queue wait            : %.1f us\n",
+              served > 0 ? wait_sum / static_cast<double>(served) : 0.0);
+  double weight_total = 0;
+  std::int64_t bytes_total = 0;
+  for (const service::TenantSpec& t : config.tenants) {
+    weight_total += t.weight;
+    const auto it = stats.served_bytes.find(t.name);
+    bytes_total += it == stats.served_bytes.end() ? 0 : it->second;
+  }
+  for (const service::TenantSpec& t : config.tenants) {
+    const auto it = stats.served_bytes.find(t.name);
+    const std::int64_t bytes =
+        it == stats.served_bytes.end() ? 0 : it->second;
+    const double share =
+        bytes_total > 0
+            ? static_cast<double>(bytes) / static_cast<double>(bytes_total)
+            : 0.0;
+    std::printf("  tenant %-12s weight %.1f : %8.1f MiB served "
+                "(share %.2f, weight share %.2f)\n",
+                t.name.c_str(), t.weight,
+                static_cast<double>(bytes) / (1024.0 * 1024.0), share,
+                t.weight / weight_total);
+  }
+  if (stats.shed_inversions != 0) {
+    std::fprintf(stderr, "self-check FAILED: %llu priority inversions\n",
+                 static_cast<unsigned long long>(stats.shed_inversions));
+    return 1;
+  }
+  std::printf("  self-check                 : shedding priority-ordered "
+              "(0 inversions)\n");
+
+  if (args.Has("metrics-out")) {
+    std::ofstream out(args.Get("metrics-out", "serve.metrics.json"));
+    out << reg.ToJson() << "\n";
+  }
+  return 0;
+}
+
 // Subcommand dispatch table: name -> usage line + handler. `resccl <cmd>`
 // walks this table; unknown commands print every usage line.
 struct Command {
@@ -607,6 +723,11 @@ constexpr Command kCommands[] = {
      "resccl profile --algo <name> [--topo ...] [--backend ...] "
      "[--buffer-mb N] [--faults s:i] [--out stem]",
      CmdProfile},
+    {"serve",
+     "resccl serve [--topo ...] [--requests N] [--seed S] [--tenants "
+     "n:w,...] [--queue-bound N] [--max-in-flight N] [--shapes 1..4] "
+     "[--mean-us U] [--metrics-out f.json]",
+     CmdServe},
 };
 
 void PrintUsage() {
