@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/bounds.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
 #include "runtime/backend.h"
@@ -134,6 +135,20 @@ inline CollectiveReport MeasurePrepared(const PreparedCollective& prepared,
   request.launch.buffer = buffer;
   request.launch.chunk = chunk;
   return Execute(prepared, request);
+}
+
+// Percent-of-optimal cell: `elapsed` against the static lower bound
+// (analysis/bounds.h) for `algo` at the same launch geometry the bench
+// measured. Soundness keeps this ≤ 100% on clean runs.
+inline std::string PctOfOptimal(const Topology& topo, const Algorithm& algo,
+                                SimTime elapsed, Size buffer,
+                                Size chunk = Size::MiB(1)) {
+  RunRequest request;
+  request.launch.buffer = buffer;
+  request.launch.chunk = chunk;
+  const BoundReport bound =
+      ComputeLowerBound(topo, request.cost, algo, request.launch);
+  return Fixed(bound.OptimalityPct(elapsed), 1) + "%";
 }
 
 // The buffer-size grid of Fig. 6/7 (8 MB – 4 GB), optionally thinned to

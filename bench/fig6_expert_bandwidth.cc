@@ -30,7 +30,7 @@ void Panel(const char* label, int nodes, CollectiveOp op, bool coarse,
   const PreparedPlan resccl_plan =
       PrepareOrDie(expert, topo, BackendKind::kResCCL);
   TextTable table({"Buffer", "NCCL GB/s", "MSCCL GB/s", "ResCCL GB/s",
-                   "vs NCCL", "vs MSCCL"});
+                   "vs NCCL", "vs MSCCL", "% of opt"});
   const std::vector<Size> grid = BufferGrid(coarse);
   const auto rows = ParallelRows<std::vector<std::string>>(
       jobs, grid.size(), [&](std::size_t i) -> std::vector<std::string> {
@@ -38,11 +38,16 @@ void Panel(const char* label, int nodes, CollectiveOp op, bool coarse,
         const double nccl = MeasurePrepared(*nccl_plan, buffer).algo_bw.gbps();
         const double msccl =
             MeasurePrepared(*msccl_plan, buffer).algo_bw.gbps();
-        const double ours =
-            MeasurePrepared(*resccl_plan, buffer).algo_bw.gbps();
-        return {SizeLabel(buffer),        Fixed(nccl, 1),
-                Fixed(msccl, 1),          Fixed(ours, 1),
-                Fixed(ours / nccl, 2) + "x", Fixed(ours / msccl, 2) + "x"};
+        const CollectiveReport ours_report =
+            MeasurePrepared(*resccl_plan, buffer);
+        const double ours = ours_report.algo_bw.gbps();
+        return {SizeLabel(buffer),
+                Fixed(nccl, 1),
+                Fixed(msccl, 1),
+                Fixed(ours, 1),
+                Fixed(ours / nccl, 2) + "x",
+                Fixed(ours / msccl, 2) + "x",
+                PctOfOptimal(topo, expert, ours_report.elapsed, buffer)};
       });
   for (const auto& row : rows) table.AddRow(row);
   std::printf("%s\n", table.ToString().c_str());

@@ -36,19 +36,32 @@ void Panel(const char* label, int nodes, bool coarse, int jobs) {
   }
   std::vector<std::string> header{"Buffer"};
   for (const Algo& a : algos) header.push_back(a.name);
+  header.push_back("best % of opt");
   TextTable table(header);
   const std::vector<Size> grid = BufferGrid(coarse);
   const auto rows = ParallelRows<std::vector<std::string>>(
       jobs, grid.size(), [&](std::size_t i) -> std::vector<std::string> {
         const Size buffer = grid[i];
         std::vector<std::string> row{SizeLabel(buffer)};
-        for (const Plans& p : plans) {
+        // Best percent-of-optimal across the panel's ResCCL runs — each
+        // judged against its own algorithm's static lower bound.
+        double best_pct = 0;
+        for (std::size_t a = 0; a < plans.size(); ++a) {
+          const Plans& p = plans[a];
           const double msccl =
               MeasurePrepared(*p.msccl, buffer).algo_bw.gbps();
-          const double ours =
-              MeasurePrepared(*p.resccl, buffer).algo_bw.gbps();
-          row.push_back(Fixed(ours / msccl, 2) + "x");
+          const CollectiveReport ours_report =
+              MeasurePrepared(*p.resccl, buffer);
+          row.push_back(Fixed(ours_report.algo_bw.gbps() / msccl, 2) + "x");
+          RunRequest request;
+          request.launch.buffer = buffer;
+          request.launch.chunk = Size::MiB(1);  // MeasurePrepared's default
+          const BoundReport bound = ComputeLowerBound(
+              topo, request.cost, algos[a].algo, request.launch);
+          best_pct =
+              std::max(best_pct, bound.OptimalityPct(ours_report.elapsed));
         }
+        row.push_back(Fixed(best_pct, 1) + "%");
         return row;
       });
   for (const auto& row : rows) table.AddRow(row);

@@ -18,17 +18,19 @@ void Panel(const char* label, int nodes, CollectiveOp op) {
 
   std::printf("--- %s ---\n", label);
   TextTable table({"Buffer", "NCCL GB/s", "MSCCL GB/s", "ResCCL GB/s",
-                   "vs NCCL", "vs MSCCL"});
+                   "vs NCCL", "vs MSCCL", "% of opt"});
   for (Size buffer : BufferGrid(true)) {
     const double nccl =
         Measure(ring, topo, BackendKind::kNcclLike, buffer).algo_bw.gbps();
     const double msccl =
         Measure(expert, topo, BackendKind::kMscclLike, buffer).algo_bw.gbps();
-    const double ours =
-        Measure(expert, topo, BackendKind::kResCCL, buffer).algo_bw.gbps();
+    const CollectiveReport ours_report =
+        Measure(expert, topo, BackendKind::kResCCL, buffer);
+    const double ours = ours_report.algo_bw.gbps();
     table.AddRow({SizeLabel(buffer), Fixed(nccl, 1), Fixed(msccl, 1),
                   Fixed(ours, 1), Fixed(ours / nccl, 2) + "x",
-                  Fixed(ours / msccl, 2) + "x"});
+                  Fixed(ours / msccl, 2) + "x",
+                  PctOfOptimal(topo, expert, ours_report.elapsed, buffer)});
   }
   std::printf("%s\n", table.ToString().c_str());
 }

@@ -26,6 +26,7 @@
 // evenly and no NIC sees fan-in from foreign classes.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -34,7 +35,7 @@
 
 namespace resccl::algorithms {
 
-enum class LevelPrimitive { kAuto, kMesh, kRing, kTree };
+enum class LevelPrimitive : std::uint8_t { kAuto, kMesh, kRing, kTree };
 
 [[nodiscard]] const char* LevelPrimitiveName(LevelPrimitive p);
 

@@ -11,6 +11,7 @@
 
 #include "common/check.h"
 #include "core/connection.h"
+#include "obs/json.h"
 #include "sim/witness.h"
 
 namespace resccl {
@@ -1114,29 +1115,6 @@ void RunPlanChecks(const CompiledCollective& plan,
   }
 }
 
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
 }  // namespace
 
 int AnalysisReport::errors() const {
@@ -1148,7 +1126,19 @@ int AnalysisReport::errors() const {
 }
 
 int AnalysisReport::warnings() const {
-  return static_cast<int>(diagnostics.size()) - errors();
+  int n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == DiagSeverity::kWarning) ++n;
+  }
+  return n;
+}
+
+int AnalysisReport::advice() const {
+  int n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == DiagSeverity::kAdvice) ++n;
+  }
+  return n;
 }
 
 std::string AnalysisReport::Summary() const {
@@ -1214,16 +1204,17 @@ std::string AnalysisReportToJson(const AnalysisReport& report) {
   std::ostringstream os;
   os << "{\"clean\":" << (report.clean() ? "true" : "false")
      << ",\"errors\":" << report.errors()
-     << ",\"warnings\":" << report.warnings() << ",\"analysis_us\":"
-     << report.analysis_us << ",\"tb_merge_checked\":"
+     << ",\"warnings\":" << report.warnings()
+     << ",\"advice\":" << report.advice() << ",\"analysis_us\":"
+     << obs::FormatDouble(report.analysis_us) << ",\"tb_merge_checked\":"
      << (report.tb_merge_checked ? "true" : "false") << ",\"diagnostics\":[";
   for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
     const Diagnostic& d = report.diagnostics[i];
     if (i > 0) os << ",";
     os << "{\"severity\":\"" << DiagSeverityName(d.severity)
-       << "\",\"rule\":\"" << JsonEscape(d.rule_id) << "\",\"location\":\""
-       << JsonEscape(d.location) << "\",\"witness\":\""
-       << JsonEscape(d.witness) << "\"}";
+       << "\",\"rule\":\"" << obs::EscapeJson(d.rule_id)
+       << "\",\"location\":\"" << obs::EscapeJson(d.location)
+       << "\",\"witness\":\"" << obs::EscapeJson(d.witness) << "\"}";
   }
   os << "]}";
   return os.str();

@@ -36,6 +36,7 @@
 // so via tb_merge_checked.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -55,10 +56,19 @@ inline constexpr const char* kTbMerge = "tb-merge";
 inline constexpr const char* kPostcondition = "postcondition";
 }  // namespace rules
 
-enum class DiagSeverity { kError, kWarning };
+// kError fails strict verification and flips lint's exit code; kWarning is
+// a correctness smell that does neither; kAdvice is the performance-lint
+// class (analysis/perf_rules.h) — purely advisory, opt-in strictness via
+// `resccl lint --strict-perf`.
+enum class DiagSeverity : std::uint8_t { kError, kWarning, kAdvice };
 
 [[nodiscard]] constexpr const char* DiagSeverityName(DiagSeverity s) {
-  return s == DiagSeverity::kError ? "error" : "warning";
+  switch (s) {
+    case DiagSeverity::kError: return "error";
+    case DiagSeverity::kWarning: return "warning";
+    case DiagSeverity::kAdvice: return "advice";
+  }
+  return "?";
 }
 
 // One analyzer finding: which rule fired, where, and the evidence chain.
@@ -76,6 +86,7 @@ struct AnalysisReport {
 
   [[nodiscard]] int errors() const;
   [[nodiscard]] int warnings() const;
+  [[nodiscard]] int advice() const;
   [[nodiscard]] bool clean() const { return errors() == 0; }
   // "clean (6 rules)" or "2 error(s): first = [deadlock] ...".
   [[nodiscard]] std::string Summary() const;

@@ -1,0 +1,105 @@
+// Static optimality bounds: what is the fastest any algorithm could run?
+//
+// The PR 3 verifier proves a plan *safe*; this module proves how *fast* a
+// collective could possibly be on a topology, so benches and the selector
+// can report "% of optimal" against an absolute yardstick instead of each
+// other. Two bound families, combined as max():
+//
+//   alpha (latency)    Any causal chain carrying rank i's contribution to
+//                      rank j's result contains a transfer crossing every
+//                      boundary separating i from j (node, rack, pod). That
+//                      transfer pays at least the one-hop startup latency of
+//                      its boundary, scaled by the protocol latency factor —
+//                      micro-batch-0 invocations always pay it in full (the
+//                      cheaper pipelined handshake applies only to later
+//                      micro-batches of the same primitive).
+//
+//   beta (bandwidth)   A cut-based relaxation of the multi-commodity-flow
+//                      problem (TE-CCL's framing): for every cut, the bytes
+//                      that provably must cross it divided by the cut's
+//                      capacity lower-bounds the makespan. Cut families:
+//                        rank egress/ingress  {gpu_out, pcie_out} of one GPU
+//                        node NIC             min(Σ pcie, driven rails × nic)
+//                        rack trunk           the ToR↔aggregation trunk
+//                                             (oversubscription included)
+//                        pod spine            the pod↔spine link
+//                        aggregate injection  Σ over ranks of egress pools,
+//                                             against the counting bound on
+//                                             total wire bytes.
+//                      Demands come from entropy/counting arguments on the
+//                      collective's postcondition (e.g. AllReduce: each
+//                      chunk's n contributions need ≥ n−1 combining
+//                      transmissions, then the result needs n−1 more to
+//                      disseminate — 2(n−1)·S total, which on a homogeneous
+//                      single node reduces to the textbook 2(n−1)/n · S/B).
+//
+// Soundness contract (enforced by tests/test_bounds_property.cc): the fluid
+// simulator never lets a resource's aggregate rate exceed its capacity, and
+// contention penalties, injection caps, overheads, and faults only slow runs
+// down — so no clean simulated run finishes below ComputeLowerBound(). The
+// bound is evaluated at the bytes the launch actually moves (micro-batch
+// flooring included) in payload terms; protocol wire inflation only adds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/algorithm.h"
+#include "memory/reference.h"
+#include "runtime/lowering.h"
+#include "sim/cost_model.h"
+#include "topology/topology.h"
+
+namespace resccl {
+
+// One cut: the bytes that must cross it, the capacity carrying them, and
+// the implied time. `time` is zero-capacity-safe (infinite only if demand
+// is positive on a zero-capacity cut, which no preset produces).
+struct CutBound {
+  std::string name;        // "node0 nic egress", "aggregate injection", ...
+  double demand_bytes = 0;
+  Bandwidth capacity;
+  SimTime time;
+};
+
+// What to bound: the collective, the launch geometry (buffer / chunk /
+// protocol decide effective bytes and the latency factor), and the
+// algorithm's chunk count (0 means nranks, the ResCCLang default).
+struct BoundInput {
+  CollectiveOp op = CollectiveOp::kAllReduce;
+  LaunchConfig launch;
+  int nchunks = 0;
+  Rank root = 0;  // rooted collectives only
+};
+
+struct BoundReport {
+  SimTime alpha;          // latency bound
+  SimTime bandwidth;      // best (largest) cut bound
+  SimTime combined;       // max(alpha, bandwidth)
+  Size effective_buffer;  // per-rank payload the launch actually moves
+  int nmicrobatches = 1;
+  std::string binding_cut;      // name of the cut achieving `bandwidth`
+  std::vector<CutBound> cuts;   // every evaluated cut, binding first
+
+  // elapsed → percent of optimal in (0, 100]; 0 when elapsed is zero.
+  [[nodiscard]] double OptimalityPct(SimTime elapsed) const;
+  // "combined 123.4us (alpha 5.0us, bandwidth 123.4us via node0 nic egress)"
+  [[nodiscard]] std::string Summary() const;
+};
+
+// The lower bound for `input` on `topo` under `cost`'s protocol factors.
+[[nodiscard]] BoundReport ComputeLowerBound(const Topology& topo,
+                                            const CostModel& cost,
+                                            const BoundInput& input);
+
+// Convenience: bound the collective a concrete algorithm implements, at the
+// launch it will run with (nchunks and root read from the algorithm).
+[[nodiscard]] BoundReport ComputeLowerBound(const Topology& topo,
+                                            const CostModel& cost,
+                                            const Algorithm& algo,
+                                            const LaunchConfig& launch);
+
+// Stable JSON rendering for `resccl bound --json`.
+[[nodiscard]] std::string BoundReportToJson(const BoundReport& report);
+
+}  // namespace resccl

@@ -7,6 +7,7 @@
 // diagnostics without unwinding.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -15,7 +16,7 @@
 
 namespace resccl {
 
-enum class StatusCode {
+enum class StatusCode : std::uint8_t {
   kOk = 0,
   kInvalidArgument,   // malformed user input (DSL source, bad ranks, ...)
   kFailedPrecondition,// operation not valid in the current state

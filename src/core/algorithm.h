@@ -8,6 +8,7 @@
 // destination, `kRecvReduceCopy` reduces it into the destination's chunk.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -18,7 +19,7 @@
 
 namespace resccl {
 
-enum class TransferOp { kRecv, kRecvReduceCopy };
+enum class TransferOp : std::uint8_t { kRecv, kRecvReduceCopy };
 
 [[nodiscard]] constexpr const char* TransferOpName(TransferOp op) {
   return op == TransferOp::kRecv ? "recv" : "rrc";

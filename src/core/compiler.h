@@ -11,6 +11,7 @@
 // topology.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -31,13 +32,13 @@ namespace resccl {
 //                     run algorithm-level internally (MSCCLang, Eq. 4);
 //   kTaskLevel      — ResCCL: each TB drives one task across all
 //                     micro-batches before advancing (Eq. 5).
-enum class ExecutionMode { kAlgorithmLevel, kStageLevel, kTaskLevel };
+enum class ExecutionMode : std::uint8_t { kAlgorithmLevel, kStageLevel, kTaskLevel };
 
 // Whether the runtime interprets the schedule step by step (NCCL/MSCCL-style
 // embedded interpreter, §2.2) or executes directly generated kernels (§4.5).
-enum class RuntimeEngine { kInterpreter, kGeneratedKernel };
+enum class RuntimeEngine : std::uint8_t { kInterpreter, kGeneratedKernel };
 
-enum class SchedulerKind { kHpds, kRoundRobin, kStepOrder };
+enum class SchedulerKind : std::uint8_t { kHpds, kRoundRobin, kStepOrder };
 
 struct CompileOptions {
   SchedulerKind scheduler = SchedulerKind::kHpds;

@@ -18,6 +18,7 @@
 //                     touching the schedule.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/units.h"
@@ -26,9 +27,9 @@
 
 namespace resccl {
 
-enum class Direction { kSend, kRecv };
+enum class Direction : std::uint8_t { kSend, kRecv };
 
-enum class TbAllocPolicy { kConnectionBased, kStateBased };
+enum class TbAllocPolicy : std::uint8_t { kConnectionBased, kStateBased };
 
 struct TbTaskRef {
   TaskId task;

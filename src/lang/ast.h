@@ -19,7 +19,7 @@ struct Expr;
 using ExprPtr = std::unique_ptr<Expr>;
 
 struct Expr {
-  enum class Kind { kNumber, kVariable, kBinary };
+  enum class Kind : std::uint8_t { kNumber, kVariable, kBinary };
   Kind kind = Kind::kNumber;
   int line = 0;
 
@@ -33,7 +33,7 @@ struct Stmt;
 using StmtPtr = std::unique_ptr<Stmt>;
 
 struct Stmt {
-  enum class Kind { kAssign, kFor, kTransfer };
+  enum class Kind : std::uint8_t { kAssign, kFor, kTransfer };
   Kind kind = Kind::kAssign;
   int line = 0;
 

@@ -6,7 +6,7 @@
 
 namespace resccl::lang {
 
-enum class TokenKind {
+enum class TokenKind : std::uint8_t {
   // Structure
   kNewline,
   kIndent,

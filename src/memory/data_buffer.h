@@ -13,6 +13,7 @@
 // tests rely on.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -21,7 +22,7 @@
 
 namespace resccl {
 
-enum class ReduceOp { kSum, kProd, kMax, kMin };
+enum class ReduceOp : std::uint8_t { kSum, kProd, kMax, kMin };
 
 [[nodiscard]] constexpr const char* ReduceOpName(ReduceOp op) {
   switch (op) {

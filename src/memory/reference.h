@@ -5,12 +5,14 @@
 // double and independent of reduction order.
 #pragma once
 
+#include <cstdint>
+
 #include "common/types.h"
 #include "memory/data_buffer.h"
 
 namespace resccl {
 
-enum class CollectiveOp {
+enum class CollectiveOp : std::uint8_t {
   kAllGather,
   kReduceScatter,
   kAllReduce,

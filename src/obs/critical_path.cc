@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 
 #include "common/check.h"
 
@@ -18,7 +19,7 @@ bool ApproxEq(SimTime a, SimTime b) {
   return diff <= 1e-9 * std::max(1.0, std::abs(b.us()));
 }
 
-enum class SegKind { kOverhead, kSync, kInflight, kStall };
+enum class SegKind : std::uint8_t { kOverhead, kSync, kInflight, kStall };
 
 // One contiguous span of a TB's lifetime. Zero-length spans are not stored;
 // the stored spans tile [0, finish] exactly.

@@ -35,6 +35,7 @@
 // Works on any SimProgram/SimRunReport pair, including multi-job merges.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/types.h"
@@ -63,7 +64,7 @@ struct TbBreakdown {
   AttributionBuckets buckets;  // Total() == finish (1e-9 relative)
 };
 
-enum class StepKind { kInflight, kOverhead, kFaultStall, kSync };
+enum class StepKind : std::uint8_t { kInflight, kOverhead, kFaultStall, kSync };
 
 // One hop of the critical chain, in walk (time-descending) order.
 struct CriticalStep {

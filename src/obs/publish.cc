@@ -149,4 +149,36 @@ void PublishServiceDepth(MetricsRegistry& reg, double queued,
   reg.gauge("service.in_flight").Set(in_flight);
 }
 
+void PublishBoundReport(MetricsRegistry& reg, const BoundReport& report) {
+  if (!reg.enabled()) return;
+  reg.counter("analysis.bound.evaluations").Increment();
+  reg.gauge("analysis.bound.last_alpha_us").Set(report.alpha.us());
+  reg.gauge("analysis.bound.last_bandwidth_us").Set(report.bandwidth.us());
+  reg.gauge("analysis.bound.last_combined_us").Set(report.combined.us());
+  // The cut family that bound this evaluation ("rank", "node", "rack",
+  // "pod", "aggregate", or "none"): the prefix before any index digits.
+  std::string family;
+  for (const char c : report.binding_cut) {
+    if (c >= '0' && c <= '9') break;
+    if (c == ' ') break;
+    family += c;
+  }
+  reg.counter("analysis.bound.binding." + family).Increment();
+}
+
+void PublishPerfReport(MetricsRegistry& reg, const PerfReport& report) {
+  if (!reg.enabled()) return;
+  reg.counter("analysis.perf.passes").Increment();
+  reg.counter("analysis.perf.advice")
+      .Add(static_cast<double>(report.diagnostics.size()));
+  for (const Diagnostic& d : report.diagnostics) {
+    reg.counter("analysis.perf.rule." + d.rule_id).Increment();
+  }
+  reg.gauge("analysis.perf.last_static_floor_us").Set(report.static_floor_us);
+  // Percent-of-optimal grid: how tight plans run against the bound.
+  reg.histogram("analysis.perf.optimality_pct",
+                {10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0})
+      .Observe(report.optimality_pct);
+}
+
 }  // namespace resccl::obs

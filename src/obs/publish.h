@@ -9,11 +9,21 @@
 // timing, results, or the compile fingerprint.
 #pragma once
 
+#include "analysis/bounds.h"
+#include "analysis/perf_rules.h"
 #include "obs/metrics.h"
 #include "runtime/backend.h"
 #include "runtime/multi_job.h"
 
 namespace resccl::obs {
+
+// One lower-bound computation, under stable analysis.bound.* names:
+// evaluation count, the bound components, and the binding-cut family split.
+void PublishBoundReport(MetricsRegistry& reg, const BoundReport& report);
+
+// One performance-lint pass, under analysis.perf.*: pass count, advisory
+// findings per rule, the static floor, and the optimality histogram.
+void PublishPerfReport(MetricsRegistry& reg, const PerfReport& report);
 
 // Folds one Execute's report into `reg`: run counters, makespan/algo-bw
 // histograms, compile-phase times, fluid re-rate counters, per-TB time

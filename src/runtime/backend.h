@@ -28,6 +28,7 @@
 //               ring algorithms for a faithful NCCL baseline.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -42,7 +43,7 @@
 
 namespace resccl {
 
-enum class BackendKind { kResCCL, kMscclLike, kNcclLike };
+enum class BackendKind : std::uint8_t { kResCCL, kMscclLike, kNcclLike };
 
 [[nodiscard]] constexpr const char* BackendName(BackendKind k) {
   switch (k) {

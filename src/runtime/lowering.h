@@ -21,6 +21,8 @@
 // launch cost (§4.5).
 #pragma once
 
+#include <cstdint>
+
 #include "core/compiler.h"
 #include "sim/cost_model.h"
 #include "sim/machine.h"
@@ -30,7 +32,7 @@ namespace resccl {
 
 // Transport protocol (Table 2). Simple maximizes sustained bandwidth, LL
 // minimizes latency, LL128 recovers most of the bandwidth at low latency.
-enum class Protocol { kSimple, kLL, kLL128 };
+enum class Protocol : std::uint8_t { kSimple, kLL, kLL128 };
 
 [[nodiscard]] constexpr const char* ProtocolName(Protocol p) {
   switch (p) {

@@ -70,10 +70,11 @@ std::vector<PreparedCandidate> PrepareCandidates(
 // to a SelectionResult. Runs serially, in index order, so the outcome is
 // independent of how the reports were produced. `first_point` charges the
 // prepare cost; later sweep points report the plans as reused (hit, zero
-// prepare).
+// prepare). Each candidate is scored against its own static lower bound —
+// candidates can differ in chunk count, so effective bytes differ too.
 SelectionResult SelectAtSize(const std::vector<PreparedCandidate>& prepared,
                              std::vector<CollectiveReport> reports,
-                             bool first_point) {
+                             const RunRequest& request, bool first_point) {
   SelectionResult result;
   bool have_best = false;
   std::size_t best_index = 0;
@@ -83,13 +84,17 @@ SelectionResult SelectAtSize(const std::vector<PreparedCandidate>& prepared,
     CollectiveReport& report = reports[j];
     report.plan_cache_hit = first_point ? c.plan_cache_hit : true;
     report.prepare_us = first_point ? c.prepare_us : 0.0;
+    const BoundReport bound = ComputeLowerBound(
+        *c.plan->topo, request.cost, c.plan->plan.algo, request.launch);
     result.scoreboard.push_back({c.plan->plan.algo.name,
                                  report.algo_bw.gbps(), report.elapsed,
-                                 report.prepare_us, report.plan_cache_hit});
+                                 report.prepare_us, report.plan_cache_hit,
+                                 bound.OptimalityPct(report.elapsed)});
     if (!have_best || report.elapsed < result.report.elapsed) {
       have_best = true;
       best_index = result.scoreboard.size() - 1;
       result.report = std::move(report);
+      result.bound = bound;
     }
   }
   std::sort(result.scoreboard.begin(), result.scoreboard.end(),
@@ -203,8 +208,10 @@ SweepResult SelectAlgorithmSweep(CollectiveOp op, const Topology& topo,
               });
 
   for (std::size_t i = 0; i < buffers.size(); ++i) {
+    RunRequest request = base_request;
+    request.launch.buffer = buffers[i];
     SelectionResult point =
-        SelectAtSize(prepared, std::move(grid[i]), i == 0);
+        SelectAtSize(prepared, std::move(grid[i]), request, i == 0);
     point.prepare_stats = sweep.prepare_stats;
     sweep.points.push_back(std::move(point));
   }

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/bounds.h"
 #include "runtime/backend.h"
 #include "runtime/plan_cache.h"
 
@@ -29,6 +30,9 @@ struct CandidateScore {
   double prepare_us = 0;        // prepare cost charged to this score (0 if
                                 // the plan was reused from an earlier size)
   bool plan_cache_hit = false;  // true when no compile happened for it
+  // Static optimality: lower bound / elapsed × 100, evaluated per candidate
+  // at its own effective bytes (analysis/bounds.h). ≤ 100 by soundness.
+  double pct_of_optimal = 0;
 };
 
 // Compile-amortization counters for one selection or sweep.
@@ -43,6 +47,7 @@ struct SelectionResult {
   CollectiveReport report;          // its full run report
   std::vector<CandidateScore> scoreboard;  // all candidates, best first
   PrepareStats prepare_stats;
+  BoundReport bound;  // static lower bound for the winner's launch
 };
 
 // Candidate algorithms from the library for `op` on `topo` (power-of-two

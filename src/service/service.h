@@ -68,12 +68,12 @@ namespace resccl::service {
 
 // Lower value = more urgent. Dispatch is strict priority across classes;
 // shedding always starts from the least urgent queued class.
-enum class Priority { kHigh = 0, kNormal = 1, kLow = 2 };
+enum class Priority : std::uint8_t { kHigh = 0, kNormal = 1, kLow = 2 };
 inline constexpr int kPriorityClasses = 3;
 
 [[nodiscard]] const char* PriorityName(Priority p);
 
-enum class Outcome {
+enum class Outcome : std::uint8_t {
   kServed,    // executed; Response::report is valid
   kRejected,  // refused at admission (queue full, nothing less urgent queued)
   kShed,      // admitted earlier, evicted to make room for a more urgent one

@@ -50,7 +50,7 @@ struct SimTransferDecl {
 
 // One instruction in a TB's program.
 struct SimInstr {
-  enum class Kind { kSendSide, kRecvSide, kBarrier };
+  enum class Kind : std::uint8_t { kSendSide, kRecvSide, kBarrier };
   Kind kind = Kind::kSendSide;
   int transfer = -1;                // for send/recv sides
   int barrier = -1;                 // for barriers

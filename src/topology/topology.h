@@ -35,7 +35,7 @@ namespace resccl {
 struct ResourceTag {};
 using ResourceId = Id<ResourceTag>;
 
-enum class ResourceKind { kFabric, kPcie, kNic, kTrunk, kSpine };
+enum class ResourceKind : std::uint8_t { kFabric, kPcie, kNic, kTrunk, kSpine };
 
 // Network-tier resources serialize the schedule (§4.4): two tasks sharing
 // one have a communication dependency. Fabric/PCIe pools share fairly in
@@ -66,7 +66,7 @@ struct Resource {
 // Whether a path stays inside one server or crosses the network. Determines
 // startup latency (λ_inter ≥ 2.5 × λ_intra, §4.3) and per-warp copy
 // throughput in the cost model.
-enum class PathKind { kIntraNode, kInterNode };
+enum class PathKind : std::uint8_t { kIntraNode, kInterNode };
 
 // A resolved route between two GPUs: the ordered resource set it occupies,
 // the startup latency α, and the zero-contention bottleneck bandwidth.

@@ -14,13 +14,22 @@
 //       Compile ResCCLang source into a .plan artifact + kernel listing.
 //   resccl select --op allreduce --topo a100 --nodes 2 --gpus 8
 //              [--buffer-mb N] [--backend ...]
-//       Run the auto-selector and print the scoreboard.
+//       Run the auto-selector and print the scoreboard (with each
+//       candidate's percent-of-optimal against the static lower bound).
+//   resccl bound --op allreduce --topo a100 --nodes 2 --gpus 8
+//              [--buffer-mb N] [--chunk-kb N] [--protocol ...]
+//              [--chunks N] [--root R] [--json]
+//       Print the provable latency/bandwidth lower bound for a collective
+//       on a topology — no plan needed — including the full cut table.
 //   resccl emit --algo ring_allgather --nodes 2 --gpus 8
 //       Export a library algorithm as ResCCLang source on stdout.
-//   resccl lint <plan files...> [--topo a100 --nodes N --gpus G] [--json]
+//   resccl lint <plan files...> [--topo a100 --nodes N --gpus G] [--perf]
+//              [--strict-perf] [--json]
 //       Run the static plan verifier over .plan artifacts. Passing a
 //       topology (any of --topo/--nodes/--gpus) also enables the TB-merge
-//       legality rule. Exit 0 when every file is clean, 1 otherwise.
+//       legality rule. --perf adds the advisory performance rules
+//       (analysis/perf_rules.h); advice never flips the exit code unless
+//       --strict-perf. Exit 0 when every file is clean, 1 otherwise.
 //   resccl profile --algo hm_allreduce --topo a100 [--backend ...]
 //              [--buffer-mb N] [--chunk-kb N] [--protocol ...]
 //              [--faults seed:intensity] [--out stem]
@@ -50,6 +59,8 @@
 #include "algorithms/synthesized.h"
 #include "algorithms/tree.h"
 #include "analysis/analyzer.h"
+#include "analysis/bounds.h"
+#include "analysis/perf_rules.h"
 #include "core/kernel_gen.h"
 #include "core/plan_io.h"
 #include "lang/emit.h"
@@ -57,6 +68,7 @@
 #include "obs/critical_path.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/publish.h"
 #include "obs/timeline.h"
 #include "runtime/communicator.h"
 #include "runtime/selector.h"
@@ -375,27 +387,78 @@ int CmdCompile(const Args& args) {
   return 0;
 }
 
+std::optional<CollectiveOp> ParseOp(const std::string& op_name) {
+  if (op_name == "allgather") return CollectiveOp::kAllGather;
+  if (op_name == "reducescatter") return CollectiveOp::kReduceScatter;
+  if (op_name == "allreduce") return CollectiveOp::kAllReduce;
+  if (op_name == "broadcast") return CollectiveOp::kBroadcast;
+  if (op_name == "reduce") return CollectiveOp::kReduce;
+  return std::nullopt;
+}
+
 int CmdSelect(const Args& args) {
   const std::string op_name = args.Get("op", "allreduce");
-  CollectiveOp op = CollectiveOp::kAllReduce;
-  if (op_name == "allgather") op = CollectiveOp::kAllGather;
-  else if (op_name == "reducescatter") op = CollectiveOp::kReduceScatter;
-  else if (op_name == "allreduce") op = CollectiveOp::kAllReduce;
-  else if (op_name == "broadcast") op = CollectiveOp::kBroadcast;
-  else if (op_name == "reduce") op = CollectiveOp::kReduce;
-  else {
+  const std::optional<CollectiveOp> op = ParseOp(op_name);
+  if (!op) {
     std::fprintf(stderr, "unknown --op '%s'\n", op_name.c_str());
     return 2;
   }
   const Topology topo(MakeSpec(args));
   const SelectionResult sel =
-      SelectAlgorithm(op, topo, MakeBackend(args), MakeRequest(args));
-  std::printf("%s on %s, %d MiB/rank:\n", CollectiveOpName(op),
+      SelectAlgorithm(*op, topo, MakeBackend(args), MakeRequest(args));
+  std::printf("%s on %s, %d MiB/rank:\n", CollectiveOpName(*op),
               topo.spec().name.c_str(), args.GetInt("buffer-mb", 256));
   for (const CandidateScore& s : sel.scoreboard) {
-    std::printf("  %-24s %9.2f GB/s  %9.3f ms%s\n", s.name.c_str(), s.gbps,
-                s.elapsed.ms(),
+    std::printf("  %-24s %9.2f GB/s  %9.3f ms  %5.1f%% of opt%s\n",
+                s.name.c_str(), s.gbps, s.elapsed.ms(), s.pct_of_optimal,
                 s.name == sel.algorithm.name ? "   <- selected" : "");
+  }
+  std::printf("  lower bound: %s\n", sel.bound.Summary().c_str());
+  return 0;
+}
+
+int CmdBound(const Args& args) {
+  const std::string op_name = args.Get("op", "allreduce");
+  const std::optional<CollectiveOp> op = ParseOp(op_name);
+  if (!op) {
+    std::fprintf(stderr, "unknown --op '%s'\n", op_name.c_str());
+    return 2;
+  }
+  const Topology topo(MakeSpec(args));
+  const RunRequest request = MakeRequest(args);
+
+  BoundInput input;
+  input.op = *op;
+  input.launch = request.launch;
+  input.nchunks = args.GetInt("chunks", 0);  // 0 -> nranks
+  input.root = args.GetInt("root", 0);
+  if (input.root < 0 || input.root >= topo.nranks()) {
+    std::fprintf(stderr, "--root %d out of range for %d ranks\n", input.root,
+                 topo.nranks());
+    return 2;
+  }
+  const BoundReport report = ComputeLowerBound(topo, request.cost, input);
+  obs::PublishBoundReport(obs::MetricsRegistry::Global(), report);
+  if (args.Has("json")) {
+    std::printf("%s\n", BoundReportToJson(report).c_str());
+    return 0;
+  }
+  std::printf("%s on %s (%d ranks, %s, %.0f MiB/rank effective, "
+              "%d micro-batches)\n",
+              CollectiveOpName(*op), topo.spec().name.c_str(), topo.nranks(),
+              ProtocolName(request.launch.protocol),
+              report.effective_buffer.mib(), report.nmicrobatches);
+  std::printf("  alpha bound      : %12.3f us\n", report.alpha.us());
+  std::printf("  bandwidth bound  : %12.3f us  (%s)\n", report.bandwidth.us(),
+              report.binding_cut.c_str());
+  std::printf("  combined bound   : %12.3f us  (caps algo bw at %.2f GB/s)\n",
+              report.combined.us(),
+              AlgoBandwidth(report.effective_buffer, report.combined).gbps());
+  std::printf("  cuts (tightest first):\n");
+  for (const CutBound& c : report.cuts) {
+    std::printf("    %-24s %10.1f MiB over %8.1f GB/s -> %12.3f us\n",
+                c.name.c_str(), c.demand_bytes / (1024.0 * 1024.0),
+                c.capacity.gbps(), c.time.us());
   }
   return 0;
 }
@@ -411,16 +474,26 @@ int CmdLint(const Args& args) {
   if (args.positional.empty()) {
     std::fprintf(stderr,
                  "usage: resccl lint <plan files...> "
-                 "[--topo a100 --nodes N --gpus G] [--json]\n");
+                 "[--topo a100 --nodes N --gpus G] [--perf] [--strict-perf] "
+                 "[--json]\n");
     return 2;
   }
+  const bool strict_perf = args.Has("strict-perf");
+  const bool perf = args.Has("perf") || strict_perf;
   // The TB-merge rule needs path latencies/bandwidths; it runs only when the
-  // caller names the fabric the plan is meant for.
+  // caller names the fabric the plan is meant for. The perf pass always
+  // needs one, so --perf implies the default topology when none is named.
   const bool with_topo =
-      args.Has("topo") || args.Has("nodes") || args.Has("gpus");
+      args.Has("topo") || args.Has("nodes") || args.Has("gpus") || perf;
   std::optional<Topology> topo;
   if (with_topo) topo.emplace(MakeSpec(args));
   const bool json = args.Has("json");
+  PerfOptions perf_opts;
+  if (perf) {
+    const RunRequest request = MakeRequest(args);
+    perf_opts.launch = request.launch;
+    perf_opts.cost = request.cost;
+  }
 
   int failures = 0;
   std::string json_files;
@@ -446,16 +519,37 @@ int CmdLint(const Args& args) {
     }
     const AnalysisReport report =
         AnalyzePlan(plan.value(), topo ? &*topo : nullptr);
-    if (!report.clean()) ++failures;
+    // Correctness findings gate the exit code; perf findings are advisory
+    // and only count as failures under --strict-perf.
+    bool file_failed = !report.clean();
+    std::optional<PerfReport> perf_report;
+    if (perf) {
+      perf_report = AnalyzePlanPerf(plan.value(), *topo, perf_opts);
+      obs::PublishPerfReport(obs::MetricsRegistry::Global(), *perf_report);
+      if (strict_perf && !perf_report->diagnostics.empty()) file_failed = true;
+    }
+    if (file_failed) ++failures;
     if (json) {
       json_files += "{\"file\":\"" + obs::EscapeJson(file) +
                     "\",\"status\":\"analyzed\",\"report\":" +
-                    AnalysisReportToJson(report) + "}";
+                    AnalysisReportToJson(report);
+      if (perf_report) {
+        json_files += ",\"perf\":" + PerfReportToJson(*perf_report);
+      }
+      json_files += "}";
     } else {
       std::printf("%s: %s\n", file.c_str(), report.Summary().c_str());
       for (const Diagnostic& d : report.diagnostics) {
         std::printf("  %s [%s] %s: %s\n", DiagSeverityName(d.severity),
                     d.rule_id.c_str(), d.location.c_str(), d.witness.c_str());
+      }
+      if (perf_report) {
+        std::printf("  perf: %s\n", perf_report->Summary().c_str());
+        for (const Diagnostic& d : perf_report->diagnostics) {
+          std::printf("  %s [%s] %s: %s\n", DiagSeverityName(d.severity),
+                      d.rule_id.c_str(), d.location.c_str(),
+                      d.witness.c_str());
+        }
       }
     }
   }
@@ -715,9 +809,15 @@ constexpr Command kCommands[] = {
      CmdCompile},
     {"select", "resccl select --op <collective> [--topo ...] [--backend ...]",
      CmdSelect},
+    {"bound",
+     "resccl bound --op <collective> [--topo ...] [--buffer-mb N] "
+     "[--chunk-kb N] [--protocol simple|ll|ll128] [--chunks N] [--root R] "
+     "[--json]",
+     CmdBound},
     {"emit", "resccl emit --algo <name> [--nodes N] [--gpus G]", CmdEmit},
     {"lint",
-     "resccl lint <plan files...> [--topo a100 --nodes N --gpus G] [--json]",
+     "resccl lint <plan files...> [--topo a100 --nodes N --gpus G] [--perf] "
+     "[--strict-perf] [--json]",
      CmdLint},
     {"profile",
      "resccl profile --algo <name> [--topo ...] [--backend ...] "
