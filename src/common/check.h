@@ -25,14 +25,14 @@ namespace resccl::internal {
 
 #define RESCCL_CHECK(expr)                                              \
   do {                                                                  \
-    if (!(expr)) {                                                      \
+    if (!(expr)) [[unlikely]] {                                         \
       ::resccl::internal::CheckFailed(#expr, __FILE__, __LINE__, "");   \
     }                                                                   \
   } while (false)
 
 #define RESCCL_CHECK_MSG(expr, msg)                                     \
   do {                                                                  \
-    if (!(expr)) {                                                      \
+    if (!(expr)) [[unlikely]] {                                         \
       std::ostringstream resccl_check_os_;                              \
       resccl_check_os_ << msg;                                          \
       ::resccl::internal::CheckFailed(#expr, __FILE__, __LINE__,        \

@@ -19,18 +19,13 @@ bool ApproxEq(SimTime a, SimTime b) {
   return diff <= 1e-9 * std::max(1.0, std::abs(b.us()));
 }
 
-enum class SegKind : std::uint8_t { kOverhead, kSync, kInflight, kStall };
-
-// One contiguous span of a TB's lifetime. Zero-length spans are not stored;
-// the stored spans tile [0, finish] exactly.
-struct Segment {
-  SegKind kind = SegKind::kSync;
-  SimTime begin;
-  SimTime end;
-  int transfer = -1;  // inflight / transfer-sync segments
-  int barrier = -1;   // barrier-sync segments
-  bool is_send = false;
-};
+// The machine's own span vocabulary (sim/machine.h): one contiguous span of
+// a TB's lifetime, zero-length spans not stored, the stored spans tiling
+// [0, finish] exactly. When the run was observed the report carries these
+// prebuilt (the machine emits them incrementally per event); BuildSegments
+// below reconstructs the identical streams by replay for unobserved runs.
+using Segment = SimRunReport::TimelineSegment;
+using SegKind = SimRunReport::TimelineSegment::Kind;
 
 // α / bandwidth / contention tiling of one transfer's in-flight prefix
 // [start, upto] (upto <= complete). The full-span case is the per-TB view;
@@ -88,7 +83,7 @@ std::vector<std::vector<Segment>> BuildSegments(const SimProgram& program,
                              int transfer, int barrier, bool is_send) {
       RESCCL_CHECK_MSG(end >= begin, "segment runs backwards");
       if (end > begin) {
-        out.push_back({kind, begin, end, transfer, barrier, is_send});
+        out.push_back({kind, is_send, transfer, barrier, begin, end});
       }
     };
 
@@ -224,8 +219,25 @@ CriticalPathReport AnalyzeCriticalPath(const SimProgram& program,
   if (critical < 0) return out;  // empty program
 
   // --- View 2: critical-chain walk. --------------------------------------
-  const std::vector<std::vector<Segment>> segments =
-      BuildSegments(program, report);
+  // Prefer the machine's incrementally recorded streams (observe mode):
+  // same contract, no replay. Fall back to reconstruction when the run was
+  // not observed (or the report predates segment recording).
+  std::vector<std::vector<Segment>> built;
+  const std::vector<std::vector<Segment>>* segments_p = nullptr;
+  if (report.segments.size() == program.tbs.size()) {
+    for (std::size_t tb = 0; tb < program.tbs.size(); ++tb) {
+      const std::vector<Segment>& s = report.segments[tb];
+      RESCCL_CHECK_MSG(
+          ApproxEq(s.empty() ? SimTime::Zero() : s.back().end,
+                   report.tbs[tb].finish),
+          "recorded timeline does not reach the TB's finish time");
+    }
+    segments_p = &report.segments;
+  } else {
+    built = BuildSegments(program, report);
+    segments_p = &built;
+  }
+  const std::vector<std::vector<Segment>>& segments = *segments_p;
   std::size_t total_segments = 0;
   for (const auto& s : segments) total_segments += s.size();
 

@@ -45,6 +45,15 @@ void PublishCollectiveReport(MetricsRegistry& reg,
   reg.counter("compile.verify_us").Add(report.compile.verify_us);
 
   reg.counter("sim.events").Add(static_cast<double>(report.sim.events));
+  // Queue mechanics (sim/event_queue.h): pops counts every heap pop —
+  // fired events plus the stale entries lazy invalidation discards — so
+  // pops - skipped_stale == sim.events for the run; peak_heap is the
+  // high-water mark of resident entries (a gauge: last run, not a sum).
+  const EventQueue::Stats& q = report.sim.queue;
+  reg.counter("sim.events.popped").Add(static_cast<double>(q.popped));
+  reg.counter("sim.events.skipped_stale")
+      .Add(static_cast<double>(q.skipped_stale));
+  reg.gauge("sim.events.peak_heap").Set(static_cast<double>(q.peak_heap));
   const FluidNetwork::Stats& fl = report.sim.fluid;
   reg.counter("sim.fluid.flows_started")
       .Add(static_cast<double>(fl.flows_started));

@@ -7,7 +7,7 @@
 
 #include "analysis/analyzer.h"
 #include "common/check.h"
-#include "obs/publish.h"
+#include "runtime/exec_context.h"
 
 namespace resccl {
 
@@ -88,116 +88,13 @@ Result<PreparedPlan> Prepare(const Algorithm& algo, const Topology& topo,
 
 CollectiveReport Execute(const PreparedCollective& prepared,
                          const RunRequest& request) {
-  RESCCL_CHECK(prepared.topo != nullptr);
-  const Topology& topo = *prepared.topo;
-  const CompiledCollective& cc = prepared.plan;
-
-  auto lowered_ptr = std::make_shared<const LoweredProgram>(
-      Lower(cc, request.cost, request.launch));
-  const LoweredProgram& lowered = *lowered_ptr;
-
-  const bool faulted = !request.faults.empty();
-  SimMachine machine(topo, request.cost, request.naive_rerate);
-  machine.set_observe(request.observe);
-  CollectiveReport report;
-  report.sim =
-      machine.Run(lowered.program, faulted ? &request.faults : nullptr);
-  if (request.observe) report.lowered = lowered_ptr;
-
-  if (faulted) {
-    // Replay the identical lowered program on an unperturbed fabric; the
-    // gap is the schedule's (in)ability to absorb the faults.
-    SimMachine clean_machine(topo, request.cost, request.naive_rerate);
-    const SimRunReport clean = clean_machine.Run(lowered.program);
-    FaultImpact& impact = report.fault;
-    impact.faulted = true;
-    impact.clean_makespan = clean.makespan;
-    impact.slowdown_vs_clean = clean.makespan > SimTime::Zero()
-                                   ? report.sim.makespan / clean.makespan
-                                   : 1.0;
-    // Per-rank aggregation to find the straggling rank.
-    const int nranks = cc.algo.nranks;
-    std::vector<SimTime> finish(static_cast<std::size_t>(nranks));
-    std::vector<SimTime> stall(static_cast<std::size_t>(nranks));
-    std::vector<SimTime> sync(static_cast<std::size_t>(nranks));
-    std::vector<SimTime> lifetime(static_cast<std::size_t>(nranks));
-    for (const TbStats& tb : report.sim.tbs) {
-      const auto r = static_cast<std::size_t>(tb.rank);
-      finish[r] = std::max(finish[r], tb.finish);
-      stall[r] += tb.fault_stall;
-      sync[r] += tb.sync;
-      lifetime[r] += tb.finish;
-      impact.total_stall += tb.fault_stall;
-    }
-    for (Rank r = 0; r < nranks; ++r) {
-      const auto ri = static_cast<std::size_t>(r);
-      if (impact.worst_rank == kInvalidRank ||
-          finish[ri] > impact.worst_rank_finish) {
-        impact.worst_rank = r;
-        impact.worst_rank_finish = finish[ri];
-        impact.worst_rank_stall = stall[ri];
-        impact.worst_rank_idle =
-            lifetime[ri] > SimTime::Zero() ? sync[ri] / lifetime[ri] : 0.0;
-      }
-    }
-  }
-
-  report.backend = prepared.backend;
-  report.algorithm = cc.algo.name;
-  report.elapsed = report.sim.makespan;
-  report.algo_bw = AlgoBandwidth(request.launch.buffer, report.elapsed);
-  report.nmicrobatches = lowered.nmicrobatches;
-  report.total_tbs = cc.tbs.total_tbs();
-  report.max_tbs_per_rank = cc.tbs.MaxTbsPerRank(cc.algo.nranks);
-  report.compile = cc.stats;
-  report.prepare_us = prepared.prepare_us;
-
-  // Link utilization over resources that carried data, read from the
-  // report's always-recorded per-resource totals (the same numbers the
-  // observability timelines reconcile against). NIC links additionally
-  // aggregate into per-rail rows so rail skew is visible at a glance.
-  report.rails.resize(static_cast<std::size_t>(topo.spec().nics_per_node));
-  for (std::size_t i = 0; i < report.rails.size(); ++i) {
-    report.rails[i].rail = static_cast<int>(i);
-  }
-  for (std::size_t ri = 0; ri < report.sim.link_usage.size(); ++ri) {
-    const FluidNetwork::ResourceUsage& usage = report.sim.link_usage[ri];
-    if (usage.bytes == 0) continue;
-    const double frac =
-        report.elapsed > SimTime::Zero() ? usage.active / report.elapsed : 0.0;
-    report.links.avg += frac;
-    report.links.min = std::min(report.links.min, frac);
-    report.links.max = std::max(report.links.max, frac);
-    ++report.links.carriers;
-    const int rail =
-        topo.RailOfResource(ResourceId(static_cast<std::int32_t>(ri)));
-    if (rail >= 0) {
-      RailUtilization& row = report.rails[static_cast<std::size_t>(rail)];
-      row.bytes += usage.bytes;
-      row.avg_busy_frac += frac;
-      row.max_busy_frac = std::max(row.max_busy_frac, frac);
-      ++row.carriers;
-    }
-  }
-  if (report.links.carriers > 0) {
-    report.links.avg /= report.links.carriers;
-  } else {
-    report.links.min = 0;
-  }
-  for (RailUtilization& row : report.rails) {
-    if (row.carriers > 0) row.avg_busy_frac /= row.carriers;
-  }
-
-  if (request.verify) {
-    const VerifyResult v =
-        VerifyLoweredExecution(cc, lowered, report.sim, request.verify_elems);
-    report.verified = v.ok;
-    report.verify_error = v.error;
-  }
-  // One relaxed atomic load when the global registry is disabled (the
-  // default) — the publication body never runs.
-  obs::PublishCollectiveReport(obs::MetricsRegistry::Global(), report);
-  return report;
+  // One-shot path: a throwaway ExecContext runs the shared implementation.
+  // The aliasing shared_ptr is non-owning — safe, because both it and the
+  // context die before this call returns, and `prepared` outlives the call.
+  ExecContext ctx;
+  return ctx.Execute(PreparedPlan(std::shared_ptr<const PreparedCollective>(),
+                                  &prepared),
+                     request);
 }
 
 Result<CollectiveReport> RunCollectiveWithOptions(

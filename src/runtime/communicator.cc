@@ -91,7 +91,7 @@ CollectiveReport Communicator::Run(const Algorithm& algo,
     throw std::invalid_argument(got.status().ToString());
   }
   const PlanCache::Lookup& lookup = got.value();
-  CollectiveReport report = Execute(*lookup.plan, request);
+  CollectiveReport report = exec_.Execute(lookup.plan, request);
   report.plan_cache_hit = lookup.hit;
   report.prepare_us = lookup.prepare_us;
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();

@@ -20,6 +20,7 @@
 
 #include "core/algorithm.h"
 #include "runtime/backend.h"
+#include "runtime/exec_context.h"
 #include "runtime/plan_cache.h"
 #include "topology/topology.h"
 
@@ -65,6 +66,13 @@ class Communicator {
   std::shared_ptr<const Topology> topo_;
   BackendKind kind_;
   std::shared_ptr<PlanCache> cache_;
+  // Per-communicator execution scratch (runtime/exec_context.h): the lowered
+  // program, simulation machine, and report vectors are reused across Run
+  // calls, so a cache-hit collective replays without rebuilding its
+  // simulation state. This makes concurrent Run calls on ONE Communicator
+  // unsupported (they never were promised); distinct instances — even ones
+  // sharing a PlanCache — stay independent.
+  mutable ExecContext exec_;
 };
 
 }  // namespace resccl

@@ -24,6 +24,13 @@ SimTime PerPrimitiveOverhead(const CompiledCollective& compiled,
 
 LoweredProgram Lower(const CompiledCollective& compiled, const CostModel& cost,
                      const LaunchConfig& launch) {
+  LoweredProgram out;
+  LowerInto(compiled, cost, launch, out);
+  return out;
+}
+
+void LowerInto(const CompiledCollective& compiled, const CostModel& cost,
+               const LaunchConfig& launch, LoweredProgram& out) {
   const int ntasks = compiled.algo.ntasks();
   const int nmb = launch.MicroBatches(compiled.algo.nchunks);
   const std::int64_t chunk_bytes = launch.chunk.bytes();
@@ -46,10 +53,12 @@ LoweredProgram Lower(const CompiledCollective& compiled, const CostModel& cost,
       break;
   }
 
-  LoweredProgram out;
   out.nmicrobatches = nmb;
 
   // --- Transfer declarations: one per (task, micro-batch) invocation. ---
+  // Reused decls carry whatever the previous lowering set, so every field
+  // is assigned — in particular latency_us / latency_scale, where a fresh
+  // decl's defaults carry meaning ("use the path α unscaled").
   out.program.transfers.resize(static_cast<std::size_t>(ntasks) *
                                static_cast<std::size_t>(nmb));
   out.invocation_of.resize(out.program.transfers.size());
@@ -63,6 +72,8 @@ LoweredProgram Lower(const CompiledCollective& compiled, const CostModel& cost,
       decl.bytes = static_cast<std::int64_t>(
           static_cast<double>(chunk_bytes) * byte_inflation);
       decl.is_reduce = tr.op == TransferOp::kRecvReduceCopy;
+      decl.latency_us = -1.0;
+      decl.latency_scale = 1.0;
       // Task-level generated kernels iterate a primitive's micro-batches in
       // one pass (§4.5): invocations after the first overlap their
       // handshake with the previous invocation's drain.
@@ -75,6 +86,7 @@ LoweredProgram Lower(const CompiledCollective& compiled, const CostModel& cost,
       }
       // Data dependencies stay within a micro-batch: micro-batches address
       // disjoint buffer slices (§3's key insight).
+      decl.deps.clear();
       for (int p : compiled.preds[static_cast<std::size_t>(t)]) {
         decl.deps.push_back(DeclIndex(p, m, nmb));
       }
@@ -85,16 +97,23 @@ LoweredProgram Lower(const CompiledCollective& compiled, const CostModel& cost,
 
   // --- TB instruction streams. ---
   const ExecutionMode mode = compiled.options.mode;
-  out.program.tbs.reserve(compiled.tbs.tbs.size());
+  out.program.tbs.resize(compiled.tbs.tbs.size());
+  const auto reset_tb = [&](SimTb& sim_tb, const TbPlan::Tb& tb) {
+    sim_tb.rank = tb.rank;
+    sim_tb.warps = compiled.options.warps_per_tb;
+    sim_tb.injection_scale =
+        compiled.options.engine == RuntimeEngine::kInterpreter
+            ? 1.0 - cost.interp_throughput_tax
+            : 1.0;
+    sim_tb.program.clear();
+  };
 
   if (mode == ExecutionMode::kTaskLevel) {
-    for (const TbPlan::Tb& tb : compiled.tbs.tbs) {
-      SimTb sim_tb;
-      sim_tb.rank = tb.rank;
-      sim_tb.warps = compiled.options.warps_per_tb;
-      if (compiled.options.engine == RuntimeEngine::kInterpreter) {
-        sim_tb.injection_scale = 1.0 - cost.interp_throughput_tax;
-      }
+    out.program.barrier_parties.clear();
+    for (std::size_t i = 0; i < compiled.tbs.tbs.size(); ++i) {
+      const TbPlan::Tb& tb = compiled.tbs.tbs[i];
+      SimTb& sim_tb = out.program.tbs[i];
+      reset_tb(sim_tb, tb);
       for (const TbTaskRef& ref : tb.refs) {
         for (int m = 0; m < nmb; ++m) {
           SimInstr instr;
@@ -105,9 +124,8 @@ LoweredProgram Lower(const CompiledCollective& compiled, const CostModel& cost,
           sim_tb.program.push_back(instr);
         }
       }
-      out.program.tbs.push_back(std::move(sim_tb));
     }
-    return out;
+    return;
   }
 
   // Algorithm-level and stage-level walk micro-batches in the outer loop
@@ -154,12 +172,8 @@ LoweredProgram Lower(const CompiledCollective& compiled, const CostModel& cost,
 
   for (std::size_t i = 0; i < compiled.tbs.tbs.size(); ++i) {
     const TbPlan::Tb& tb = compiled.tbs.tbs[i];
-    SimTb sim_tb;
-    sim_tb.rank = tb.rank;
-    sim_tb.warps = compiled.options.warps_per_tb;
-    if (compiled.options.engine == RuntimeEngine::kInterpreter) {
-      sim_tb.injection_scale = 1.0 - cost.interp_throughput_tax;
-    }
+    SimTb& sim_tb = out.program.tbs[i];
+    reset_tb(sim_tb, tb);
     for (int m = 0; m < nmb; ++m) {
       bool first = true;
       for (const TbTaskRef& ref : tb.refs) {
@@ -176,9 +190,7 @@ LoweredProgram Lower(const CompiledCollective& compiled, const CostModel& cost,
       barrier.barrier = barrier_id(tb_stage[i], m);
       sim_tb.program.push_back(barrier);
     }
-    out.program.tbs.push_back(std::move(sim_tb));
   }
-  return out;
 }
 
 }  // namespace resccl

@@ -68,4 +68,15 @@ struct LoweredProgram {
                                    const CostModel& cost,
                                    const LaunchConfig& launch);
 
+// Reuse variant: lowers into `out`, reusing the capacity of every nested
+// vector (transfer decls and their dep lists, TB instruction streams,
+// barrier tables). Every field is (re)assigned — including the decl
+// defaults Lower relies on from fresh construction (latency_us,
+// latency_scale, injection_scale) — so a warm `out` is bit-identical to a
+// freshly lowered one. Re-lowering the same shape allocates nothing; the
+// execution context (runtime/exec_context.h) leans on this for its
+// allocation-free Execute.
+void LowerInto(const CompiledCollective& compiled, const CostModel& cost,
+               const LaunchConfig& launch, LoweredProgram& out);
+
 }  // namespace resccl

@@ -1,12 +1,31 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace resccl {
 
+void EventQueue::Push(SimTime when, Slot slot, std::uint64_t generation,
+                      Callback cb) {
+  std::uint32_t entry;
+  if (!free_entries_.empty()) {
+    entry = free_entries_.back();
+    free_entries_.pop_back();
+  } else {
+    entry = static_cast<std::uint32_t>(entries_.size());
+    entries_.emplace_back();
+  }
+  Entry& e = entries_[entry];
+  e.slot = slot;
+  e.generation = generation;
+  e.cb = std::move(cb);
+  if (slot != kNoSlot) slots_[slot].entry = entry;
+  PushNode({when, MakeKey(NextSeq(), entry)});
+}
+
 void EventQueue::Schedule(SimTime when, Callback cb) {
   RESCCL_CHECK_MSG(when >= now_, "event scheduled in the past");
-  queue_.push(Entry{when, next_seq_++, kNoSlot, 0, std::move(cb)});
+  Push(when, kNoSlot, 0, std::move(cb));
   ++size_;
 }
 
@@ -14,74 +33,188 @@ EventQueue::Slot EventQueue::NewSlot() {
   if (!free_slots_.empty()) {
     const Slot slot = free_slots_.back();
     free_slots_.pop_back();
-    slot_free_[slot] = false;
+    slots_[slot].parked = 0;
     return slot;
   }
-  slot_generation_.push_back(0);
-  slot_pending_.push_back(false);
-  slot_free_.push_back(false);
-  return slot_generation_.size() - 1;
+  slots_.emplace_back();
+  return slots_.size() - 1;
 }
 
 void EventQueue::ScheduleSlot(Slot slot, SimTime when, Callback cb) {
-  RESCCL_CHECK(slot < slot_generation_.size());
-  RESCCL_CHECK_MSG(!slot_free_[slot], "slot used after FreeSlot");
+  RESCCL_CHECK(slot < slots_.size());
+  SlotState& st = slots_[slot];
+  RESCCL_CHECK_MSG(st.parked == 0, "slot used after FreeSlot");
   RESCCL_CHECK_MSG(when >= now_, "event scheduled in the past");
-  const std::uint64_t gen = ++slot_generation_[slot];
-  queue_.push(Entry{when, next_seq_++, slot, gen, std::move(cb)});
-  if (!slot_pending_[slot]) {
-    slot_pending_[slot] = true;
-    ++size_;
+  const std::uint64_t gen = ++st.generation;
+  if (st.pending != 0) {
+    // Reschedule: the slot's live node is re-keyed in place — new time,
+    // fresh seq (a reschedule is a new insertion for FIFO tie-breaks) —
+    // and sifted to its new position. No stale entry is left behind.
+    const std::uint32_t entry = st.entry;
+    Entry& e = entries_[entry];
+    e.generation = gen;
+    e.cb = std::move(cb);
+    const std::size_t i = e.heap_pos;
+    heap_[i].when = when;
+    heap_[i].key = MakeKey(NextSeq(), entry);
+    if (i > 0 && Before(heap_[i], heap_[(i - 1) >> 2])) {
+      SiftUp(i);
+    } else {
+      SiftDown(i);
+    }
+    return;
   }
+  Push(when, slot, gen, std::move(cb));
+  st.pending = 1;
+  ++size_;
 }
 
 void EventQueue::CancelSlot(Slot slot) {
-  RESCCL_CHECK(slot < slot_generation_.size());
-  RESCCL_CHECK_MSG(!slot_free_[slot], "slot used after FreeSlot");
-  ++slot_generation_[slot];
-  if (slot_pending_[slot]) {
-    slot_pending_[slot] = false;
+  RESCCL_CHECK(slot < slots_.size());
+  SlotState& st = slots_[slot];
+  RESCCL_CHECK_MSG(st.parked == 0, "slot used after FreeSlot");
+  ++st.generation;
+  if (st.pending != 0) {
+    st.pending = 0;
     --size_;
   }
 }
 
 void EventQueue::FreeSlot(Slot slot) {
-  RESCCL_CHECK(slot < slot_generation_.size());
-  RESCCL_CHECK_MSG(!slot_free_[slot], "slot freed twice");
+  RESCCL_CHECK(slot < slots_.size());
+  RESCCL_CHECK_MSG(slots_[slot].parked == 0, "slot freed twice");
   CancelSlot(slot);  // the generation bump kills any queued entry
-  slot_free_[slot] = true;
+  slots_[slot].parked = 1;
   free_slots_.push_back(slot);
 }
 
-bool EventQueue::RunOne() {
+void EventQueue::SiftUp(std::size_t i) {
+  const HeapNode n = heap_[i];
+  while (i > 0) {
+    const std::size_t p = (i - 1) >> 2;
+    if (!Before(n, heap_[p])) break;
+    heap_[i] = heap_[p];
+    entries_[KeyEntry(heap_[i].key)].heap_pos = static_cast<std::uint32_t>(i);
+    i = p;
+  }
+  heap_[i] = n;
+  entries_[KeyEntry(n.key)].heap_pos = static_cast<std::uint32_t>(i);
+}
+
+void EventQueue::SiftDown(std::size_t i) {
+  const HeapNode n = heap_[i];
+  const std::size_t count = heap_.size();
   for (;;) {
-    // Drop stale entries — their slot was rescheduled or cancelled.
-    while (!queue_.empty()) {
-      const Entry& top = queue_.top();
-      if (top.slot == kNoSlot || slot_generation_[top.slot] == top.generation)
-        break;
-      queue_.pop();
+    const std::size_t c0 = 4 * i + 1;
+    if (c0 >= count) break;
+    std::size_t best = c0;
+    const std::size_t cend = std::min(c0 + 4, count);
+    for (std::size_t c = c0 + 1; c < cend; ++c) {
+      if (Before(heap_[c], heap_[best])) best = c;
     }
+    if (!Before(heap_[best], n)) break;
+    heap_[i] = heap_[best];
+    entries_[KeyEntry(heap_[i].key)].heap_pos = static_cast<std::uint32_t>(i);
+    i = best;
+  }
+  heap_[i] = n;
+  entries_[KeyEntry(n.key)].heap_pos = static_cast<std::uint32_t>(i);
+}
+
+void EventQueue::PushNode(HeapNode n) {
+  const std::size_t i = heap_.size();
+  heap_.push_back(n);
+  entries_[KeyEntry(n.key)].heap_pos = static_cast<std::uint32_t>(i);
+  SiftUp(i);
+  if (heap_.size() > stats_.peak_heap) stats_.peak_heap = heap_.size();
+}
+
+void EventQueue::PopNode() {
+  const HeapNode last = heap_.back();
+  heap_.pop_back();
+  if (heap_.empty()) return;
+  heap_[0] = last;
+  entries_[KeyEntry(last.key)].heap_pos = 0;
+  SiftDown(0);
+}
+
+void EventQueue::DropStale() {
+  while (!heap_.empty()) {
+    const HeapNode top = heap_.front();
+    const std::uint32_t te = KeyEntry(top.key);
+    const Entry& e = entries_[te];
+    if (e.slot == kNoSlot || slots_[e.slot].generation == e.generation) return;
+    PopNode();
+    ++stats_.popped;
+    ++stats_.skipped_stale;
+    entries_[te].cb = nullptr;
+    free_entries_.push_back(te);
+  }
+}
+
+bool EventQueue::PrepareHead() {
+  for (;;) {
+    DropStale();
     // The clock is about to advance past now_ (or the queue has drained):
     // let the advance hook flush work deferred within this timestamp. It
     // may schedule new events — possibly earlier than the current head —
     // so re-examine the queue whenever it reports progress.
-    if (advance_hook_ && (queue_.empty() || queue_.top().when > now_)) {
+    if (advance_hook_ && (heap_.empty() || heap_.front().when > now_)) {
       if (advance_hook_()) continue;
     }
-    if (queue_.empty()) return false;
-    // priority_queue::top is const; moving the callback out is safe because
-    // the entry is popped immediately afterwards.
-    Entry e = std::move(const_cast<Entry&>(queue_.top()));
-    queue_.pop();
-    if (e.slot != kNoSlot) slot_pending_[e.slot] = false;
-    --size_;
-    RESCCL_CHECK(e.when >= now_);
-    now_ = e.when;
-    ++events_fired_;
-    e.cb(now_);
-    return true;
+    return !heap_.empty();
   }
+}
+
+void EventQueue::FireHead() {
+  const HeapNode top = heap_.front();
+  const std::uint32_t te = KeyEntry(top.key);
+  PopNode();
+  ++stats_.popped;
+  Entry& e = entries_[te];
+  if (e.slot != kNoSlot) slots_[e.slot].pending = 0;
+  --size_;
+  RESCCL_CHECK(top.when >= now_);
+  now_ = top.when;
+  // Copy the callback out and recycle the entry before firing: the
+  // callback is free to schedule (and thereby claim the freed entry).
+  Callback cb = std::move(e.cb);
+  free_entries_.push_back(te);
+  ++events_fired_;
+  cb(now_);
+}
+
+bool EventQueue::RunOne() {
+  if (!PrepareHead()) return false;
+  FireHead();
+  return true;
+}
+
+std::uint32_t EventQueue::RunBatch() {
+  if (!PrepareHead()) return 0;
+  const SimTime t = heap_.front().when;
+  std::uint32_t fired = 0;
+  for (;;) {
+    FireHead();
+    ++fired;
+    // Callbacks may have queued more work at this same timestamp (it fires
+    // in this batch, in insertion order) or invalidated entries at it.
+    DropStale();
+    if (heap_.empty() || heap_.front().when != t) return fired;
+  }
+}
+
+void EventQueue::Reset() {
+  heap_.clear();
+  entries_.clear();  // inline trivial callbacks: destruction frees nothing
+  free_entries_.clear();
+  slots_.clear();
+  free_slots_.clear();
+  next_seq_ = 0;
+  events_fired_ = 0;
+  size_ = 0;
+  now_ = SimTime::Zero();
+  stats_ = {};
 }
 
 }  // namespace resccl

@@ -1,32 +1,67 @@
 // Discrete-event queue with cancellation.
 //
 // The fluid link model reschedules a flow's completion every time the set of
-// flows sharing one of its resources changes; instead of erasing queue
-// entries, each logical event carries a generation number and stale entries
-// are skipped on pop (lazy invalidation).
+// flows sharing one of its resources changes — on contended workloads more
+// than a third of all scheduling traffic is reschedules. The queue is tuned
+// for that profile:
+//
+//  - The heap orders 24-byte {when, seq, entry} nodes in a 4-ary layout —
+//    shallower than a binary heap and ~2.5 nodes per cache line, so a pop's
+//    sift-down touches a fraction of the lines std::priority_queue moves
+//    when the element carries its callback along. Callbacks live in a
+//    side pool of recycled entries, touched exactly once per pop.
+//  - The heap is *indexed*: each pooled entry tracks its node's heap
+//    position, so rescheduling a slot re-keys its existing node in place
+//    (one sift) instead of pushing a replacement and popping the stale one
+//    later. Cancellation stays lazy — a generation bump — since cancelled
+//    slots are rare next to reschedules; their orphaned nodes are skipped
+//    on pop.
+//  - Callbacks are TrivialInplaceFunction, not std::function: the machine's
+//    [this, transfer, bytes]-style captures exceed libstdc++'s 16-byte SBO
+//    and would heap-allocate per Schedule; inline trivially-copyable
+//    storage makes scheduling allocation-free AND recycles pool entries
+//    without indirect manager calls (the queue moves callbacks ~2x more
+//    often than it fires them).
+//  - RunBatch() drains every event sharing the front timestamp in one call:
+//    the advance hook (the fluid model's deferred re-rate flush, keyed on
+//    distinct SimTime) is consulted once per distinct timestamp instead of
+//    once per event.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/check.h"
+#include "common/inplace_function.h"
 #include "common/units.h"
 
 namespace resccl {
 
 class EventQueue {
  public:
-  using Callback = std::function<void(SimTime now)>;
+  // Sized for the simulator's largest capture set plus headroom; anything
+  // bigger — or any capture that isn't trivially copyable — fails to
+  // compile rather than silently allocating.
+  using Callback = TrivialInplaceFunction<void(SimTime now), 48>;
+
+  // Queue-mechanics accounting over the queue's lifetime (reset by Reset):
+  // heap pops split into fired callbacks and lazily-invalidated entries
+  // dropped (orphans of CancelSlot/FreeSlot — reschedules re-key in place
+  // and leave none), plus the peak number of resident entries. Surfaced as
+  // sim.events.{popped,skipped_stale,peak_heap} (docs/observability.md).
+  struct Stats {
+    std::uint64_t popped = 0;         // heap pops: fired + stale
+    std::uint64_t skipped_stale = 0;  // entries dropped by lazy invalidation
+    std::uint64_t peak_heap = 0;      // max entries resident at once
+  };
 
   // Immediately schedules `cb` at `when` (must be >= now). Events at equal
   // times fire in insertion order, keeping the simulation deterministic.
   void Schedule(SimTime when, Callback cb);
 
   // Handle-based scheduling for cancellable events. `slot` identifies a
-  // logical event source (e.g. a flow); rescheduling a slot invalidates any
-  // previously scheduled entry for it.
+  // logical event source (e.g. a flow); rescheduling a slot supersedes any
+  // previously scheduled entry for it (re-keyed in place on the heap).
   //
   // Slots are recycled: NewSlot prefers handles released via FreeSlot over
   // growing the generation table, so long-running simulations that churn
@@ -46,53 +81,114 @@ class EventQueue {
   // Pops and fires the next event; returns false when the queue is empty.
   bool RunOne();
 
+  // Advances the clock to the next event time and fires *every* event
+  // scheduled there (including events its callbacks add at that same time),
+  // in insertion order — identical semantics to calling RunOne in a loop,
+  // but the advance hook runs once per distinct timestamp instead of being
+  // re-checked per event. Returns the number of callbacks fired; 0 means
+  // the queue has drained.
+  std::uint32_t RunBatch();
+
+  // Returns the queue to its just-constructed state — clock at zero, no
+  // events, no slots, counters cleared — while keeping every buffer's
+  // capacity (heap, entry pool, slot tables), so a warmed queue re-runs a
+  // same-shaped program without allocating. The advance hook survives.
+  void Reset();
+
   // Installed by a component that defers work within a timestamp (the fluid
-  // model coalesces re-rate walks this way). RunOne invokes the hook
-  // whenever the clock is about to advance past `now()` — including when
-  // the queue has drained — and the hook returns true if it did work (it
-  // may have scheduled new events, possibly earlier than the current head);
-  // RunOne then re-examines the queue. A hook with nothing pending must
-  // return false or RunOne would spin.
-  using AdvanceHook = std::function<bool()>;
+  // model coalesces re-rate walks this way). RunOne/RunBatch invoke the
+  // hook whenever the clock is about to advance past `now()` — including
+  // when the queue has drained — and the hook returns true if it did work
+  // (it may have scheduled new events, possibly earlier than the current
+  // head); the queue then re-examines its head. A hook with nothing pending
+  // must return false or the pop would spin.
+  using AdvanceHook = TrivialInplaceFunction<bool(), 16>;
   void SetAdvanceHook(AdvanceHook hook) { advance_hook_ = std::move(hook); }
   [[nodiscard]] bool empty() const { return size_ == 0; }
   [[nodiscard]] SimTime now() const { return now_; }
   // Size of the slot table ever allocated (recycled handles included);
   // exposed so tests can assert the free list bounds growth.
-  [[nodiscard]] std::size_t allocated_slots() const {
-    return slot_generation_.size();
-  }
+  [[nodiscard]] std::size_t allocated_slots() const { return slots_.size(); }
   // Callbacks actually fired over the queue's lifetime (stale slot entries
   // skipped by lazy invalidation are not counted). The perf harness
   // divides this by wall-clock for its events/sec throughput metric.
   [[nodiscard]] std::uint64_t events_fired() const { return events_fired_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
-  struct Entry {
+  // What the heap orders: two words. `key` packs the push sequence number
+  // (high 32 bits — the FIFO tie-break at equal times) over the entry-pool
+  // index (low 32 bits; never decides an ordering, since sequence numbers
+  // are unique). 16-byte nodes put four per cache line, so a sift-down's
+  // child scan stays within one line. The callback (and the slot
+  // bookkeeping needed only at pop time) lives in the entry pool.
+  struct HeapNode {
     SimTime when;
-    std::uint64_t seq;          // global tie-break, preserves FIFO at equal t
-    Slot slot;                  // npos for one-shot events
-    std::uint64_t generation;   // must match slot generation to be live
-    Callback cb;
+    std::uint64_t key;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+  static constexpr std::uint64_t MakeKey(std::uint64_t seq,
+                                         std::uint32_t entry) {
+    return (seq << 32) | entry;
+  }
+  static constexpr std::uint32_t KeyEntry(std::uint64_t key) {
+    return static_cast<std::uint32_t>(key);
+  }
+  struct Entry {
+    Slot slot = 0;              // kNoSlot for one-shot events
+    std::uint64_t generation = 0;  // must match slot generation to be live
+    std::uint32_t heap_pos = 0;    // node's index in heap_ while queued
+    Callback cb;
   };
   static constexpr Slot kNoSlot = static_cast<Slot>(-1);
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::vector<std::uint64_t> slot_generation_;
-  std::vector<bool> slot_pending_;  // slot has a live queued entry
-  std::vector<bool> slot_free_;     // slot is parked on the free list
+  static bool Before(const HeapNode& a, const HeapNode& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.key < b.key;
+  }
+
+  // Sequence numbers share their word with the entry index, capping one
+  // queue lifetime (between Resets) at 2^32 pushes — loud, not silent.
+  std::uint64_t NextSeq() {
+    RESCCL_CHECK_MSG(next_seq_ < (std::uint64_t{1} << 32),
+                     "event sequence space exhausted (2^32 pushes)");
+    return next_seq_++;
+  }
+
+  void Push(SimTime when, Slot slot, std::uint64_t generation, Callback cb);
+  void PushNode(HeapNode n);
+  void PopNode();  // removes heap_[0]
+  // Restore heap order for the node at `i` after its key changed; every
+  // node moved has its entry's heap_pos updated.
+  void SiftUp(std::size_t i);
+  void SiftDown(std::size_t i);
+  // Drops stale entries off the front; counts them as popped + skipped.
+  void DropStale();
+  // Skip stale + run the advance hook until a live head exists (or the
+  // queue is truly drained). Returns whether a live head exists.
+  bool PrepareHead();
+  // Fires heap_[0], which must be live; advances the clock to its time.
+  void FireHead();
+
+  // All per-slot bookkeeping in one 16-byte record, so a reschedule's
+  // generation bump + pending test + entry lookup hit a single cache line.
+  struct SlotState {
+    std::uint64_t generation = 0;
+    std::uint32_t entry = 0;     // the live queued entry, valid when pending
+    std::uint8_t pending = 0;    // slot has a live queued entry
+    std::uint8_t parked = 0;     // slot is on the free list
+  };
+
+  std::vector<HeapNode> heap_;             // 4-ary min-heap
+  std::vector<Entry> entries_;             // side pool, index-stable
+  std::vector<std::uint32_t> free_entries_;
+  std::vector<SlotState> slots_;
   std::vector<Slot> free_slots_;
   AdvanceHook advance_hook_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_fired_ = 0;
   std::size_t size_ = 0;  // live events only
   SimTime now_ = SimTime::Zero();
+  Stats stats_;
 };
 
 }  // namespace resccl

@@ -9,6 +9,38 @@
 
 namespace resccl {
 
+void FluidNetwork::FlowSoA::PushDefault() {
+  span.emplace_back();
+  remaining.push_back(0.0);
+  rate.push_back(0.0);
+  cap.push_back(0.0);
+  last_update.emplace_back();
+  slot.push_back(0);
+  reseq.push_back(0);
+  visit_stamp.push_back(0);
+  active.push_back(0);
+  on_complete.emplace_back();
+#if defined(RESCCL_FLUID_ORACLE)
+  oracle.emplace_back();
+#endif
+}
+
+void FluidNetwork::FlowSoA::Clear() {
+  span.clear();
+  remaining.clear();
+  rate.clear();
+  cap.clear();
+  last_update.clear();
+  slot.clear();
+  reseq.clear();
+  visit_stamp.clear();
+  active.clear();
+  on_complete.clear();
+#if defined(RESCCL_FLUID_ORACLE)
+  oracle.clear();
+#endif
+}
+
 FluidNetwork::FluidNetwork(const Topology& topo, const CostModel& cost,
                            EventQueue& queue, const FaultPlan* faults,
                            bool naive_rerate)
@@ -22,10 +54,12 @@ FluidNetwork::FluidNetwork(const Topology& topo, const CostModel& cost,
   if (naive_rerate_) {
     resource_flows_.assign(n, {});
   } else {
-    resource_buckets_.assign(n, {});
+    resource_buckets_.resize(n);
   }
   usage_.assign(n, {});
   resource_busy_since_.assign(n, SimTime::Zero());
+  share_cache_z_.assign(n, -1);
+  share_cache_val_.assign(n, 0.0);
   mark_stamp_.assign(n, 0);
   mark_index_.assign(n, 0);
   // Deferred re-rates flush just before the clock advances (the naive
@@ -35,33 +69,73 @@ FluidNetwork::FluidNetwork(const Topology& topo, const CostModel& cost,
 
 FluidNetwork::~FluidNetwork() { queue_.SetAdvanceHook(nullptr); }
 
+void FluidNetwork::Reset(const FaultPlan* faults) {
+  faults_ = faults;
+  if (active_count_ != 0) {
+    // Dirty teardown (the previous run deadlocked mid-flight): the bucket
+    // tables and naive membership lists still hold members, so rebuild
+    // them the slow way. The clean-completion path below leaves them
+    // naturally empty with every slot parked on its free list.
+    for (ResourceBuckets& rb : resource_buckets_) {
+      rb.buckets.clear();
+      rb.free.clear();
+      rb.by_key.Clear();
+    }
+    for (std::vector<FlowIndex>& list : resource_flows_) list.clear();
+  }
+  flows_.Clear();
+  arena_.Reset();
+  free_flows_.clear();
+  std::fill(resource_active_.begin(), resource_active_.end(), 0);
+  std::fill(usage_.begin(), usage_.end(), ResourceUsage{});
+  std::fill(resource_busy_since_.begin(), resource_busy_since_.end(),
+            SimTime::Zero());
+  pending_marks_.clear();
+  pending_forced_.clear();
+  ++mark_epoch_;  // invalidates every mark_stamp_ entry wholesale
+  recompute_seq_ = 0;
+  batch_start_seq_ = 0;
+  walk_depth_ = 0;
+  in_flush_ = false;
+  active_count_ = 0;
+  rate_log_enabled_ = false;
+  rate_log_.clear();
+  stats_ = {};
+}
+
 FlowId FluidNetwork::StartFlow(const Path& path, std::int64_t bytes,
                                Bandwidth cap, CompletionFn on_complete) {
   RESCCL_CHECK_MSG(bytes > 0, "flow must carry at least one byte");
   const SimTime now = queue_.now();
 
-  std::size_t index;
+  FlowIndex index;
   if (!free_flows_.empty()) {
     index = free_flows_.back();
     free_flows_.pop_back();
     ++stats_.flows_recycled;
   } else {
-    flows_.emplace_back();
-    index = flows_.size() - 1;
+    flows_.PushDefault();
+    index = static_cast<FlowIndex>(flows_.size() - 1);
   }
-  Flow& f = flows_[index];
-  f.resources.assign(path.resources.begin(), path.resources.end());
-  f.remaining = static_cast<double>(bytes);
-  f.rate = 0.0;
-  f.cap = cap.bytes_per_us();
-  f.last_update = now;
-  f.slot = queue_.NewSlot();
-  f.on_complete = std::move(on_complete);
-  f.active = true;
+  flows_.span[index] =
+      arena_.Allocate({path.resources.data(), path.resources.size()});
+  flows_.remaining[index] = static_cast<double>(bytes);
+  flows_.rate[index] = 0.0;
+  flows_.cap[index] = cap.bytes_per_us();
+  flows_.last_update[index] = now;
+  flows_.slot[index] = queue_.NewSlot();
+  flows_.on_complete[index] = std::move(on_complete);
+  flows_.active[index] = 1;
   ++stats_.flows_started;
+#if defined(RESCCL_FLUID_ORACLE)
+  flows_.oracle[index].resources.assign(path.resources.begin(),
+                                        path.resources.end());
+  flows_.oracle[index].bucket_refs.clear();
+#endif
 
-  UpdateResourceCounts(f.resources, +1, now);
-  for (ResourceId r : f.resources) {
+  const std::span<const ResourceId> res = PathOf(index);
+  UpdateResourceCounts(res, +1, now);
+  for (ResourceId r : res) {
     if (naive_rerate_) {
       resource_flows_[static_cast<std::size_t>(r.value)].push_back(index);
     }
@@ -73,9 +147,9 @@ FlowId FluidNetwork::StartFlow(const Path& path, std::int64_t bytes,
   if (naive_rerate_) {
     // Seed behavior: walk every resource inline; the new flow is rated per
     // incidence and its peers slow down immediately. The walk copies the
-    // list before re-rating anything, so passing a reference into the
-    // (recyclable) entry is safe.
-    RecomputeAffected(f.resources, now);
+    // list before re-rating anything, so passing a view into the
+    // (recyclable) arena span is safe.
+    RecomputeAffected(res, now);
   } else {
     // Deferred: the new flow carries no rate until the flush just before
     // the clock advances — exact, because no simulated time passes in
@@ -95,29 +169,49 @@ double FluidNetwork::ResourceShare(ResourceId r, int z, SimTime now) const {
   // own contention penalty and any fault window active at `now`. Shared by
   // CurrentRate and the affected walk's binding test so both see the exact
   // same floating-point value for the same (resource, count, time).
+  //
+  // The two divides below are the hot path's only expensive arithmetic,
+  // and within one re-rate walk every flow sharing a resource asks for the
+  // same (r, z) — so the fault-free mode memoizes the last share per
+  // resource. Reusing the stored double is bit-exact by construction; with
+  // faults the share also depends on `now`, so that mode recomputes.
+  const auto ri = static_cast<std::size_t>(r.value);
+  if (faults_ == nullptr && share_cache_z_[ri] == z) {
+    return share_cache_val_[ri];
+  }
   const Resource& res = topo_.resource(r);
   const double eff =
       1.0 / (1.0 + res.contention_gamma * static_cast<double>(z - 1));
   double capacity = res.capacity.bytes_per_us();
   if (faults_ != nullptr) capacity *= faults_->CapacityScaleAt(r, now);
-  return capacity / static_cast<double>(z) * eff;
+  const double share = capacity / static_cast<double>(z) * eff;
+  if (faults_ == nullptr) {
+    share_cache_z_[ri] = z;
+    share_cache_val_[ri] = share;
+  }
+  return share;
 }
 
-double FluidNetwork::CurrentRate(const Flow& f, SimTime now) const {
+double FluidNetwork::CurrentRate(FlowIndex index, SimTime now) const {
   // The flow runs at the tightest per-resource constraint along its path,
-  // bounded by the driving TB's injection capability.
-  double rate = f.cap;
-  for (ResourceId r : f.resources) {
+  // bounded by the driving TB's injection capability. The walk reads one
+  // contiguous arena span plus the dense count array.
+  double rate = flows_.cap[index];
+  for (ResourceId r : PathOf(index)) {
     const int z = resource_active_[static_cast<std::size_t>(r.value)];
     rate = std::min(rate, ResourceShare(r, z, now));
   }
+#if defined(RESCCL_FLUID_ORACLE)
+  RESCCL_CHECK_MSG(rate == OracleRate(index, now),
+                   "SoA rate walk diverged from the pre-SoA oracle");
+#endif
   return rate;
 }
 
-SimTime FluidNetwork::NextFaultTransition(const Flow& f, SimTime now) const {
+SimTime FluidNetwork::NextFaultTransition(FlowIndex index, SimTime now) const {
   SimTime next = SimTime::Infinity();
   if (faults_ == nullptr) return next;
-  for (ResourceId r : f.resources) {
+  for (ResourceId r : PathOf(index)) {
     next = std::min(next, faults_->NextTransitionAfter(r, now));
   }
   return next;
@@ -157,7 +251,7 @@ void FluidNetwork::MarkResource(std::size_t ri, int z_before, int z_after) {
   }
 }
 
-void FluidNetwork::RecomputeAffected(const std::vector<ResourceId>& resources,
+void FluidNetwork::RecomputeAffected(std::span<const ResourceId> resources,
                                      SimTime now) {
   // Naive reference walk (the seed behavior): one full recompute per
   // (resource, flow) incidence — a flow sharing k resources with the
@@ -171,15 +265,15 @@ void FluidNetwork::RecomputeAffected(const std::vector<ResourceId>& resources,
   if (walk_scratch_.size() <= walk_depth_) walk_scratch_.emplace_back();
   WalkScratch& scratch = walk_scratch_[walk_depth_];
   ++walk_depth_;
-  // Copy before any re-rate: a nested completion can recycle the flow entry
-  // (or reallocate flows_) that `resources` points into.
+  // Copy before any re-rate: a nested completion can recycle the arena
+  // span (or grow the pool) that `resources` views into.
   scratch.resources.assign(resources.begin(), resources.end());
   for (ResourceId r : scratch.resources) {
     const auto ri = static_cast<std::size_t>(r.value);
     scratch.affected = resource_flows_[ri];  // copy: re-rates mutate it
     stats_.walk_visits += scratch.affected.size();
-    for (std::size_t fi : scratch.affected) {
-      if (flows_[fi].active) RecomputeFlow(fi, now, /*allow_skip=*/false);
+    for (FlowIndex fi : scratch.affected) {
+      if (flows_.active[fi] != 0) RecomputeFlow(fi, now, /*allow_skip=*/false);
     }
   }
   --walk_depth_;
@@ -194,72 +288,95 @@ std::uint64_t FluidNetwork::BucketKey(double rate, bool capped) {
   return key;
 }
 
-void FluidNetwork::InsertIntoBuckets(std::size_t index) {
-  Flow& f = flows_[index];
-  const bool capped = f.rate == f.cap;
-  const std::uint64_t key = BucketKey(f.rate, capped);
-  f.bucket_refs.clear();
-  f.bucket_refs.reserve(f.resources.size());
-  for (ResourceId r : f.resources) {
-    ResourceBuckets& rb = resource_buckets_[static_cast<std::size_t>(r.value)];
-    auto [it, inserted] = rb.by_key.try_emplace(key, 0);
+void FluidNetwork::InsertIntoBuckets(FlowIndex index) {
+  const double rate = flows_.rate[index];
+  const bool capped = rate == flows_.cap[index];
+  const std::uint64_t key = BucketKey(rate, capped);
+  const PathSpanArena::Span sp = flows_.span[index];
+  const std::span<const ResourceId> res = arena_.resources(sp);
+  const std::span<BucketRef> refs = arena_.bucket_refs(sp);
+  const std::uint64_t reseq = flows_.reseq[index];
+  for (std::size_t k = 0; k < res.size(); ++k) {
+    ResourceBuckets& rb =
+        resource_buckets_[static_cast<std::size_t>(res[k].value)];
+    bool inserted = false;
+    std::uint32_t& slot = rb.by_key.FindOrInsert(key, inserted);
     if (inserted) {
       if (!rb.free.empty()) {
-        it->second = rb.free.back();
+        slot = rb.free.back();
         rb.free.pop_back();
       } else {
-        it->second = static_cast<std::uint32_t>(rb.buckets.size());
+        slot = static_cast<std::uint32_t>(rb.buckets.size());
         rb.buckets.emplace_back();
       }
-      Bucket& fresh = rb.buckets[it->second];
-      fresh.rate = f.rate;
+      Bucket& fresh = rb.buckets[slot];
+      fresh.rate = rate;
       fresh.capped = capped;
       fresh.max_reseq = 0;
       fresh.flows.clear();
     }
-    Bucket& b = rb.buckets[it->second];
-    b.max_reseq = std::max(b.max_reseq, f.reseq);
-    f.bucket_refs.push_back(
-        {it->second, static_cast<std::uint32_t>(b.flows.size())});
+    Bucket& b = rb.buckets[slot];
+    b.max_reseq = std::max(b.max_reseq, reseq);
+    refs[k] = {slot, static_cast<std::uint32_t>(b.flows.size())};
     b.flows.push_back(index);
   }
+#if defined(RESCCL_FLUID_ORACLE)
+  flows_.oracle[index].bucket_refs.assign(refs.begin(), refs.end());
+#endif
 }
 
-void FluidNetwork::RemoveFromBuckets(std::size_t index) {
-  Flow& f = flows_[index];
-  RESCCL_CHECK(f.bucket_refs.size() == f.resources.size());
-  for (std::size_t k = 0; k < f.resources.size(); ++k) {
-    const auto ri = static_cast<std::size_t>(f.resources[k].value);
+void FluidNetwork::RemoveFromBuckets(FlowIndex index) {
+#if defined(RESCCL_FLUID_ORACLE)
+  OracleCheckRefs(index);
+#endif
+  const PathSpanArena::Span sp = flows_.span[index];
+  const std::span<const ResourceId> res = arena_.resources(sp);
+  const std::span<const BucketRef> refs =
+      std::as_const(arena_).bucket_refs(sp);
+  for (std::size_t k = 0; k < res.size(); ++k) {
+    const auto ri = static_cast<std::size_t>(res[k].value);
     ResourceBuckets& rb = resource_buckets_[ri];
-    Bucket& b = rb.buckets[f.bucket_refs[k].bucket];
-    const std::uint32_t pos = f.bucket_refs[k].pos;
-    const std::size_t moved = b.flows.back();
+    Bucket& b = rb.buckets[refs[k].bucket];
+    const std::uint32_t pos = refs[k].pos;
+    const FlowIndex moved = b.flows.back();
     b.flows[pos] = moved;
     b.flows.pop_back();
     if (moved != index) {
       // Patch the displaced flow's position for this resource (a path
       // visits a resource at most once, so the match is unique).
-      Flow& mf = flows_[moved];
-      for (std::size_t k2 = 0; k2 < mf.resources.size(); ++k2) {
-        if (static_cast<std::size_t>(mf.resources[k2].value) == ri) {
-          mf.bucket_refs[k2].pos = pos;
+      const PathSpanArena::Span msp = flows_.span[moved];
+      const std::span<const ResourceId> mres = arena_.resources(msp);
+      const std::span<BucketRef> mrefs = arena_.bucket_refs(msp);
+      for (std::size_t k2 = 0; k2 < mres.size(); ++k2) {
+        if (mres[k2] == res[k]) {
+          mrefs[k2].pos = pos;
+#if defined(RESCCL_FLUID_ORACLE)
+          flows_.oracle[moved].bucket_refs[k2].pos = pos;
+#endif
           break;
         }
       }
     }
     if (b.flows.empty()) {
-      rb.by_key.erase(BucketKey(b.rate, b.capped));
-      rb.free.push_back(f.bucket_refs[k].bucket);
+      rb.by_key.Erase(BucketKey(b.rate, b.capped));
+      rb.free.push_back(refs[k].bucket);
     }
   }
-  f.bucket_refs.clear();
+#if defined(RESCCL_FLUID_ORACLE)
+  flows_.oracle[index].bucket_refs.clear();
+#endif
 }
 
-void FluidNetwork::BumpBucketReseq(const Flow& f) {
-  for (std::size_t k = 0; k < f.resources.size(); ++k) {
-    const auto ri = static_cast<std::size_t>(f.resources[k].value);
-    Bucket& b = resource_buckets_[ri].buckets[f.bucket_refs[k].bucket];
-    b.max_reseq = std::max(b.max_reseq, f.reseq);
+void FluidNetwork::BumpBucketReseq(FlowIndex index) {
+  const PathSpanArena::Span sp = flows_.span[index];
+  const std::span<const ResourceId> res = arena_.resources(sp);
+  const std::span<const BucketRef> refs =
+      std::as_const(arena_).bucket_refs(sp);
+  const std::uint64_t reseq = flows_.reseq[index];
+  for (std::size_t k = 0; k < res.size(); ++k) {
+    Bucket& b = resource_buckets_[static_cast<std::size_t>(res[k].value)]
+                    .buckets[refs[k].bucket];
+    b.max_reseq = std::max(b.max_reseq, reseq);
   }
 }
 
@@ -318,14 +435,13 @@ bool FluidNetwork::FlushDeferred() {
     ++mark_epoch_;  // invalidates mark_stamp_ for the next pending batch
     const std::uint64_t epoch = ++visit_epoch_;
     flush_affected_.clear();
-    for (std::size_t fi : flush_forced_) {
+    for (FlowIndex fi : flush_forced_) {
       // A forced entry can already be inactive (started and drained by a
       // same-time wake) or recycled (its index re-handed to a newer flow,
       // which is itself forced) — the stamp and the active check below
       // make both harmless.
-      Flow& f = flows_[fi];
-      if (f.visit_stamp == epoch) continue;
-      f.visit_stamp = epoch;
+      if (flows_.visit_stamp[fi] == epoch) continue;
+      flows_.visit_stamp[fi] = epoch;
       flush_affected_.push_back(fi);
     }
     for (const Mark& m : flush_marks_) {
@@ -355,16 +471,15 @@ bool FluidNetwork::FlushDeferred() {
           stats_.binding_skips += b.flows.size();
           continue;
         }
-        for (std::size_t fi : b.flows) {
-          Flow& f = flows_[fi];
-          if (f.visit_stamp == epoch) continue;
-          f.visit_stamp = epoch;
+        for (FlowIndex fi : b.flows) {
+          if (flows_.visit_stamp[fi] == epoch) continue;
+          flows_.visit_stamp[fi] = epoch;
           flush_affected_.push_back(fi);
         }
       }
     }
-    for (std::size_t fi : flush_affected_) {
-      if (flows_[fi].active) RecomputeFlow(fi, now, /*allow_skip=*/true);
+    for (FlowIndex fi : flush_affected_) {
+      if (flows_.active[fi] != 0) RecomputeFlow(fi, now, /*allow_skip=*/true);
     }
     flush_marks_.clear();
     flush_forced_.clear();
@@ -373,28 +488,27 @@ bool FluidNetwork::FlushDeferred() {
   return true;
 }
 
-void FluidNetwork::RecomputeFlow(std::size_t index, SimTime now,
+void FluidNetwork::RecomputeFlow(FlowIndex index, SimTime now,
                                  bool allow_skip) {
   ++stats_.recompute_calls;
-  Flow& f = flows_[index];
-  RESCCL_CHECK(f.active);
+  RESCCL_CHECK(flows_.active[index] != 0);
   // Integrate progress at the old rate.
-  const double elapsed_us = (now - f.last_update).us();
-  f.remaining -= f.rate * elapsed_us;
-  f.last_update = now;
+  const double elapsed_us = (now - flows_.last_update[index]).us();
+  flows_.remaining[index] -= flows_.rate[index] * elapsed_us;
+  flows_.last_update[index] = now;
   // Sub-millibyte residue is floating-point noise from the rate
   // integrations, not payload; treat it as drained.
-  if (f.remaining <= 1e-3) {
+  if (flows_.remaining[index] <= 1e-3) {
     Complete(index, now);
     return;
   }
-  const double rate = CurrentRate(f, now);
+  const double rate = CurrentRate(index, now);
   RESCCL_CHECK_MSG(rate > 0.0, "flow starved: zero rate");
   // The stored rate is now verified (or about to be made) current with
   // respect to this timestamp's final counts; stamp the sequence so the
   // flush's binding test classifies this flow correctly next batch.
-  f.reseq = ++recompute_seq_;
-  if (allow_skip && rate == f.rate) {
+  flows_.reseq[index] = ++recompute_seq_;
+  if (allow_skip && rate == flows_.rate[index]) {
     // The bottleneck on f's path didn't actually move (e.g. a tied second
     // bottleneck still binds), so the queued completion/wake event is
     // still exact — keep it. Skipping is only legal from the flush: a
@@ -402,25 +516,25 @@ void FluidNetwork::RecomputeFlow(std::size_t index, SimTime now,
     // already been consumed and the flow must either complete or requeue.
     // The flow keeps its buckets, but their max_reseq must track the fresh
     // reseq or the next flush would misclassify it as pre-batch-rated.
-    if (!naive_rerate_) BumpBucketReseq(f);
+    if (!naive_rerate_) BumpBucketReseq(index);
     ++stats_.rate_unchanged_skips;
     return;
   }
-  if (rate_log_enabled_) LogRateChange(f, now, rate - f.rate);
+  if (rate_log_enabled_) LogRateChange(index, now, rate - flows_.rate[index]);
   if (!naive_rerate_) {
     // Refile under the new rate's bucket; an unchanged-rate wake (slot
     // events reaching here with allow_skip=false) keeps its buckets and
     // just propagates the fresh reseq.
-    if (rate != f.rate) {
+    if (rate != flows_.rate[index]) {
       RemoveFromBuckets(index);
-      f.rate = rate;
+      flows_.rate[index] = rate;
       InsertIntoBuckets(index);
     } else {
-      BumpBucketReseq(f);
+      BumpBucketReseq(index);
     }
   }
-  f.rate = rate;
-  const SimTime done = now + SimTime::Us(f.remaining / f.rate);
+  flows_.rate[index] = rate;
+  const SimTime done = now + SimTime::Us(flows_.remaining[index] / rate);
   // If the residue would drain in less than one representable time
   // increment, the completion event would fire at `now` again with zero
   // elapsed time and the flow would never progress — finish it here.
@@ -430,28 +544,28 @@ void FluidNetwork::RecomputeFlow(std::size_t index, SimTime now,
   }
   // A fault window opening or closing on the path before `done` changes the
   // rate mid-flight: wake up at the boundary and re-rate instead.
-  const SimTime transition = NextFaultTransition(f, now);
+  const SimTime transition = NextFaultTransition(index, now);
   const SimTime wake = std::min(done, transition);
   ++stats_.reschedules;
-  queue_.ScheduleSlot(f.slot, wake, [this, index](SimTime t) {
+  queue_.ScheduleSlot(flows_.slot[index], wake, [this, index](SimTime t) {
     RecomputeFlow(index, t, /*allow_skip=*/false);
   });
 }
 
-void FluidNetwork::Complete(std::size_t index, SimTime now) {
-  Flow& f = flows_[index];
-  RESCCL_CHECK(f.active);
+void FluidNetwork::Complete(FlowIndex index, SimTime now) {
+  RESCCL_CHECK(flows_.active[index] != 0);
   // Close out the rate log before zeroing: every flow's deltas telescope
   // back to zero here, so per-resource aggregates return to the pre-flow
   // level exactly.
-  if (rate_log_enabled_) LogRateChange(f, now, -f.rate);
-  f.active = false;
-  f.remaining = 0.0;
-  f.rate = 0.0;
-  queue_.FreeSlot(f.slot);
-  UpdateResourceCounts(f.resources, -1, now);
+  if (rate_log_enabled_) LogRateChange(index, now, -flows_.rate[index]);
+  flows_.active[index] = 0;
+  flows_.remaining[index] = 0.0;
+  flows_.rate[index] = 0.0;
+  queue_.FreeSlot(flows_.slot[index]);
+  const PathSpanArena::Span sp = flows_.span[index];
+  UpdateResourceCounts(arena_.resources(sp), -1, now);
   if (naive_rerate_) {
-    for (ResourceId r : f.resources) {
+    for (ResourceId r : arena_.resources(sp)) {
       auto& list = resource_flows_[static_cast<std::size_t>(r.value)];
       const auto it = std::find(list.begin(), list.end(), index);
       RESCCL_CHECK(it != list.end());
@@ -462,24 +576,29 @@ void FluidNetwork::Complete(std::size_t index, SimTime now) {
     RemoveFromBuckets(index);
   }
   --active_count_;
-  CompletionFn cb = std::move(f.on_complete);
+  CompletionFn cb = std::move(flows_.on_complete[index]);
   // The entry is recyclable from here on — a StartFlow nested in the walk
   // below (via a peer's completion callback) may hand it out again — so
-  // don't touch `f` past this point.
+  // don't touch the flow's lanes past this point.
   free_flows_.push_back(index);
-  // Peers sharing resources speed up now that this flow is gone. In the
-  // incremental mode UpdateResourceCounts above already marked the path
-  // dirty and the flush before the next clock advance re-rates them; the
-  // naive reference walks inline (it copies the list before re-rating
-  // anything, so the reference into the recyclable entry is safe).
-  if (naive_rerate_) RecomputeAffected(flows_[index].resources, now);
+  if (naive_rerate_) {
+    // Peers sharing resources speed up now that this flow is gone; the
+    // naive reference walks inline. It copies the list before re-rating
+    // anything, so the view into the not-yet-released span is safe; the
+    // span itself is only released afterwards, so no nested StartFlow can
+    // alias it mid-walk.
+    RecomputeAffected(arena_.resources(sp), now);
+  }
+  // In the incremental mode UpdateResourceCounts above already marked the
+  // path dirty and the flush before the next clock advance re-rates peers.
+  arena_.Release(sp);
   // Fire completion last: the callback may start new flows.
   if (cb) cb(now);
 }
 
-void FluidNetwork::LogRateChange(const Flow& f, SimTime now, double delta) {
+void FluidNetwork::LogRateChange(FlowIndex index, SimTime now, double delta) {
   if (delta == 0.0) return;
-  for (ResourceId r : f.resources) {
+  for (ResourceId r : PathOf(index)) {
     rate_log_.push_back({now, r, delta});
   }
 }
@@ -491,7 +610,74 @@ double FluidNetwork::FlowRate(FlowId id) const {
   const_cast<FluidNetwork*>(this)->FlushDeferred();
   const auto i = static_cast<std::size_t>(id.value);
   RESCCL_CHECK(i < flows_.size());
-  return flows_[i].active ? flows_[i].rate : 0.0;
+  return flows_.active[i] != 0 ? flows_.rate[i] : 0.0;
 }
+
+void FluidNetwork::DebugValidate() const {
+  std::uint64_t live = 0;
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    if (flows_.active[i] == 0) continue;
+    ++live;
+    const PathSpanArena::Span sp = flows_.span[i];
+    RESCCL_CHECK_MSG(arena_.SpanInBounds(sp), "active flow span out of pool");
+    const std::span<const ResourceId> res = arena_.resources(sp);
+    RESCCL_CHECK(!res.empty());
+    if (naive_rerate_) {
+      for (ResourceId r : res) {
+        const auto& list = resource_flows_[static_cast<std::size_t>(r.value)];
+        RESCCL_CHECK(std::find(list.begin(), list.end(),
+                               static_cast<FlowIndex>(i)) != list.end());
+      }
+      continue;
+    }
+    const std::span<const BucketRef> refs = arena_.bucket_refs(sp);
+    for (std::size_t k = 0; k < res.size(); ++k) {
+      const ResourceBuckets& rb =
+          resource_buckets_[static_cast<std::size_t>(res[k].value)];
+      RESCCL_CHECK(refs[k].bucket < rb.buckets.size());
+      const Bucket& b = rb.buckets[refs[k].bucket];
+      RESCCL_CHECK_MSG(refs[k].pos < b.flows.size() &&
+                           b.flows[refs[k].pos] == static_cast<FlowIndex>(i),
+                       "bucket ref does not point back at its flow");
+      RESCCL_CHECK_MSG(b.rate == flows_.rate[i],
+                       "flow filed under a bucket with a foreign rate");
+    }
+  }
+  RESCCL_CHECK_MSG(static_cast<int>(live) == active_count_,
+                   "active flow count out of sync");
+  RESCCL_CHECK_MSG(arena_.live_spans() == live,
+                   "arena live-span count out of sync with active flows");
+}
+
+#if defined(RESCCL_FLUID_ORACLE)
+double FluidNetwork::OracleRate(FlowIndex index, SimTime now) const {
+  const FlowSoA::OracleFlow& of = flows_.oracle[index];
+  double rate = flows_.cap[index];
+  for (ResourceId r : of.resources) {
+    const int z = resource_active_[static_cast<std::size_t>(r.value)];
+    rate = std::min(rate, ResourceShare(r, z, now));
+  }
+  return rate;
+}
+
+void FluidNetwork::OracleCheckRefs(FlowIndex index) const {
+  const PathSpanArena::Span sp = flows_.span[index];
+  const std::span<const ResourceId> res = arena_.resources(sp);
+  const std::span<const BucketRef> refs = arena_.bucket_refs(sp);
+  const FlowSoA::OracleFlow& of = flows_.oracle[index];
+  RESCCL_CHECK_MSG(of.resources.size() == res.size(),
+                   "oracle path mirror diverged in length");
+  for (std::size_t k = 0; k < res.size(); ++k) {
+    RESCCL_CHECK_MSG(of.resources[k] == res[k],
+                     "oracle path mirror diverged in contents");
+  }
+  RESCCL_CHECK(of.bucket_refs.size() == res.size());
+  for (std::size_t k = 0; k < res.size(); ++k) {
+    RESCCL_CHECK_MSG(of.bucket_refs[k].bucket == refs[k].bucket &&
+                         of.bucket_refs[k].pos == refs[k].pos,
+                     "oracle bucket-ref mirror diverged");
+  }
+}
+#endif
 
 }  // namespace resccl

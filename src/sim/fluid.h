@@ -48,6 +48,17 @@
 // rates diverge (fault windows, asymmetric paths) just occupy more buckets,
 // degrading gracefully toward the per-flow walk.
 //
+// Memory layout (docs/simulation_model.md, "Memory layout and allocation
+// discipline"): flow state is struct-of-arrays. Per-flow path resources
+// and bucket refs live in one shared CSR arena (sim/span_arena.h) as
+// {begin, len} spans instead of per-flow heap vectors; the per-resource
+// bucket-key index is an open-addressed flat table (sim/flat_map.h); the
+// hot scalars (rate, remaining, last_update, span) are parallel arrays the
+// flush walks contiguously. With RESCCL_FLUID_ORACLE defined, every flow
+// additionally keeps the pre-SoA per-flow vectors as a mirror and the rate
+// walk cross-checks the two layouts bit-exactly — the build-time oracle
+// the arena property test runs under.
+//
 // With a FaultPlan attached, capacity(r) additionally carries the plan's
 // time-varying degradation scale; flows crossing a fault-window boundary are
 // re-rated at the boundary instead of waiting for their (now stale)
@@ -56,15 +67,16 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
+#include "common/inplace_function.h"
 #include "common/types.h"
 #include "common/units.h"
 #include "sim/cost_model.h"
 #include "sim/event_queue.h"
+#include "sim/flat_map.h"
+#include "sim/span_arena.h"
 #include "topology/topology.h"
 
 namespace resccl {
@@ -76,7 +88,16 @@ using FlowId = Id<FlowTag>;
 
 class FluidNetwork {
  public:
-  using CompletionFn = std::function<void(SimTime now)>;
+  // Inline storage: completion callbacks ([this, transfer]-sized captures)
+  // must never heap-allocate on the StartFlow path. Trivially-copyable so
+  // recycling a completed flow's entry is a byte copy, not a manager call.
+  using CompletionFn = TrivialInplaceFunction<void(SimTime now), 48>;
+
+#if defined(RESCCL_FLUID_ORACLE)
+  static constexpr bool kOracleEnabled = true;
+#else
+  static constexpr bool kOracleEnabled = false;
+#endif
 
   // Re-rate accounting, monotonic over the network's lifetime. The perf
   // harness (bench/micro_sim) asserts the incremental walk's
@@ -107,6 +128,13 @@ class FluidNetwork {
   FluidNetwork(const FluidNetwork&) = delete;
   FluidNetwork& operator=(const FluidNetwork&) = delete;
 
+  // Returns the network to its just-constructed state under a (possibly
+  // different) fault plan, keeping every warmed buffer's capacity — flow
+  // arrays, span arena, bucket tables, scratch — so a reused network runs
+  // the next same-shaped program without allocating. The caller must Reset
+  // the event queue alongside (slots are not freed individually here).
+  void Reset(const FaultPlan* faults);
+
   // Starts a flow of `bytes` over `path` with injection cap `cap`;
   // `on_complete` fires exactly once, when the last byte drains. The
   // path's resource list is copied into the flow (the caller's Path only
@@ -119,6 +147,8 @@ class FluidNetwork {
   [[nodiscard]] double FlowRate(FlowId id) const;
   [[nodiscard]] int ActiveFlowCount() const { return active_count_; }
   [[nodiscard]] const Stats& stats() const { return stats_; }
+  // Arena accounting for the property tests: pool cells and live spans.
+  [[nodiscard]] const PathSpanArena& arena() const { return arena_; }
 
   // Per-resource accounting, used for link-utilization metrics.
   struct ResourceUsage {
@@ -151,29 +181,15 @@ class FluidNetwork {
     return std::move(rate_log_);
   }
 
- private:
-  // Where one flow sits inside one resource's bucket table: bucket index
-  // and position within the bucket's member list. Parallel to
-  // Flow::resources (aggregated incremental mode only).
-  struct BucketRef {
-    std::uint32_t bucket = 0;
-    std::uint32_t pos = 0;
-  };
+  // Structural invariants of the SoA layout, checked in O(live state):
+  // every active flow's span in bounds, every bucket ref pointing at a
+  // bucket that lists the flow at that position, bucket key index
+  // consistent with bucket contents. Test hook (throws via RESCCL_CHECK);
+  // not called on any hot path.
+  void DebugValidate() const;
 
-  struct Flow {
-    // Copied from the starting Path; capacity is recycled with the entry.
-    std::vector<ResourceId> resources;
-    std::vector<BucketRef> bucket_refs;  // parallel to `resources`
-    double remaining = 0.0;   // bytes
-    double rate = 0.0;        // bytes/us
-    double cap = 0.0;         // bytes/us
-    SimTime last_update;
-    EventQueue::Slot slot = 0;
-    CompletionFn on_complete;
-    std::uint64_t visit_stamp = 0;  // epoch of the last flush-walk visit
-    std::uint64_t reseq = 0;  // recompute sequence of the last re-rate
-    bool active = false;
-  };
+ private:
+  using FlowIndex = std::uint32_t;
 
   // One aggregate: the flows on one resource sharing a bit-identical rate
   // and cap-bound status. The flush's binding test runs once per bucket;
@@ -183,7 +199,7 @@ class FluidNetwork {
     double rate = 0.0;
     bool capped = false;  // every member at its injection cap
     std::uint64_t max_reseq = 0;
-    std::vector<std::size_t> flows;
+    std::vector<FlowIndex> flows;
   };
 
   // Per-resource bucket table. Bucket indices are stable (a free list
@@ -194,7 +210,37 @@ class FluidNetwork {
   struct ResourceBuckets {
     std::vector<Bucket> buckets;
     std::vector<std::uint32_t> free;
-    std::unordered_map<std::uint64_t, std::uint32_t> by_key;
+    FlatMap64 by_key;
+  };
+
+  // Flow state, struct-of-arrays: parallel vectors indexed by flow id. The
+  // flush's hot reads (rate, visit_stamp, span) sit in their own dense
+  // arrays; the path itself lives in the shared CSR arena. Cold per-flow
+  // state (the completion callback) stays out of the hot lanes.
+  struct FlowSoA {
+    std::vector<PathSpanArena::Span> span;
+    std::vector<double> remaining;      // bytes
+    std::vector<double> rate;           // bytes/us
+    std::vector<double> cap;            // bytes/us
+    std::vector<SimTime> last_update;
+    std::vector<EventQueue::Slot> slot;
+    std::vector<std::uint64_t> reseq;   // recompute seq of the last re-rate
+    std::vector<std::uint64_t> visit_stamp;  // epoch of last flush visit
+    std::vector<std::uint8_t> active;
+    std::vector<CompletionFn> on_complete;
+#if defined(RESCCL_FLUID_ORACLE)
+    // Pre-SoA mirror: the per-flow heap vectors the arena replaced. The
+    // oracle build maintains them in lockstep and cross-checks every walk.
+    struct OracleFlow {
+      std::vector<ResourceId> resources;
+      std::vector<BucketRef> bucket_refs;
+    };
+    std::vector<OracleFlow> oracle;
+#endif
+
+    [[nodiscard]] std::size_t size() const { return rate.size(); }
+    void PushDefault();
+    void Clear();
   };
 
   // One dirty resource within the current timestamp: the count it had
@@ -215,22 +261,25 @@ class FluidNetwork {
   // allocates nothing in steady state.
   struct WalkScratch {
     std::vector<ResourceId> resources;   // stable copy of the trigger path
-    std::vector<std::size_t> affected;   // deduped flow indices to re-rate
+    std::vector<FlowIndex> affected;     // deduped flow indices to re-rate
   };
+
+  [[nodiscard]] std::span<const ResourceId> PathOf(FlowIndex index) const {
+    return arena_.resources(flows_.span[index]);
+  }
 
   void UpdateResourceCounts(std::span<const ResourceId> resources, int delta,
                             SimTime now);
   // Naive reference walk only; the incremental path defers to FlushDeferred.
-  void RecomputeAffected(const std::vector<ResourceId>& resources,
-                         SimTime now);
+  void RecomputeAffected(std::span<const ResourceId> resources, SimTime now);
   // Aggregated incremental mode: (re)files the flow under the bucket
   // matching its current rate on every path resource / unfiles it (on
   // completion or before a rate change refiles it).
-  void InsertIntoBuckets(std::size_t index);
-  void RemoveFromBuckets(std::size_t index);
+  void InsertIntoBuckets(FlowIndex index);
+  void RemoveFromBuckets(FlowIndex index);
   // Rate-unchanged skips still advance the flow's reseq; its buckets'
   // max_reseq must follow for the flush's mid-batch classification.
-  void BumpBucketReseq(const Flow& f);
+  void BumpBucketReseq(FlowIndex index);
   [[nodiscard]] static std::uint64_t BucketKey(double rate, bool capped);
   // Records a count change on one resource for the pending flush batch.
   void MarkResource(std::size_t ri, int z_before, int z_after);
@@ -238,26 +287,40 @@ class FluidNetwork {
   // did any work. Loops until clean: re-rates can complete flows whose
   // callbacks start new ones, all still at the current timestamp.
   bool FlushDeferred();
-  void RecomputeFlow(std::size_t index, SimTime now, bool allow_skip);
-  void Complete(std::size_t index, SimTime now);
-  void LogRateChange(const Flow& f, SimTime now, double delta);
+  void RecomputeFlow(FlowIndex index, SimTime now, bool allow_skip);
+  void Complete(FlowIndex index, SimTime now);
+  void LogRateChange(FlowIndex index, SimTime now, double delta);
   [[nodiscard]] double ResourceShare(ResourceId r, int z, SimTime now) const;
-  [[nodiscard]] double CurrentRate(const Flow& f, SimTime now) const;
-  [[nodiscard]] SimTime NextFaultTransition(const Flow& f, SimTime now) const;
+  [[nodiscard]] double CurrentRate(FlowIndex index, SimTime now) const;
+  [[nodiscard]] SimTime NextFaultTransition(FlowIndex index,
+                                            SimTime now) const;
+#if defined(RESCCL_FLUID_ORACLE)
+  // Rate recomputed over the pre-SoA mirror's own vectors; the SoA walk
+  // must match it bit-exactly (checked at every CurrentRate call).
+  [[nodiscard]] double OracleRate(FlowIndex index, SimTime now) const;
+  void OracleCheckRefs(FlowIndex index) const;
+#endif
 
   const Topology& topo_;
   const CostModel& cost_;
   EventQueue& queue_;
   const FaultPlan* faults_ = nullptr;
-  std::vector<Flow> flows_;
-  std::vector<std::size_t> free_flows_;              // recyclable entries
+  FlowSoA flows_;
+  PathSpanArena arena_;                              // path + bucket-ref CSR
+  std::vector<FlowIndex> free_flows_;                // recyclable entries
   std::vector<int> resource_active_;                 // per-resource flow count
   // Per-resource active flow ids — naive reference mode only; the
   // aggregated incremental mode tracks membership via resource_buckets_.
-  std::vector<std::vector<std::size_t>> resource_flows_;
+  std::vector<std::vector<FlowIndex>> resource_flows_;
   std::vector<ResourceBuckets> resource_buckets_;    // incremental mode only
   std::vector<ResourceUsage> usage_;
   std::vector<SimTime> resource_busy_since_;
+  // Last (count → share) computed per resource, valid only in the
+  // fault-free mode (shares there are pure in (resource, count)). Written
+  // from the logically-const ResourceShare; never needs invalidation — the
+  // topology is fixed for the network's lifetime.
+  mutable std::vector<int> share_cache_z_;
+  mutable std::vector<double> share_cache_val_;
   std::deque<WalkScratch> walk_scratch_;
   std::size_t walk_depth_ = 0;
   std::uint64_t visit_epoch_ = 0;
@@ -267,15 +330,15 @@ class FluidNetwork {
   // pending_forced_ holds flows started this timestamp, which have no rate
   // yet and must be rated at flush regardless of the binding test.
   std::vector<Mark> pending_marks_;
-  std::vector<std::size_t> pending_forced_;
+  std::vector<FlowIndex> pending_forced_;
   std::vector<std::uint64_t> mark_stamp_;
   std::vector<std::size_t> mark_index_;
   std::uint64_t mark_epoch_ = 1;
   std::uint64_t recompute_seq_ = 0;
   std::uint64_t batch_start_seq_ = 0;  // recompute_seq_ when batch opened
   std::vector<Mark> flush_marks_;              // flush scratch (reused)
-  std::vector<std::size_t> flush_forced_;      // flush scratch (reused)
-  std::vector<std::size_t> flush_affected_;    // flush scratch (reused)
+  std::vector<FlowIndex> flush_forced_;        // flush scratch (reused)
+  std::vector<FlowIndex> flush_affected_;      // flush scratch (reused)
   bool in_flush_ = false;
   int active_count_ = 0;
   bool naive_rerate_ = false;

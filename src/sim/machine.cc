@@ -19,8 +19,10 @@ DeadlockError::DeadlockError(DeadlockReport report)
 struct SimMachine::TransferState {
   const Path* path = nullptr;
   int deps_remaining = 0;
-  std::vector<int> dependents;       // transfers waiting on this one
   // Rendezvous bookkeeping: which TB arrived on each side, and when.
+  // (Dependent edges live in the machine's shared CSR pool, not here —
+  // keeping this struct allocation-free so the per-run assign reuses the
+  // vector's buffer without touching the heap.)
   std::size_t send_tb = SIZE_MAX;
   std::size_t recv_tb = SIZE_MAX;
   SimTime send_arrival;
@@ -36,6 +38,7 @@ struct SimMachine::TbState {
   bool blocked = false;              // waiting inside a transfer or barrier
   FaultPlan::Stall stall;            // injected pause (duration zero: none)
   bool stall_pending = false;
+  SimTime seg_cursor;                // end of the TB's last emitted segment
   TbStats stats;
 };
 
@@ -58,16 +61,34 @@ const FluidNetwork& SimMachine::network() const {
 
 SimRunReport SimMachine::Run(const SimProgram& program,
                              const FaultPlan* faults) {
+  SimRunReport report;
+  RunInto(program, faults, report);
+  return report;
+}
+
+void SimMachine::RunInto(const SimProgram& program, const FaultPlan* faults,
+                         SimRunReport& out) {
   program_ = &program;
   faults_ = (faults != nullptr && !faults->empty()) ? faults : nullptr;
   stall_slices_.clear();
   barrier_waits_.clear();
-  queue_.emplace();
-  net_.emplace(topo_, cost_, *queue_, faults_, naive_rerate_);
+  // Reuse the queue and the network across runs: both Reset to their
+  // just-constructed state while keeping every warmed buffer, so a repeated
+  // same-shaped run touches no allocator. (A deadlocked previous run left
+  // live flows behind; FluidNetwork::Reset handles that too.)
+  if (!queue_.has_value()) {
+    queue_.emplace();
+    net_.emplace(topo_, cost_, *queue_, faults_, naive_rerate_);
+  } else {
+    queue_->Reset();
+    net_->Reset(faults_);
+  }
   if (observe_) net_->EnableRateLog();
 
-  transfers_.assign(program.transfers.size(), {});
-  for (std::size_t t = 0; t < program.transfers.size(); ++t) {
+  const std::size_t nt = program.transfers.size();
+  transfers_.assign(nt, {});
+  dep_heads_.assign(nt + 1, 0);
+  for (std::size_t t = 0; t < nt; ++t) {
     const SimTransferDecl& decl = program.transfers[t];
     RESCCL_CHECK_MSG(decl.src != decl.dst, "transfer " << t << " is a self-loop");
     RESCCL_CHECK(decl.bytes > 0);
@@ -75,9 +96,19 @@ SimRunReport SimMachine::Run(const SimProgram& program,
     st.path = &topo_.PathBetween(decl.src, decl.dst);
     st.deps_remaining = static_cast<int>(decl.deps.size());
     for (int d : decl.deps) {
-      RESCCL_CHECK(d >= 0 && static_cast<std::size_t>(d) < transfers_.size());
-      transfers_[static_cast<std::size_t>(d)].dependents.push_back(
-          static_cast<int>(t));
+      RESCCL_CHECK(d >= 0 && static_cast<std::size_t>(d) < nt);
+      ++dep_heads_[static_cast<std::size_t>(d) + 1];
+    }
+  }
+  // Counting pass -> prefix sum -> fill: the classic CSR build, with the
+  // cursor copy in reusable scratch.
+  for (std::size_t t = 0; t < nt; ++t) dep_heads_[t + 1] += dep_heads_[t];
+  dep_edges_.resize(dep_heads_[nt]);
+  dep_fill_.assign(dep_heads_.begin(), dep_heads_.end() - 1);
+  for (std::size_t t = 0; t < nt; ++t) {
+    for (int d : program.transfers[t].deps) {
+      dep_edges_[dep_fill_[static_cast<std::size_t>(d)]++] =
+          static_cast<std::int32_t>(t);
     }
   }
 
@@ -90,7 +121,16 @@ SimRunReport SimMachine::Run(const SimProgram& program,
       tbs_[i].stall_pending = tbs_[i].stall.duration > SimTime::Zero();
     }
   }
-  barriers_.assign(program.barrier_parties.size(), {});
+  barriers_.resize(program.barrier_parties.size());
+  for (BarrierState& bar : barriers_) {
+    bar.waiting = 0;
+    bar.parked.clear();
+    bar.parked_since.clear();
+  }
+  if (observe_) {
+    segments_.resize(program.tbs.size());
+    for (std::vector<SimRunReport::TimelineSegment>& s : segments_) s.clear();
+  }
   unfinished_tbs_ = static_cast<int>(program.tbs.size());
 
   // Kick every TB off at t = 0.
@@ -99,13 +139,23 @@ SimRunReport SimMachine::Run(const SimProgram& program,
                      [this, i](SimTime now) { AdvanceTb(i, now); });
   }
 
+  // Drain in timestamp batches: one pop loop per distinct simulated time
+  // (plus one advance-hook consultation), instead of re-establishing the
+  // heap front per event.
   std::uint64_t events = 0;
+  std::uint64_t next_trace = 10'000'000;
   const bool trace = std::getenv("RESCCL_SIM_TRACE") != nullptr;
-  while (queue_->RunOne()) {
-    if (trace && (++events % 10'000'000) == 0) {
-      std::fprintf(stderr, "[sim] %llu events, t=%.3f ms, %d TBs open\n",
-                   static_cast<unsigned long long>(events),
-                   queue_->now().ms(), unfinished_tbs_);
+  for (;;) {
+    const std::uint32_t fired = queue_->RunBatch();
+    if (fired == 0) break;
+    if (trace) {
+      events += fired;
+      if (events >= next_trace) {
+        std::fprintf(stderr, "[sim] %llu events, t=%.3f ms, %d TBs open\n",
+                     static_cast<unsigned long long>(events),
+                     queue_->now().ms(), unfinished_tbs_);
+        next_trace += 10'000'000;
+      }
     }
   }
 
@@ -113,25 +163,34 @@ SimRunReport SimMachine::Run(const SimProgram& program,
     throw DeadlockError(BuildDeadlockReport());
   }
 
-  SimRunReport report;
-  report.makespan = SimTime::Zero();
-  report.tbs.reserve(tbs_.size());
+  out.makespan = SimTime::Zero();
+  out.tbs.clear();
+  out.tbs.reserve(tbs_.size());
   for (const TbState& tb : tbs_) {
-    report.makespan = std::max(report.makespan, tb.stats.finish);
-    report.tbs.push_back(tb.stats);
+    out.makespan = std::max(out.makespan, tb.stats.finish);
+    out.tbs.push_back(tb.stats);
   }
-  report.transfers.reserve(transfers_.size());
+  out.transfers.clear();
+  out.transfers.reserve(transfers_.size());
   for (const TransferState& t : transfers_) {
-    report.transfers.push_back(t.stats);
+    out.transfers.push_back(t.stats);
   }
-  report.stalls = stall_slices_;
-  report.barrier_waits = barrier_waits_;
+  out.stalls.assign(stall_slices_.begin(), stall_slices_.end());
+  out.barrier_waits.assign(barrier_waits_.begin(), barrier_waits_.end());
+  if (observe_) {
+    // Hand the streams over wholesale; with a reused report the buffers
+    // ping-pong between the machine and the report, both staying warm.
+    out.segments.swap(segments_);
+  } else {
+    out.segments.clear();
+  }
   const std::span<const FluidNetwork::ResourceUsage> usage = net_->all_usage();
-  report.link_usage.assign(usage.begin(), usage.end());
-  if (observe_) report.link_rates = net_->TakeRateLog();
-  report.events = queue_->events_fired();
-  report.fluid = net_->stats();
-  return report;
+  out.link_usage.assign(usage.begin(), usage.end());
+  out.link_rates.clear();
+  if (observe_) out.link_rates = net_->TakeRateLog();
+  out.events = queue_->events_fired();
+  out.fluid = net_->stats();
+  out.queue = queue_->stats();
 }
 
 void SimMachine::AdvanceTb(std::size_t tb, SimTime now) {
@@ -151,6 +210,11 @@ void SimMachine::AdvanceTb(std::size_t tb, SimTime now) {
     state.stats.fault_stall += state.stall.duration;
     stall_slices_.push_back(
         {static_cast<int>(tb), now, state.stall.duration});
+    if (observe_) {
+      EmitSegment(tb, SimRunReport::TimelineSegment::Kind::kStall, now,
+                  now + state.stall.duration, -1, -1, false);
+      state.seg_cursor = now + state.stall.duration;
+    }
     queue_->Schedule(now + state.stall.duration,
                      [this, tb](SimTime t) { AdvanceTb(tb, t); });
     return;
@@ -189,6 +253,14 @@ void SimMachine::Arrive(std::size_t tb, std::size_t instr_index, SimTime now) {
         tbs_[peer].stats.sync += now - bar.parked_since[i];
         barrier_waits_.push_back({static_cast<int>(peer), instr.barrier,
                                   bar.parked_since[i], now});
+        if (observe_) {
+          using Kind = SimRunReport::TimelineSegment::Kind;
+          EmitSegment(peer, Kind::kOverhead, tbs_[peer].seg_cursor,
+                      bar.parked_since[i], -1, -1, false);
+          EmitSegment(peer, Kind::kSync, bar.parked_since[i], now, -1,
+                      instr.barrier, false);
+          tbs_[peer].seg_cursor = now;
+        }
         queue_->Schedule(now,
                          [this, peer](SimTime t) { AdvanceTb(peer, t); });
       }
@@ -284,17 +356,51 @@ void SimMachine::OnTransferComplete(std::size_t transfer, SimTime now) {
   const SimTime busy = now - tr.stats.start;
   tbs_[tr.send_tb].stats.busy += busy;
   tbs_[tr.recv_tb].stats.busy += busy;
+  if (observe_) {
+    // The whole overhead/sync/inflight tiling of both sides is resolved
+    // now that the completion time is known; emit it in one go (the TB
+    // was blocked in this transfer the entire time, so its stream stays
+    // chronological).
+    using Kind = SimRunReport::TimelineSegment::Kind;
+    const int tid = static_cast<int>(transfer);
+    EmitSegment(tr.send_tb, Kind::kOverhead, tbs_[tr.send_tb].seg_cursor,
+                tr.stats.send_arrival, tid, -1, true);
+    EmitSegment(tr.send_tb, Kind::kSync, tr.stats.send_arrival,
+                tr.stats.start, tid, -1, true);
+    EmitSegment(tr.send_tb, Kind::kInflight, tr.stats.start, now, tid, -1,
+                true);
+    tbs_[tr.send_tb].seg_cursor = now;
+    EmitSegment(tr.recv_tb, Kind::kOverhead, tbs_[tr.recv_tb].seg_cursor,
+                tr.stats.recv_arrival, tid, -1, false);
+    EmitSegment(tr.recv_tb, Kind::kSync, tr.stats.recv_arrival,
+                tr.stats.start, tid, -1, false);
+    EmitSegment(tr.recv_tb, Kind::kInflight, tr.stats.start, now, tid, -1,
+                false);
+    tbs_[tr.recv_tb].seg_cursor = now;
+  }
 
-  for (int dep : tr.dependents) {
-    TransferState& d = transfers_[static_cast<std::size_t>(dep)];
+  for (std::uint32_t e = dep_heads_[transfer]; e < dep_heads_[transfer + 1];
+       ++e) {
+    const auto dep = static_cast<std::size_t>(dep_edges_[e]);
+    TransferState& d = transfers_[dep];
     --d.deps_remaining;
     RESCCL_CHECK(d.deps_remaining >= 0);
-    TryStart(static_cast<std::size_t>(dep), now);
+    TryStart(dep, now);
   }
   const std::size_t send_tb = tr.send_tb;
   const std::size_t recv_tb = tr.recv_tb;
   queue_->Schedule(now, [this, send_tb](SimTime t) { AdvanceTb(send_tb, t); });
   queue_->Schedule(now, [this, recv_tb](SimTime t) { AdvanceTb(recv_tb, t); });
+}
+
+void SimMachine::EmitSegment(std::size_t tb,
+                             SimRunReport::TimelineSegment::Kind kind,
+                             SimTime begin, SimTime end, int transfer,
+                             int barrier, bool is_send) {
+  RESCCL_CHECK_MSG(end >= begin, "segment runs backwards");
+  if (end > begin) {
+    segments_[tb].push_back({kind, is_send, transfer, barrier, begin, end});
+  }
 }
 
 DeadlockReport SimMachine::BuildDeadlockReport() const {

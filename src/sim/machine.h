@@ -143,11 +143,29 @@ struct SimRunReport {
     SimTime release;
   };
 
+  // One contiguous span of one TB's lifetime. Only recorded with
+  // set_observe(true); the machine emits them incrementally as events
+  // resolve (transfer completion, barrier release, stall expiry), so the
+  // critical-path analyzer (obs/critical_path.h) consumes them directly
+  // instead of replaying the program. Per TB the spans are chronological,
+  // zero-length spans are dropped, and the stored spans tile [0, finish]
+  // exactly — the same contract the analyzer's replay fallback produces.
+  struct TimelineSegment {
+    enum class Kind : std::uint8_t { kOverhead, kSync, kInflight, kStall };
+    Kind kind = Kind::kSync;
+    bool is_send = false;
+    int transfer = -1;  // inflight / transfer-sync / transfer-overhead spans
+    int barrier = -1;   // barrier-sync spans
+    SimTime begin;
+    SimTime end;
+  };
+
   SimTime makespan;
   std::vector<TbStats> tbs;
   std::vector<TransferStats> transfers;
   std::vector<StallSlice> stalls;  // empty on clean runs
   std::vector<BarrierWait> barrier_waits;
+  std::vector<std::vector<TimelineSegment>> segments;  // per TB, observe only
 
   // Per-resource carried-bytes / busy-time totals, indexed by ResourceId.
   // Always recorded (one entry per topology resource).
@@ -162,6 +180,9 @@ struct SimRunReport {
   // Both are fully deterministic for a given (program, faults) pair.
   std::uint64_t events = 0;
   FluidNetwork::Stats fluid;
+  // Queue mechanics (heap pops, stale entries skipped, peak heap size) —
+  // deterministic as well; surfaced as sim.events.* in the obs registry.
+  EventQueue::Stats queue;
 
   // Per-TB idle fraction: sync / finish (§5.4's "idle ratio").
   [[nodiscard]] double AvgIdleRatio() const;
@@ -196,6 +217,15 @@ class SimMachine {
   [[nodiscard]] SimRunReport Run(const SimProgram& program,
                                  const FaultPlan* faults = nullptr);
 
+  // Allocation-free variant: assembles the report into `out`, reusing its
+  // vectors' capacity, and reuses the machine's own event queue and fluid
+  // network across calls (Reset, not reconstruction). After a warm-up run
+  // of the same program shape, a RunInto performs no heap allocation with
+  // observe off (tests/test_alloc_free.cc holds this under a counting
+  // allocator). Run() forwards here with a fresh report.
+  void RunInto(const SimProgram& program, const FaultPlan* faults,
+               SimRunReport& out);
+
   // Resource accounting of the last Run (valid until the next Run).
   [[nodiscard]] const FluidNetwork& network() const;
 
@@ -206,6 +236,11 @@ class SimMachine {
 
   void AdvanceTb(std::size_t tb, SimTime now);
   void Arrive(std::size_t tb, std::size_t instr, SimTime now);
+  // Appends one timeline span to `tb`'s stream (observe mode); zero-length
+  // spans are dropped, matching the analyzer's replay.
+  void EmitSegment(std::size_t tb, SimRunReport::TimelineSegment::Kind kind,
+                   SimTime begin, SimTime end, int transfer, int barrier,
+                   bool is_send);
   void TryStart(std::size_t transfer, SimTime now);
   void OnTransferComplete(std::size_t transfer, SimTime now);
   void AccumulateBusy(std::size_t tb, SimTime start, SimTime end);
@@ -221,10 +256,19 @@ class SimMachine {
   std::optional<EventQueue> queue_;
   std::optional<FluidNetwork> net_;
   std::vector<TransferState> transfers_;
+  // Dependent edges in CSR form: transfer t's dependents are
+  // dep_edges_[dep_heads_[t] .. dep_heads_[t+1]) — one shared pool instead
+  // of a heap vector per transfer (rebuilt per run, capacity reused).
+  std::vector<std::uint32_t> dep_heads_;
+  std::vector<std::int32_t> dep_edges_;
+  std::vector<std::uint32_t> dep_fill_;  // build scratch
   std::vector<TbState> tbs_;
   std::vector<BarrierState> barriers_;
   std::vector<SimRunReport::StallSlice> stall_slices_;
   std::vector<SimRunReport::BarrierWait> barrier_waits_;
+  // Incremental per-TB timeline (observe mode): spans are appended as their
+  // resolving event fires and swapped into the report at the end.
+  std::vector<std::vector<SimRunReport::TimelineSegment>> segments_;
   int unfinished_tbs_ = 0;
   bool observe_ = false;
 };

@@ -1,0 +1,128 @@
+// CSR-style span arena for per-flow path state.
+//
+// Every fluid flow carries two parallel per-resource lists: the path's
+// ResourceIds (immutable for the flow's lifetime) and, in the aggregated
+// incremental mode, one BucketRef per resource saying where the flow sits
+// in that resource's bucket table. Keeping those in per-flow std::vectors
+// means two heap blocks per flow and a pointer chase per re-rate walk; at
+// 1024 ranks the walk's working set scatters across ~10^5 tiny allocations
+// and the simulator becomes memory-bound (the BENCH_scale.json scale
+// degradation this layer exists to fix).
+//
+// The arena replaces them with two shared pools and a {begin, len} span per
+// flow — the classic CSR layout. Allocation is bump-or-recycle: spans of
+// equal length recycle through size-class free lists (paths are short and
+// a workload uses a handful of distinct lengths), so steady-state flow
+// churn allocates nothing and the pools stop growing at the peak live
+// footprint. The re-rate walk then iterates contiguous memory.
+//
+// Not thread-safe; owned by one FluidNetwork. Validation hooks expose the
+// internals read-only so the randomized property test
+// (tests/test_flow_arena_property.cc) can assert span integrity and
+// free-list bounds without friend access.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "topology/topology.h"
+
+namespace resccl {
+
+// Where one flow sits inside one resource's bucket table: bucket index and
+// position within the bucket's member list (sim/fluid.h).
+struct BucketRef {
+  std::uint32_t bucket = 0;
+  std::uint32_t pos = 0;
+};
+
+class PathSpanArena {
+ public:
+  struct Span {
+    std::uint32_t begin = 0;
+    std::uint32_t len = 0;
+  };
+
+  // Copies `path` into the pool and returns its span. The parallel
+  // bucket-ref lane is left stale — callers rewrite it before reading
+  // (InsertIntoBuckets always runs before any bucket walk).
+  [[nodiscard]] Span Allocate(std::span<const ResourceId> path) {
+    const auto len = static_cast<std::uint32_t>(path.size());
+    Span s{0, len};
+    if (len < free_.size() && !free_[len].empty()) {
+      s.begin = free_[len].back();
+      free_[len].pop_back();
+      std::copy(path.begin(), path.end(),
+                resources_.begin() + static_cast<std::ptrdiff_t>(s.begin));
+    } else {
+      s.begin = static_cast<std::uint32_t>(resources_.size());
+      resources_.insert(resources_.end(), path.begin(), path.end());
+      refs_.resize(resources_.size());
+    }
+    ++live_spans_;
+    return s;
+  }
+
+  // Parks the span on its size-class free list. The span must have come
+  // from Allocate and must not be released twice (the property test checks
+  // the global accounting that a double release would corrupt).
+  void Release(Span s) {
+    RESCCL_CHECK(SpanInBounds(s));
+    RESCCL_CHECK(live_spans_ > 0);
+    if (free_.size() <= s.len) free_.resize(s.len + 1);
+    free_[s.len].push_back(s.begin);
+    --live_spans_;
+  }
+
+  [[nodiscard]] std::span<const ResourceId> resources(Span s) const {
+    return {resources_.data() + s.begin, s.len};
+  }
+  [[nodiscard]] std::span<BucketRef> bucket_refs(Span s) {
+    return {refs_.data() + s.begin, s.len};
+  }
+  [[nodiscard]] std::span<const BucketRef> bucket_refs(Span s) const {
+    return {refs_.data() + s.begin, s.len};
+  }
+
+  // Forgets every span while keeping pool and free-list capacity; all
+  // outstanding spans become invalid.
+  void Reset() {
+    resources_.clear();
+    refs_.clear();
+    for (std::vector<std::uint32_t>& f : free_) f.clear();
+    live_spans_ = 0;
+  }
+
+  // --- Validation surface (tests only; all read-only). -------------------
+  [[nodiscard]] std::size_t pool_size() const { return resources_.size(); }
+  [[nodiscard]] std::uint64_t live_spans() const { return live_spans_; }
+  [[nodiscard]] bool SpanInBounds(Span s) const {
+    return static_cast<std::size_t>(s.begin) + s.len <= resources_.size();
+  }
+  // Total pool cells currently parked on free lists. Live span cells plus
+  // free cells can undercount pool_size only by the cells of spans whose
+  // size class was never recycled — never overcount; the property test
+  // asserts the exact balance.
+  [[nodiscard]] std::size_t FreeCells() const {
+    std::size_t cells = 0;
+    for (std::size_t len = 0; len < free_.size(); ++len) {
+      cells += free_[len].size() * len;
+    }
+    return cells;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::uint32_t>>& free_lists()
+      const {
+    return free_;
+  }
+
+ private:
+  std::vector<ResourceId> resources_;
+  std::vector<BucketRef> refs_;  // parallel lane, same indexing
+  std::vector<std::vector<std::uint32_t>> free_;  // [len] -> span begins
+  std::uint64_t live_spans_ = 0;
+};
+
+}  // namespace resccl

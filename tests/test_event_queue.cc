@@ -191,5 +191,121 @@ TEST(EventQueueTest, RandomizedSlotRecyclingFiresExactlyLiveEntries) {
   EXPECT_GT(q.allocated_slots(), 0u);
 }
 
+TEST(EventQueueTest, RunBatchDrainsExactlyTheFrontTimestamp) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.Schedule(SimTime::Us(10), [&](SimTime) { fired.push_back(0); });
+  q.Schedule(SimTime::Us(10), [&](SimTime) { fired.push_back(1); });
+  q.Schedule(SimTime::Us(20), [&](SimTime) { fired.push_back(2); });
+  q.Schedule(SimTime::Us(10), [&](SimTime) { fired.push_back(3); });
+
+  EXPECT_EQ(q.RunBatch(), 3u);  // all of t=10, insertion order, not t=20
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 3}));
+  EXPECT_DOUBLE_EQ(q.now().us(), 10.0);
+
+  EXPECT_EQ(q.RunBatch(), 1u);
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 3, 2}));
+  EXPECT_EQ(q.RunBatch(), 0u);  // drained: no-op, clock stays put
+  EXPECT_DOUBLE_EQ(q.now().us(), 20.0);
+}
+
+TEST(EventQueueTest, RunBatchIncludesEventsScheduledAtTheBatchTimestamp) {
+  // A callback scheduling more work at the *same* timestamp extends the
+  // current batch — the machine relies on this when a transfer completion
+  // immediately releases dependents at the same instant.
+  EventQueue q;
+  int fired = 0;
+  q.Schedule(SimTime::Us(5), [&](SimTime now) {
+    ++fired;
+    q.Schedule(now, [&](SimTime) { ++fired; });
+  });
+  EXPECT_EQ(q.RunBatch(), 2u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, RunBatchMatchesRunOneEventOrder) {
+  // The batched drain is a pure loop shape change: the fired sequence must
+  // be identical to pumping RunOne.
+  auto build = [](EventQueue& q, std::vector<int>& fired) {
+    std::mt19937 rng(0xba7c4u);
+    for (int i = 0; i < 200; ++i) {
+      const double at = static_cast<double>(rng() % 17);
+      q.Schedule(SimTime::Us(1) + SimTime::Us(at),
+                 [&fired, i](SimTime) { fired.push_back(i); });
+    }
+  };
+  EventQueue q1;
+  std::vector<int> one;
+  build(q1, one);
+  while (q1.RunOne()) {
+  }
+  EventQueue qb;
+  std::vector<int> batched;
+  build(qb, batched);
+  while (qb.RunBatch() > 0) {
+  }
+  EXPECT_EQ(one, batched);
+}
+
+TEST(EventQueueTest, StatsCountPopsStaleSkipsAndPeak) {
+  EventQueue q;
+  const EventQueue::Slot rescheduled = q.NewSlot();
+  q.ScheduleSlot(rescheduled, SimTime::Us(10), [](SimTime) {});
+  // A reschedule re-keys the node in place: no stale entry is created.
+  q.ScheduleSlot(rescheduled, SimTime::Us(20), [](SimTime) {});
+  const EventQueue::Slot cancelled = q.NewSlot();
+  q.ScheduleSlot(cancelled, SimTime::Us(15), [](SimTime) {});
+  q.Schedule(SimTime::Us(30), [](SimTime) {});
+  // Cancellation is lazy — the orphaned node stays resident until popped.
+  q.CancelSlot(cancelled);
+  // Peak counts resident heap entries — the cancelled orphan included.
+  EXPECT_EQ(q.stats().peak_heap, 3u);
+  while (q.RunOne()) {
+  }
+  EXPECT_EQ(q.stats().popped, 3u);
+  EXPECT_EQ(q.stats().skipped_stale, 1u);
+  // popped - skipped_stale == events actually fired.
+  EXPECT_EQ(q.stats().popped - q.stats().skipped_stale, q.events_fired());
+}
+
+TEST(EventQueueTest, ResetClearsStateKeepsCapacityAndHook) {
+  EventQueue q;
+  int hook_calls = 0;
+  q.SetAdvanceHook([&hook_calls]() {
+    ++hook_calls;
+    return false;
+  });
+  for (int i = 0; i < 8; ++i) {
+    q.Schedule(SimTime::Us(1 + i), [](SimTime) {});
+  }
+  const EventQueue::Slot s = q.NewSlot();
+  q.ScheduleSlot(s, SimTime::Us(50), [](SimTime) {});
+  while (q.RunOne()) {
+  }
+  ASSERT_GT(hook_calls, 0);
+  ASSERT_GT(q.stats().popped, 0u);
+  ASSERT_GT(q.now().us(), 0.0);
+
+  q.Reset();
+  EXPECT_TRUE(q.empty());
+  EXPECT_DOUBLE_EQ(q.now().us(), 0.0);
+  EXPECT_EQ(q.stats().popped, 0u);
+  EXPECT_EQ(q.stats().skipped_stale, 0u);
+  EXPECT_EQ(q.stats().peak_heap, 0u);
+  EXPECT_EQ(q.events_fired(), 0u);
+  EXPECT_EQ(q.allocated_slots(), 0u);  // slot table restarts
+
+  // The queue is fully usable again — scheduling in the "past" relative to
+  // the pre-Reset clock is legal because the clock is back at zero — and
+  // the advance hook survived the Reset.
+  const int before = hook_calls;
+  bool fired = false;
+  q.Schedule(SimTime::Us(2), [&](SimTime) { fired = true; });
+  while (q.RunOne()) {
+  }
+  EXPECT_TRUE(fired);
+  EXPECT_GT(hook_calls, before);
+}
+
 }  // namespace
 }  // namespace resccl

@@ -20,6 +20,9 @@ Three classes of metric, three policies:
     (the bench already computed the ratio on one machine, so no cross-run
     normalization is needed). Today: the enabled metrics registry may cost
     at most 10% of disabled event throughput (obs.registry_overhead_frac).
+    Capped ratios are the same policy over a quotient of two wall-clock
+    metrics from the current run (host speed cancels): micro_scale bounds
+    how much per-event throughput may degrade from 64 to 1024 ranks.
 
 Usage:
   tools/check_perf.py BENCH_sim.json [--baseline PATH]
@@ -67,6 +70,17 @@ METRICS = {
         # ranks the aggregated walk must do <= 1/3 the naive walk's visits.
         "capped": [
             ("ranks1024", "visits_over_naive_frac", 1.0 / 3.0),
+        ],
+        # Scale degradation cap: per-event simulator cost is allowed to grow
+        # only boundedly from 64 to 1024 ranks (larger heap, bigger bucket
+        # tables, colder working set). Ratio of the two wall-clock metrics
+        # measured in the same process, so host speed cancels and no
+        # baseline normalization is needed. A blowup past the cap means a
+        # hot-path structure stopped scaling (e.g. the event heap or the
+        # span arena fell out of cache-resident behavior), even if absolute
+        # throughput still beats the baseline floor.
+        "capped_ratio": [
+            ("ranks64", "events_per_sec", "ranks1024", "events_per_sec", 4.0),
         ],
     },
     # The scheduling-service load sweep runs entirely under the virtual
@@ -167,6 +181,20 @@ def main():
             failures += 1
         else:
             print(f"ok   {section}.{key}: {got} (ceiling {ceiling})")
+
+    for num_sec, num_key, den_sec, den_key, ceiling in metrics.get(
+            "capped_ratio", []):
+        num = get(current, num_sec, num_key)
+        den = get(current, den_sec, den_key)
+        if num is None or den is None or den == 0:
+            continue
+        ratio = num / den
+        label = f"{num_sec}.{num_key} / {den_sec}.{den_key}"
+        if ratio > ceiling:
+            print(f"FAIL {label}: {ratio:.2f} > ceiling {ceiling}")
+            failures += 1
+        else:
+            print(f"ok   {label}: {ratio:.2f} (ceiling {ceiling})")
 
     if failures:
         print(f"{failures} perf check(s) failed")
