@@ -1,7 +1,16 @@
 // Ablation: transport protocols (Table 2). Simple vs LL vs LL128 across
 // buffer sizes on the latency-sensitive ring and the bandwidth-oriented
 // hierarchical mesh: LL wins tiny messages, LL128 the mid-range, Simple the
-// sustained-bandwidth regime — the crossover every CCL tunes around.
+// sustained-bandwidth regime — the crossover every CCL tunes around. The
+// Auto column runs the same point with Protocol::kAuto and must land
+// bit-identically on one of the explicit columns (the crossover model picks
+// a protocol, never a fourth behavior).
+//
+// Writes BENCH_protocols.json (tools/check_perf.py compares the crossover
+// points and best-protocol labels exactly and the bandwidths within
+// tolerance against bench/baselines/ablation_protocols_baseline.json).
+#include <cinttypes>
+
 #include "algorithms/hierarchical.h"
 #include "algorithms/ring.h"
 #include "bench/bench_util.h"
@@ -11,19 +20,120 @@ using namespace resccl::bench;
 
 namespace {
 
-double Bw(const Algorithm& algo, const Topology& topo, Protocol proto,
-          Size buffer, Size chunk) {
+int failures = 0;
+
+void Check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "self-check FAILED: %s\n", what);
+    ++failures;
+  }
+}
+
+// The launch the sweep uses at one buffer size: the chunk is derived from a
+// fixed micro-batch target so every point pipelines the same depth. When
+// the buffer is too small for the target at a sane chunk floor, the *batch
+// count* shrinks (clamped, never below one) — the chunk is what the
+// geometry implies, not a clamp artifact that silently changes the
+// micro-batch count across the sweep.
+Size ChunkFor(Size buffer, int nchunks) {
+  constexpr int kTargetMicroBatches = 8;
+  constexpr std::int64_t kChunkFloor = 1024;  // 1 KiB
+  const std::int64_t max_mb =
+      buffer.bytes() / (kChunkFloor * static_cast<std::int64_t>(nchunks));
+  const std::int64_t mb = std::clamp<std::int64_t>(
+      max_mb, 1, static_cast<std::int64_t>(kTargetMicroBatches));
+  const std::int64_t chunk =
+      buffer.bytes() / (mb * static_cast<std::int64_t>(nchunks));
+  return Size::Bytes(chunk < 1 ? 1 : chunk);
+}
+
+struct Point {
+  double gbps[3] = {0, 0, 0};  // Simple, LL, LL128
+  SimTime elapsed[3];
+  std::string best;      // "+"-joined labels of every protocol within tie
+                         // tolerance of the fastest (deterministic order)
+  Protocol auto_pick = Protocol::kSimple;  // what kAuto resolved to
+  double auto_gbps = 0;
+  SimTime auto_elapsed;
+};
+
+constexpr Protocol kProtos[3] = {Protocol::kSimple, Protocol::kLL,
+                                 Protocol::kLL128};
+
+CollectiveReport Run(const PreparedCollective& prepared, Protocol proto,
+                     Size buffer, Size chunk) {
   RunRequest request;
   request.launch.buffer = buffer;
   request.launch.chunk = chunk;
   request.launch.protocol = proto;
-  Result<CollectiveReport> r =
-      RunCollective(algo, topo, BackendKind::kResCCL, request);
-  if (!r.ok()) {
-    std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+  return Execute(prepared, request);
+}
+
+Point MeasurePoint(const PreparedCollective& prepared, Size buffer,
+                   Size chunk) {
+  Point p;
+  for (int i = 0; i < 3; ++i) {
+    const CollectiveReport rep = Run(prepared, kProtos[i], buffer, chunk);
+    p.gbps[i] = rep.algo_bw.gbps();
+    p.elapsed[i] = rep.elapsed;
+  }
+  // A "best" label that never hides a tie behind comparison order: every
+  // protocol within relative tolerance of the fastest is listed, joined in
+  // the fixed Simple, LL, LL128 order.
+  constexpr double kTieTol = 1e-9;
+  SimTime fastest = p.elapsed[0];
+  for (int i = 1; i < 3; ++i) fastest = std::min(fastest, p.elapsed[i]);
+  for (int i = 0; i < 3; ++i) {
+    if (p.elapsed[i].us() <= fastest.us() * (1.0 + kTieTol)) {
+      if (!p.best.empty()) p.best += "+";
+      p.best += ProtocolName(kProtos[i]);
+    }
+  }
+  const CollectiveReport auto_rep =
+      Run(prepared, Protocol::kAuto, buffer, chunk);
+  p.auto_pick = auto_rep.protocol;
+  p.auto_gbps = auto_rep.algo_bw.gbps();
+  p.auto_elapsed = auto_rep.elapsed;
+  return p;
+}
+
+struct CaseResult {
+  std::string key;  // JSON section name
+  std::vector<Size> sizes;
+  std::vector<Point> points;
+  std::int64_t crossover_to_simple = -1;  // first size Simple is (co-)best
+};
+
+void WriteJson(const char* path, const std::vector<CaseResult>& cases) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
     std::abort();
   }
-  return r.value().algo_bw.gbps();
+  std::fprintf(f, "{\n  \"bench\": \"ablation_protocols\",\n");
+  for (std::size_t c = 0; c < cases.size(); ++c) {
+    const CaseResult& cr = cases[c];
+    std::fprintf(f, "  \"%s\": {\n", cr.key.c_str());
+    for (std::size_t i = 0; i < cr.points.size(); ++i) {
+      const std::string label = SizeLabel(cr.sizes[i]);
+      const Point& p = cr.points[i];
+      std::fprintf(f, "    \"best_%s\": \"%s\",\n", label.c_str(),
+                   p.best.c_str());
+      std::fprintf(f, "    \"auto_%s\": \"%s\",\n", label.c_str(),
+                   ProtocolName(p.auto_pick));
+      std::fprintf(f, "    \"simple_gbps_%s\": %.6f,\n", label.c_str(),
+                   p.gbps[0]);
+      std::fprintf(f, "    \"ll_gbps_%s\": %.6f,\n", label.c_str(),
+                   p.gbps[1]);
+      std::fprintf(f, "    \"ll128_gbps_%s\": %.6f,\n", label.c_str(),
+                   p.gbps[2]);
+    }
+    std::fprintf(f, "    \"crossover_to_simple_bytes\": %" PRId64 "\n",
+                 cr.crossover_to_simple);
+    std::fprintf(f, "  }%s\n", c + 1 < cases.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
 }
 
 }  // namespace
@@ -31,35 +141,84 @@ double Bw(const Algorithm& algo, const Topology& topo, Protocol proto,
 int main() {
   PrintHeader("Ablation — transport protocols (ResCCL backend, 2x8)",
               "design choice from Table 2 (Protocol = Simple)",
-              "Chunk scales with the buffer so tiny messages stay "
-              "latency-bound.");
+              "Chunk derived from a fixed micro-batch target so every point "
+              "pipelines alike; Auto must match one explicit column "
+              "bit-identically.");
   const Topology topo(presets::A100(2, 8));
   struct Case {
     const char* label;
+    const char* key;
     Algorithm algo;
   };
   const Case cases[] = {
-      {"ring AllGather", algorithms::RingAllGather(16)},
-      {"HM AllReduce", algorithms::HierarchicalMeshAllReduce(topo)},
+      {"ring AllGather", "ring_allgather", algorithms::RingAllGather(16)},
+      {"HM AllReduce", "hm_allreduce",
+       algorithms::HierarchicalMeshAllReduce(topo)},
   };
+  const std::vector<Size> sizes = {Size::KiB(64), Size::KiB(256),
+                                   Size::MiB(1),  Size::MiB(8),
+                                   Size::MiB(64), Size::MiB(512)};
+
+  std::vector<CaseResult> results;
   for (const Case& c : cases) {
     std::printf("--- %s ---\n", c.label);
+    const PreparedPlan prepared =
+        PrepareOrDie(c.algo, topo, BackendKind::kResCCL);
+    const int nchunks = c.algo.nchunks > 0 ? c.algo.nchunks : c.algo.nranks;
+    CaseResult cr;
+    cr.key = c.key;
+    cr.sizes = sizes;
     TextTable table({"Buffer", "Simple GB/s", "LL GB/s", "LL128 GB/s",
-                     "best"});
-    for (Size buffer : {Size::KiB(256), Size::MiB(1), Size::MiB(8),
-                        Size::MiB(64), Size::MiB(512)}) {
-      const Size chunk =
-          std::max(Size::KiB(16), buffer / (16 * 8));  // ~8 micro-batches
-      const double simple = Bw(c.algo, topo, Protocol::kSimple, buffer, chunk);
-      const double ll = Bw(c.algo, topo, Protocol::kLL, buffer, chunk);
-      const double ll128 = Bw(c.algo, topo, Protocol::kLL128, buffer, chunk);
-      const char* best = simple >= ll && simple >= ll128 ? "Simple"
-                         : ll >= ll128                   ? "LL"
-                                                         : "LL128";
-      table.AddRow({SizeLabel(buffer), Fixed(simple, 2), Fixed(ll, 2),
-                    Fixed(ll128, 2), best});
+                     "best", "auto"});
+    for (const Size buffer : sizes) {
+      const Size chunk = ChunkFor(buffer, nchunks);
+      const Point p = MeasurePoint(*prepared, buffer, chunk);
+
+      // kAuto must reproduce its explicit column exactly: same resolved
+      // protocol -> same lowered program -> bit-identical makespan.
+      for (int i = 0; i < 3; ++i) {
+        if (kProtos[i] != p.auto_pick) continue;
+        Check(p.auto_elapsed.us() == p.elapsed[i].us(),
+              "auto run must be bit-identical to its explicit protocol");
+      }
+
+      if (cr.crossover_to_simple < 0 &&
+          p.best.find("Simple") != std::string::npos) {
+        cr.crossover_to_simple = buffer.bytes();
+      }
+      table.AddRow({SizeLabel(buffer), Fixed(p.gbps[0], 2),
+                    Fixed(p.gbps[1], 2), Fixed(p.gbps[2], 2), p.best,
+                    ProtocolName(p.auto_pick)});
+      cr.points.push_back(p);
     }
     std::printf("%s\n", table.ToString().c_str());
+    results.push_back(std::move(cr));
   }
-  return 0;
+
+  // The crossover shape on the latency-sensitive ring: LL (co-)fastest at
+  // the smallest point, Simple at the largest, and the auto picks walk
+  // monotonically LL -> LL128 -> Simple left to right.
+  const CaseResult& ring = results.front();
+  Check(ring.points.front().best.find("LL") != std::string::npos,
+        "ring: LL must be (co-)fastest at the smallest buffer");
+  Check(ring.points.back().best.find("Simple") != std::string::npos,
+        "ring: Simple must be (co-)fastest at the largest buffer");
+  Check(ring.points.front().auto_pick == Protocol::kLL,
+        "ring: auto must pick LL at the smallest buffer");
+  Check(ring.points.back().auto_pick == Protocol::kSimple,
+        "ring: auto must pick Simple at the largest buffer");
+  const auto rank_of = [](Protocol p) {
+    return p == Protocol::kLL ? 0 : p == Protocol::kLL128 ? 1 : 2;
+  };
+  for (std::size_t i = 1; i < ring.points.size(); ++i) {
+    Check(rank_of(ring.points[i].auto_pick) >=
+              rank_of(ring.points[i - 1].auto_pick),
+          "ring: auto picks must cross over monotonically");
+  }
+
+  WriteJson("BENCH_protocols.json", results);
+  if (failures == 0) {
+    std::printf("self-checks: all passed; wrote BENCH_protocols.json\n");
+  }
+  return failures == 0 ? 0 : 1;
 }

@@ -4,7 +4,10 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <map>
+#include <set>
 #include <sstream>
+#include <tuple>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -1096,6 +1099,46 @@ void CheckTbMerge(const CompiledCollective& plan, const Topology& topo,
   }
 }
 
+// ---------------------------------------------------------------------------
+// channel-capacity: the per-(rank, peer) connection-channel pool
+// (TopologySpec::channels_per_peer) must hold every stream the plan opens on
+// one (rank, peer, direction) — stage-level execution opens one per stage.
+// Compile() validates the configuration and AllocateTbs refuses violating
+// plans it builds itself; this rule is the independent check for plans that
+// arrive via plan_io.
+// ---------------------------------------------------------------------------
+
+void CheckChannelCapacity(const CompiledCollective& plan, const Topology& topo,
+                          AnalysisReport& report) {
+  const int pool = topo.spec().channels_per_peer;
+  // Distinct (rank, peer, dir, stage) endpoints, grouped per (rank, peer,
+  // dir). std::map keeps diagnostic order deterministic.
+  std::map<std::tuple<Rank, Rank, int>, std::set<int>> stages;
+  for (const TbPlan::Tb& tb : plan.tbs.tbs) {
+    for (const TbTaskRef& ref : tb.refs) {
+      const auto task = static_cast<std::size_t>(ref.task.value);
+      const Transfer& tr = plan.algo.transfers[task];
+      const Rank peer = ref.dir == Direction::kSend ? tr.dst : tr.src;
+      const int dir = ref.dir == Direction::kSend ? 0 : 1;
+      stages[{tb.rank, peer, dir}].insert(plan.stage_of_task[task]);
+    }
+  }
+  int emitted = 0;
+  for (const auto& [key, stage_set] : stages) {
+    if (static_cast<int>(stage_set.size()) <= pool) continue;
+    if (emitted++ >= kMaxDiagsPerRule) break;
+    const auto& [rank, peer, dir] = key;
+    std::ostringstream os;
+    os << (dir == 0 ? "send r" : "recv r") << (dir == 0 ? rank : peer)
+       << "->r" << (dir == 0 ? peer : rank) << " opens " << stage_set.size()
+       << " streams (one per stage) but the per-peer channel pool holds "
+          "only "
+       << pool;
+    Emit(report, rules::kChannelCapacity, "r" + std::to_string(rank),
+         os.str());
+  }
+}
+
 // Everything after the structure pass, shared by both AnalyzePlan overloads.
 // `lowered` may be null when the plan is not lowerable — the lowered-program
 // checks are skipped and the static passes still run.
@@ -1112,6 +1155,7 @@ void RunPlanChecks(const CompiledCollective& plan,
   if (topo != nullptr && v.algo_ok && v.schedule_ok && v.tbs_ok) {
     CheckTbMerge(plan, *topo, report);
     report.tb_merge_checked = true;
+    CheckChannelCapacity(plan, *topo, report);
   }
 }
 

@@ -54,6 +54,7 @@ inline constexpr const char* kDeadlock = "deadlock";
 inline constexpr const char* kHazard = "hazard";
 inline constexpr const char* kTbMerge = "tb-merge";
 inline constexpr const char* kPostcondition = "postcondition";
+inline constexpr const char* kChannelCapacity = "channel-capacity";
 }  // namespace rules
 
 // kError fails strict verification and flips lint's exit code; kWarning is

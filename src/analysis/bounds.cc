@@ -98,15 +98,6 @@ void AddCut(std::vector<CutBound>& cuts, std::string name, double demand,
       {std::move(name), demand, capacity, CutTime(demand, capacity)});
 }
 
-[[nodiscard]] double LatencyFactor(Protocol p, const CostModel& cost) {
-  switch (p) {
-    case Protocol::kSimple: return 1.0;
-    case Protocol::kLL: return cost.ll_latency_factor;
-    case Protocol::kLL128: return cost.ll128_latency_factor;
-  }
-  return 1.0;
-}
-
 }  // namespace
 
 BoundReport ComputeLowerBound(const Topology& topo, const CostModel& cost,
@@ -118,6 +109,9 @@ BoundReport ComputeLowerBound(const Topology& topo, const CostModel& cost,
                    "bound root " << input.root << " out of range");
 
   BoundReport report;
+  report.protocol =
+      ResolveProtocol(topo, cost, input.launch, input.nchunks);
+  const ProtocolSpec& proto = cost.ProtocolFor(report.protocol);
   report.nmicrobatches = input.launch.MicroBatches(nchunks);
   // The launch floors the buffer to whole micro-batches (never below one),
   // so the payload a run actually moves can differ from the requested
@@ -141,12 +135,23 @@ BoundReport ComputeLowerBound(const Topology& topo, const CostModel& cost,
     widest =
         spec.inter_latency + spec.cross_rack_extra + spec.cross_pod_extra;
   }
-  report.alpha = widest * LatencyFactor(input.launch.protocol, cost);
+  // The boundary-crossing invocation also pays the protocol's per-slot flag
+  // synchronization for its chunk's wire bytes (every invocation does; the
+  // cheaper pipelined handshake only replaces the α term, not the slots).
+  const auto wire_chunk = static_cast<std::int64_t>(
+      static_cast<double>(input.launch.chunk.bytes()) * proto.wire_inflation);
+  report.alpha = widest * proto.latency_factor +
+                 cost.SlotSyncCost(report.protocol, wire_chunk);
 
-  // --- Beta: max over cuts of demand / capacity, in payload bytes
-  // (protocol wire inflation only adds bytes, so payload is the floor).
-  const double class_bytes = static_cast<double>(input.launch.chunk.bytes()) *
-                             report.nmicrobatches;
+  // --- Beta: max over cuts of demand / capacity, in *wire* bytes. The
+  // protocol's flag words travel every link the payload does, so inflating
+  // each demand keeps the cut argument exact — and the simulator charges
+  // the same inflated bytes as flow bytes, so the bound stays a floor.
+  // Built from the lowering's truncated per-chunk wire bytes (not the exact
+  // real-number inflation) so the bound never counts a fraction of a byte
+  // the simulator does not move.
+  const double class_bytes =
+      static_cast<double>(wire_chunk) * report.nmicrobatches;
   const double total_bytes = class_bytes * nchunks;
   const int total_origins = std::min(nchunks, n);
   const int g = topo.gpus_per_node();
@@ -295,7 +300,8 @@ std::string BoundReportToJson(const BoundReport& report) {
      << ",\"bandwidth_us\":" << obs::FormatDouble(report.bandwidth.us())
      << ",\"combined_us\":" << obs::FormatDouble(report.combined.us())
      << ",\"effective_bytes\":" << report.effective_buffer.bytes()
-     << ",\"nmicrobatches\":" << report.nmicrobatches << ",\"binding_cut\":\""
+     << ",\"nmicrobatches\":" << report.nmicrobatches << ",\"protocol\":\""
+     << ProtocolName(report.protocol) << "\",\"binding_cut\":\""
      << obs::EscapeJson(report.binding_cut) << "\",\"cuts\":[";
   for (std::size_t i = 0; i < report.cuts.size(); ++i) {
     const CutBound& c = report.cuts[i];

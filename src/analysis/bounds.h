@@ -38,7 +38,13 @@
 // contention penalties, injection caps, overheads, and faults only slow runs
 // down — so no clean simulated run finishes below ComputeLowerBound(). The
 // bound is evaluated at the bytes the launch actually moves (micro-batch
-// flooring included) in payload terms; protocol wire inflation only adds.
+// flooring included) in *wire* terms: protocol wire inflation (LL's flag
+// words, LL128's per-line flags) multiplies every cut's demand, because
+// those bytes really cross the cut — the simulator charges them as flow
+// bytes, so the inflated bound stays a floor on simulated runs. The alpha
+// bound likewise adds the protocol's per-slot flag-synchronization cost for
+// one boundary chunk. Protocol::kAuto is resolved (ResolveProtocol) before
+// evaluation; BoundReport::protocol records the choice.
 #pragma once
 
 #include <string>
@@ -78,6 +84,9 @@ struct BoundReport {
   SimTime combined;       // max(alpha, bandwidth)
   Size effective_buffer;  // per-rank payload the launch actually moves
   int nmicrobatches = 1;
+  // The protocol the bound was evaluated at — the launch's, or the
+  // ResolveProtocol choice when the launch asked for kAuto.
+  Protocol protocol = Protocol::kSimple;
   std::string binding_cut;      // name of the cut achieving `bandwidth`
   std::vector<CutBound> cuts;   // every evaluated cut, binding first
 

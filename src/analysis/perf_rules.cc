@@ -197,8 +197,16 @@ PerfReport AnalyzePlanPerf(const CompiledCollective& plan,
     report.applicable = false;
     return report;
   }
-  const LoweredProgram lowered = Lower(plan, opts.cost, opts.launch);
-  return AnalyzePlanPerf(plan, lowered, topo, opts);
+  // Lowering refuses kAuto (it is a launch-time request, not a protocol),
+  // so resolve it here the same way the runtime does before lowering.
+  LaunchConfig launch = opts.launch;
+  launch.protocol =
+      ResolveProtocol(topo, opts.cost, launch, plan.algo.nchunks);
+  const LoweredProgram lowered =
+      Lower(plan, opts.cost, launch, topo.spec().channels_per_peer);
+  PerfOptions resolved = opts;
+  resolved.launch = launch;
+  return AnalyzePlanPerf(plan, lowered, topo, resolved);
 }
 
 std::string PerfReport::Summary() const {

@@ -48,6 +48,16 @@ Result<CompiledCollective> Compile(const Algorithm& algo,
   if (options.warps_per_tb < 1) {
     return Status::InvalidArgument("warps_per_tb must be >= 1");
   }
+  if (topo.spec().channels_per_peer < 1) {
+    return Status::InvalidArgument("channels_per_peer must be >= 1");
+  }
+  if (options.mode == ExecutionMode::kStageLevel &&
+      options.nstages > topo.spec().channels_per_peer) {
+    return Status::InvalidArgument(
+        "stage-level execution opens " + std::to_string(options.nstages) +
+        " streams per (rank, peer) but the channel pool holds only " +
+        std::to_string(topo.spec().channels_per_peer));
+  }
 
   CompiledCollective out;
   out.algo = algo;
@@ -80,6 +90,7 @@ Result<CompiledCollective> Compile(const Algorithm& algo,
   out.stage_of_task = PartitionStages(algo, out.nstages);
   TbAllocParams alloc_params;
   alloc_params.policy = options.tb_alloc;
+  alloc_params.channels_per_peer = topo.spec().channels_per_peer;
   out.tbs = AllocateTbs(dag, out.schedule, connections, alloc_params,
                         out.stage_of_task);
   out.stats.allocation_us = ElapsedUs(t0);

@@ -81,6 +81,7 @@ Fingerprint FingerprintOf(const Algorithm& algo, const TopologySpec& topo,
   h.I32(topo.racks_per_pod);
   h.U64(topo.rail_of_gpu.size());
   for (const int rail : topo.rail_of_gpu) h.I32(rail);
+  h.I32(topo.channels_per_peer);
   h.F64(topo.oversubscription);
   h.F64(topo.cross_pod_extra.us());
   h.F64(topo.gpu_fabric.gbps());

@@ -142,6 +142,35 @@ TbPlan AllocateTbs(const DependencyGraph& dag, const Schedule& schedule,
                stage_of_task.size() == static_cast<std::size_t>(dag.ntasks()));
   std::vector<Stream> streams = BuildStreams(dag, schedule, stage_of_task);
 
+  // Channel-pool enforcement: streams per (rank, peer, direction) differ
+  // only by stage and each needs at least one channel of the per-peer pool.
+  // BuildStreams emits streams in key order, so same-pair streams are
+  // consecutive and a linear scan counts them. Compile() validates the
+  // user-facing configuration before allocating; this is the backstop for
+  // plans assembled outside it.
+  {
+    std::size_t run_start = 0;
+    for (std::size_t i = 0; i <= streams.size(); ++i) {
+      const bool boundary =
+          i == streams.size() ||
+          (i > run_start &&
+           (streams[i].rank != streams[run_start].rank ||
+            streams[i].refs.front().dir != streams[run_start].refs.front().dir ||
+            dag.node(streams[i].refs.front().task).transfer.src !=
+                dag.node(streams[run_start].refs.front().task).transfer.src ||
+            dag.node(streams[i].refs.front().task).transfer.dst !=
+                dag.node(streams[run_start].refs.front().task).transfer.dst));
+      if (!boundary) continue;
+      RESCCL_CHECK_MSG(
+          i - run_start <= static_cast<std::size_t>(params.channels_per_peer),
+          "connection opens " << i - run_start
+                              << " streams on one (rank, peer, direction) but "
+                                 "the channel pool holds only "
+                              << params.channels_per_peer);
+      run_start = i;
+    }
+  }
+
   TbPlan plan;
   plan.send_tb.assign(static_cast<std::size_t>(dag.ntasks()), -1);
   plan.recv_tb.assign(static_cast<std::size_t>(dag.ntasks()), -1);

@@ -44,6 +44,13 @@ struct TbAllocParams {
   // micro-batches of pipelining to model when estimating activity windows.
   Size chunk = Size::MiB(1);
   int window_microbatches = 8;
+  // Per-(rank, peer) connection-channel pool (TopologySpec::
+  // channels_per_peer, wired through by Compile). Every stream needs at
+  // least one channel, so allocation refuses plans that open more streams
+  // on one (rank, peer, direction) than the pool holds — the structural
+  // half of the channel resource model; the protocol-width half is
+  // enforced at lowering time, where the protocol is known.
+  int channels_per_peer = 16;
 };
 
 struct TbPlan {

@@ -38,6 +38,15 @@ void PublishCollectiveReport(MetricsRegistry& reg,
   reg.counter("run.microbatches").Add(report.nmicrobatches);
   reg.counter("run.tbs").Add(report.total_tbs);
 
+  // Per-protocol run counters ("sim.protocol.Simple", ...): which transport
+  // protocol runs actually used, and how many of those choices were made by
+  // the kAuto crossover model rather than the caller.
+  reg.counter(std::string("sim.protocol.") + ProtocolName(report.protocol))
+      .Increment();
+  if (report.protocol_auto) {
+    reg.counter("sim.protocol.auto_resolved").Increment();
+  }
+
   reg.counter("compile.analysis_us").Add(report.compile.analysis_us);
   reg.counter("compile.scheduling_us").Add(report.compile.scheduling_us);
   reg.counter("compile.allocation_us").Add(report.compile.allocation_us);

@@ -119,6 +119,11 @@ struct CollectiveReport {
   std::string algorithm;
   SimTime elapsed;
   Bandwidth algo_bw;         // buffer bytes / elapsed (§5.2's metric)
+  // The protocol the run actually used: the request's, or the
+  // ResolveProtocol pick when the request asked for Protocol::kAuto (in
+  // which case protocol_auto records that the choice was automatic).
+  Protocol protocol = Protocol::kSimple;
+  bool protocol_auto = false;
   int nmicrobatches = 0;
   int total_tbs = 0;
   int max_tbs_per_rank = 0;

@@ -39,15 +39,27 @@ const CollectiveReport& ExecContext::Execute(const PreparedPlan& prepared,
   // old one — pointer identity below is trustworthy.
   if (plan_ != prepared) plan_ = prepared;
 
+  // Resolve kAuto BEFORE snapshotting the cache key: the key must hold the
+  // concrete protocol so an auto request and an explicit request for the
+  // same resolved protocol share one entry, and two auto requests that
+  // resolve differently (different buffers) never alias. The resolution
+  // itself is pure in (topo, cost, launch, nchunks), all of which are
+  // covered by the key (topo via plan identity).
+  const bool protocol_auto = request.launch.protocol == Protocol::kAuto;
+  LaunchConfig launch = request.launch;
+  launch.protocol =
+      ResolveProtocol(topo, request.cost, launch, cc.algo.nchunks);
+
   // --- Lowered-program cache: (plan identity, launch bytes, cost bytes). ---
   LaunchKey launch_key;
   CostKey cost_key;
-  SnapshotBytes(request.launch, launch_key);
+  SnapshotBytes(launch, launch_key);
   SnapshotBytes(request.cost, cost_key);
   if (!lowered_) lowered_ = std::make_shared<LoweredProgram>();
   if (!lowered_valid_ || lowered_for_ != &pc || launch_key != launch_key_ ||
       cost_key != cost_key_) {
-    LowerInto(cc, request.cost, request.launch, *lowered_);
+    LowerInto(cc, request.cost, launch, *lowered_,
+              topo.spec().channels_per_peer);
     lowered_for_ = &pc;
     launch_key_ = launch_key;
     cost_key_ = cost_key;
@@ -119,7 +131,9 @@ const CollectiveReport& ExecContext::Execute(const PreparedPlan& prepared,
   report_.backend = pc.backend;
   report_.algorithm = cc.algo.name;
   report_.elapsed = report_.sim.makespan;
-  report_.algo_bw = AlgoBandwidth(request.launch.buffer, report_.elapsed);
+  report_.algo_bw = AlgoBandwidth(launch.buffer, report_.elapsed);
+  report_.protocol = launch.protocol;
+  report_.protocol_auto = protocol_auto;
   report_.nmicrobatches = lowered.nmicrobatches;
   report_.total_tbs = cc.tbs.total_tbs();
   report_.max_tbs_per_rank = cc.tbs.MaxTbsPerRank(cc.algo.nranks);

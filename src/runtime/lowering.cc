@@ -22,36 +22,96 @@ SimTime PerPrimitiveOverhead(const CompiledCollective& compiled,
 
 }  // namespace
 
+Protocol ResolveProtocol(const Topology& topo, const CostModel& cost,
+                         const LaunchConfig& launch, int nchunks) {
+  if (launch.protocol != Protocol::kAuto) return launch.protocol;
+  const TopologySpec& spec = topo.spec();
+
+  // Widest one-hop handshake a contribution must cross, and the per-rank
+  // bottleneck bandwidth — the same boundary logic the lower bound uses.
+  SimTime alpha = spec.intra_latency;
+  Bandwidth bw = spec.gpu_fabric;
+  if (topo.nodes() > 1) {
+    alpha = spec.inter_latency;
+    bw = std::min(spec.pcie, spec.nic);
+  }
+  if (topo.racks() > 1) alpha += spec.cross_rack_extra;
+  if (topo.pods() > 1) alpha += spec.cross_pod_extra;
+
+  const int steps = nchunks > 0 ? nchunks : topo.nranks();
+  const int nmb = launch.MicroBatches(steps);
+  const double payload = static_cast<double>(launch.chunk.bytes()) *
+                         static_cast<double>(steps) *
+                         static_cast<double>(nmb);
+
+  Protocol best = Protocol::kLL;
+  double best_us = 0;
+  bool have_best = false;
+  for (const Protocol p :
+       {Protocol::kLL, Protocol::kLL128, Protocol::kSimple}) {
+    const ProtocolSpec& ps = cost.ProtocolFor(p);
+    const auto wire_chunk = static_cast<std::int64_t>(
+        static_cast<double>(launch.chunk.bytes()) * ps.wire_inflation);
+    const SimTime per_invocation =
+        alpha * ps.latency_factor + cost.SlotSyncCost(p, wire_chunk);
+    const SimTime tail = (cost.pipelined_handshake +
+                          cost.SlotSyncCost(p, wire_chunk)) *
+                         static_cast<double>(nmb - 1);
+    const double channel_scale = std::min(
+        1.0, static_cast<double>(spec.channels_per_peer) /
+                 static_cast<double>(ps.channel_width));
+    const double wire_us =
+        payload * ps.wire_inflation / (bw.bytes_per_us() * channel_scale);
+    const double t =
+        per_invocation.us() * static_cast<double>(steps) + tail.us() + wire_us;
+    if (!have_best || t < best_us) {
+      have_best = true;
+      best = p;
+      best_us = t;
+    }
+  }
+  return best;
+}
+
 LoweredProgram Lower(const CompiledCollective& compiled, const CostModel& cost,
-                     const LaunchConfig& launch) {
+                     const LaunchConfig& launch, int channels_per_peer) {
   LoweredProgram out;
-  LowerInto(compiled, cost, launch, out);
+  LowerInto(compiled, cost, launch, out, channels_per_peer);
   return out;
 }
 
 void LowerInto(const CompiledCollective& compiled, const CostModel& cost,
-               const LaunchConfig& launch, LoweredProgram& out) {
+               const LaunchConfig& launch, LoweredProgram& out,
+               int channels_per_peer) {
   const int ntasks = compiled.algo.ntasks();
   const int nmb = launch.MicroBatches(compiled.algo.nchunks);
   const std::int64_t chunk_bytes = launch.chunk.bytes();
   RESCCL_CHECK(chunk_bytes > 0);
+  RESCCL_CHECK_MSG(launch.protocol != Protocol::kAuto,
+                   "kAuto must be resolved (ResolveProtocol) before lowering");
 
   // Protocol trade-off: flag-embedding protocols cut the handshake latency
-  // but pay wire overhead, modelled as inflated payload bytes.
-  double latency_factor = 1.0;
-  double byte_inflation = 1.0;
-  switch (launch.protocol) {
-    case Protocol::kSimple:
-      break;
-    case Protocol::kLL:
-      latency_factor = cost.ll_latency_factor;
-      byte_inflation = 1.0 / cost.ll_bandwidth_factor;
-      break;
-    case Protocol::kLL128:
-      latency_factor = cost.ll128_latency_factor;
-      byte_inflation = 1.0 / cost.ll128_bandwidth_factor;
-      break;
-  }
+  // but pay wire overhead — carried as real flow bytes so inflated traffic
+  // contends in the fluid model — plus a per-slot flag sync at every hop.
+  const ProtocolSpec& proto = cost.ProtocolFor(launch.protocol);
+  const double latency_factor = proto.latency_factor;
+  const double byte_inflation = proto.wire_inflation;
+  const auto wire_chunk = static_cast<std::int64_t>(
+      static_cast<double>(chunk_bytes) * byte_inflation);
+  const double slot_sync_us =
+      cost.SlotSyncCost(launch.protocol, wire_chunk).us();
+
+  // Channels are a countable per-(rank,peer) resource: each connection
+  // stream drives `channel_width` of them, and stage-level execution opens
+  // one stream per stage. When the pool cannot cover that demand the
+  // protocol's injection pipeline runs partially fed.
+  const int streams_per_pair =
+      compiled.options.mode == ExecutionMode::kStageLevel ? compiled.nstages
+                                                          : 1;
+  const double channel_scale =
+      std::min(1.0, static_cast<double>(channels_per_peer) /
+                        static_cast<double>(proto.channel_width *
+                                            streams_per_pair));
 
   out.nmicrobatches = nmb;
 
@@ -69,11 +129,14 @@ void LowerInto(const CompiledCollective& compiled, const CostModel& cost,
           DeclIndex(t, m, nmb))];
       decl.src = tr.src;
       decl.dst = tr.dst;
-      decl.bytes = static_cast<std::int64_t>(
-          static_cast<double>(chunk_bytes) * byte_inflation);
+      decl.bytes = wire_chunk;
       decl.is_reduce = tr.op == TransferOp::kRecvReduceCopy;
       decl.latency_us = -1.0;
       decl.latency_scale = 1.0;
+      // Every invocation pays one flag sync per FIFO slot its wire bytes
+      // occupy — the per-hop synchronization granularity that separates
+      // the protocols beyond their α scale.
+      decl.latency_extra_us = slot_sync_us;
       // Task-level generated kernels iterate a primitive's micro-batches in
       // one pass (§4.5): invocations after the first overlap their
       // handshake with the previous invocation's drain.
@@ -102,9 +165,10 @@ void LowerInto(const CompiledCollective& compiled, const CostModel& cost,
     sim_tb.rank = tb.rank;
     sim_tb.warps = compiled.options.warps_per_tb;
     sim_tb.injection_scale =
-        compiled.options.engine == RuntimeEngine::kInterpreter
-            ? 1.0 - cost.interp_throughput_tax
-            : 1.0;
+        (compiled.options.engine == RuntimeEngine::kInterpreter
+             ? 1.0 - cost.interp_throughput_tax
+             : 1.0) *
+        channel_scale;
     sim_tb.program.clear();
   };
 

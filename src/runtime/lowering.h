@@ -30,18 +30,9 @@
 
 namespace resccl {
 
-// Transport protocol (Table 2). Simple maximizes sustained bandwidth, LL
-// minimizes latency, LL128 recovers most of the bandwidth at low latency.
-enum class Protocol : std::uint8_t { kSimple, kLL, kLL128 };
-
-[[nodiscard]] constexpr const char* ProtocolName(Protocol p) {
-  switch (p) {
-    case Protocol::kSimple: return "Simple";
-    case Protocol::kLL: return "LL";
-    case Protocol::kLL128: return "LL128";
-  }
-  return "?";
-}
+// Protocol (Simple / LL / LL128 / kAuto) and its per-protocol cost
+// parameters live in sim/cost_model.h; this header re-exports them through
+// its include for the runtime surface that historically defined them.
 
 struct LaunchConfig {
   Size buffer = Size::MiB(64);   // bytes synchronized per rank
@@ -64,19 +55,42 @@ struct LoweredProgram {
   std::vector<std::pair<int, int>> invocation_of;
 };
 
+// Resolves Protocol::kAuto against an analytic crossover model: each
+// concrete protocol's cost is estimated as handshake latency over the
+// serialized pipeline (latency_factor × the fabric's widest one-hop α per
+// step, plus per-slot flag syncs), the pipelined micro-batch tail, and the
+// wire-inflated payload over the per-rank bottleneck bandwidth (throttled
+// when the protocol's channel width exceeds the per-peer pool). LL's low
+// intercept wins the smallest messages, Simple's unit inflation the
+// largest, LL128 the band between — and because the protocols' intercepts
+// and slopes are oppositely ordered, the winner is monotone in message
+// size. A concrete `launch.protocol` is returned unchanged.
+[[nodiscard]] Protocol ResolveProtocol(const Topology& topo,
+                                       const CostModel& cost,
+                                       const LaunchConfig& launch,
+                                       int nchunks);
+
+// `channels_per_peer` is the topology's per-(rank,peer) channel pool
+// (TopologySpec::channels_per_peer); callers that hold the topology pass
+// it through so protocols that want more concurrent channels than the pool
+// provides get their injection throttled proportionally. The default
+// matches the TopologySpec default, so topology-less callers lower against
+// an unthrottled pool.
 [[nodiscard]] LoweredProgram Lower(const CompiledCollective& compiled,
                                    const CostModel& cost,
-                                   const LaunchConfig& launch);
+                                   const LaunchConfig& launch,
+                                   int channels_per_peer = 16);
 
 // Reuse variant: lowers into `out`, reusing the capacity of every nested
 // vector (transfer decls and their dep lists, TB instruction streams,
 // barrier tables). Every field is (re)assigned — including the decl
 // defaults Lower relies on from fresh construction (latency_us,
-// latency_scale, injection_scale) — so a warm `out` is bit-identical to a
-// freshly lowered one. Re-lowering the same shape allocates nothing; the
-// execution context (runtime/exec_context.h) leans on this for its
-// allocation-free Execute.
+// latency_scale, latency_extra_us, injection_scale) — so a warm `out` is
+// bit-identical to a freshly lowered one. Re-lowering the same shape
+// allocates nothing; the execution context (runtime/exec_context.h) leans
+// on this for its allocation-free Execute.
 void LowerInto(const CompiledCollective& compiled, const CostModel& cost,
-               const LaunchConfig& launch, LoweredProgram& out);
+               const LaunchConfig& launch, LoweredProgram& out,
+               int channels_per_peer = 16);
 
 }  // namespace resccl

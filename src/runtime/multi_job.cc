@@ -113,7 +113,11 @@ CoRunReport RunConcurrently(const std::vector<JobSpec>& jobs,
       job.prepared = std::move(got).value();
       job.prepare_us = job.prepared->prepare_us;
     }
-    job.lowered = Lower(job.prepared->plan, cost, spec.launch);
+    LaunchConfig launch = spec.launch;
+    launch.protocol =
+        ResolveProtocol(topo, cost, launch, spec.algorithm.nchunks);
+    job.lowered = Lower(job.prepared->plan, cost, launch,
+                        topo.spec().channels_per_peer);
     Append(merged, job);
     prepared.push_back(std::move(job));
   }

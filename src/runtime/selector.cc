@@ -66,13 +66,26 @@ std::vector<PreparedCandidate> PrepareCandidates(
   return prepared;
 }
 
-// Reduces one buffer size's already-computed reports (in candidate order)
-// to a SelectionResult. Runs serially, in index order, so the outcome is
-// independent of how the reports were produced. `first_point` charges the
-// prepare cost; later sweep points report the plans as reused (hit, zero
-// prepare). Each candidate is scored against its own static lower bound —
-// candidates can differ in chunk count, so effective bytes differ too.
+// The protocols one selection scores each candidate at. An explicit
+// request protocol pins the column; Protocol::kAuto expands to all three so
+// the selection finds the (algorithm, protocol) pair jointly and the
+// scoreboard exposes the crossover.
+std::vector<Protocol> ProtocolColumns(Protocol requested) {
+  if (requested == Protocol::kAuto) {
+    return {Protocol::kLL, Protocol::kLL128, Protocol::kSimple};
+  }
+  return {requested};
+}
+
+// Reduces one buffer size's already-computed reports (candidate-major,
+// protocol-minor order) to a SelectionResult. Runs serially, in index
+// order, so the outcome is independent of how the reports were produced.
+// `first_point` charges the prepare cost; later sweep points report the
+// plans as reused (hit, zero prepare). Each (candidate, protocol) cell is
+// scored against its own static lower bound — candidates differ in chunk
+// count and protocols in wire bytes, so effective bytes differ per cell.
 SelectionResult SelectAtSize(const std::vector<PreparedCandidate>& prepared,
+                             const std::vector<Protocol>& protos,
                              std::vector<CollectiveReport> reports,
                              const RunRequest& request, bool first_point) {
   SelectionResult result;
@@ -81,27 +94,36 @@ SelectionResult SelectAtSize(const std::vector<PreparedCandidate>& prepared,
 
   for (std::size_t j = 0; j < prepared.size(); ++j) {
     const PreparedCandidate& c = prepared[j];
-    CollectiveReport& report = reports[j];
-    report.plan_cache_hit = first_point ? c.plan_cache_hit : true;
-    report.prepare_us = first_point ? c.prepare_us : 0.0;
-    const BoundReport bound = ComputeLowerBound(
-        *c.plan->topo, request.cost, c.plan->plan.algo, request.launch);
-    result.scoreboard.push_back({c.plan->plan.algo.name,
-                                 report.algo_bw.gbps(), report.elapsed,
-                                 report.prepare_us, report.plan_cache_hit,
-                                 bound.OptimalityPct(report.elapsed)});
-    if (!have_best || report.elapsed < result.report.elapsed) {
-      have_best = true;
-      best_index = result.scoreboard.size() - 1;
-      result.report = std::move(report);
-      result.bound = bound;
+    for (std::size_t k = 0; k < protos.size(); ++k) {
+      CollectiveReport& report = reports[j * protos.size() + k];
+      report.plan_cache_hit = first_point ? c.plan_cache_hit : true;
+      report.prepare_us = first_point && k == 0 ? c.prepare_us : 0.0;
+      LaunchConfig launch = request.launch;
+      launch.protocol = protos[k];
+      const BoundReport bound = ComputeLowerBound(
+          *c.plan->topo, request.cost, c.plan->plan.algo, launch);
+      result.scoreboard.push_back({c.plan->plan.algo.name, protos[k],
+                                   report.algo_bw.gbps(), report.elapsed,
+                                   report.prepare_us, report.plan_cache_hit,
+                                   bound.OptimalityPct(report.elapsed)});
+      if (!have_best || report.elapsed < result.report.elapsed) {
+        have_best = true;
+        best_index = j;
+        result.report = std::move(report);
+        result.bound = bound;
+      }
     }
   }
-  std::sort(result.scoreboard.begin(), result.scoreboard.end(),
-            [](const CandidateScore& a, const CandidateScore& b) {
-              return a.elapsed < b.elapsed;
-            });
+  std::stable_sort(result.scoreboard.begin(), result.scoreboard.end(),
+                   [](const CandidateScore& a, const CandidateScore& b) {
+                     return a.elapsed < b.elapsed;
+                   });
   result.algorithm = prepared[best_index].plan->plan.algo;
+  // The cells ran with explicit protocols; if the caller asked for kAuto,
+  // the winner's report should still say the choice was automatic.
+  if (request.launch.protocol == Protocol::kAuto) {
+    result.report.protocol_auto = true;
+  }
   return result;
 }
 
@@ -191,27 +213,33 @@ SweepResult SelectAlgorithmSweep(CollectiveOp op, const Topology& topo,
   const std::vector<PreparedCandidate> prepared = PrepareCandidates(
       candidates, topo, backend, cache, sweep.prepare_stats);
 
-  // Every (size, candidate) cell is one Execute of an immutable plan —
-  // independent, single-threaded simulations. Run the whole grid through
-  // the pool, collect by index, then reduce each size serially in
-  // candidate order: the result is bit-identical for every jobs value.
+  // Every (size, candidate, protocol) cell is one Execute of an immutable
+  // plan — independent, single-threaded simulations. Run the whole grid
+  // through the pool, collect by index, then reduce each size serially in
+  // candidate-major order: the result is bit-identical for every jobs
+  // value.
+  const std::vector<Protocol> protos =
+      ProtocolColumns(base_request.launch.protocol);
   const std::size_t ncand = prepared.size();
+  const std::size_t nproto = protos.size();
   std::vector<std::vector<CollectiveReport>> grid(buffers.size());
-  for (auto& row : grid) row.resize(ncand);
-  ParallelFor(ThreadPool::ResolveJobs(jobs), buffers.size() * ncand,
+  for (auto& row : grid) row.resize(ncand * nproto);
+  ParallelFor(ThreadPool::ResolveJobs(jobs), buffers.size() * ncand * nproto,
               [&](std::size_t cell) {
-                const std::size_t i = cell / ncand;
-                const std::size_t j = cell % ncand;
+                const std::size_t i = cell / (ncand * nproto);
+                const std::size_t j = (cell / nproto) % ncand;
+                const std::size_t k = cell % nproto;
                 RunRequest request = base_request;
                 request.launch.buffer = buffers[i];
-                grid[i][j] = Execute(*prepared[j].plan, request);
+                request.launch.protocol = protos[k];
+                grid[i][j * nproto + k] = Execute(*prepared[j].plan, request);
               });
 
   for (std::size_t i = 0; i < buffers.size(); ++i) {
     RunRequest request = base_request;
     request.launch.buffer = buffers[i];
     SelectionResult point =
-        SelectAtSize(prepared, std::move(grid[i]), request, i == 0);
+        SelectAtSize(prepared, protos, std::move(grid[i]), request, i == 0);
     point.prepare_stats = sweep.prepare_stats;
     sweep.points.push_back(std::move(point));
   }

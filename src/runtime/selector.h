@@ -25,13 +25,19 @@ namespace resccl {
 
 struct CandidateScore {
   std::string name;
+  // The protocol this row was scored at. With an explicit request protocol
+  // there is one row per candidate; with Protocol::kAuto the grid expands
+  // to candidates × {LL, LL128, Simple} so the scoreboard exposes the
+  // crossovers directly.
+  Protocol protocol = Protocol::kSimple;
   double gbps = 0;
   SimTime elapsed;
   double prepare_us = 0;        // prepare cost charged to this score (0 if
                                 // the plan was reused from an earlier size)
   bool plan_cache_hit = false;  // true when no compile happened for it
-  // Static optimality: lower bound / elapsed × 100, evaluated per candidate
-  // at its own effective bytes (analysis/bounds.h). ≤ 100 by soundness.
+  // Static optimality: lower bound / elapsed × 100, evaluated per
+  // (candidate, protocol) at its own effective wire bytes
+  // (analysis/bounds.h). ≤ 100 by soundness.
   double pct_of_optimal = 0;
 };
 

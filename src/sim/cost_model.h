@@ -23,6 +23,41 @@
 
 namespace resccl {
 
+// Transport protocol (Table 2, "Demystifying NCCL"). Simple maximizes
+// sustained bandwidth, LL minimizes latency, LL128 recovers most of the
+// bandwidth at low latency. kAuto defers the choice to launch time: the
+// runtime resolves it per (topology, message size) before lowering
+// (ResolveProtocol in runtime/lowering.h), so a concrete protocol is always
+// in effect by the time a program reaches the simulator.
+enum class Protocol : std::uint8_t { kSimple, kLL, kLL128, kAuto };
+
+[[nodiscard]] constexpr const char* ProtocolName(Protocol p) {
+  switch (p) {
+    case Protocol::kSimple: return "Simple";
+    case Protocol::kLL: return "LL";
+    case Protocol::kLL128: return "LL128";
+    case Protocol::kAuto: return "Auto";
+  }
+  return "?";
+}
+
+// Per-protocol transport parameters. The three protocols differ in more
+// than a latency scale and a bandwidth haircut: each posts data in
+// fixed-size FIFO slots, pays a flag-synchronization cost per slot at every
+// hop, carries a distinct wire overhead (LL writes a 4-byte flag per
+// 8 bytes of payload — 2x on the wire; LL128 a flag per 128-byte line —
+// 128/120), and opens a different number of per-peer channels to drive its
+// pipeline. Wire inflation is carried as real flow bytes through the fluid
+// model, so inflated traffic contends, saturates cuts, and shows up in link
+// accounting exactly like payload does.
+struct ProtocolSpec {
+  double latency_factor = 1.0;  // fraction of the path α each handshake pays
+  double wire_inflation = 1.0;  // wire bytes per payload byte
+  Size slot = Size::KiB(512);   // FIFO slot / pipelining granularity
+  SimTime hop_sync;             // per-slot flag synchronization cost
+  int channel_width = 4;        // per-peer channels the protocol drives
+};
+
 struct CostModel {
   // Per-warp copy throughput. Intra-node warps move data over the NVSwitch
   // fabric; inter-node warps stage into the proxy FIFO feeding the NIC.
@@ -55,14 +90,37 @@ struct CostModel {
   // invocation m+1 overlaps invocation m's drain, leaving only this cost.
   SimTime pipelined_handshake = SimTime::Us(0.3);
 
-  // Transport protocols (Table 2): Simple posts full buffers and
-  // synchronizes per chunk (full α, full bandwidth); LL embeds 4-byte flags
-  // in every 8 bytes (tiny latency, half bandwidth); LL128 amortizes the
-  // flag over 128-byte lines (low latency, ~95% bandwidth).
-  double ll_latency_factor = 0.25;
-  double ll_bandwidth_factor = 0.5;
-  double ll128_latency_factor = 0.35;
-  double ll128_bandwidth_factor = 120.0 / 128.0;
+  // Transport protocols (Table 2): Simple posts large slots and
+  // synchronizes per chunk (full α, full bandwidth, wide channels); LL
+  // embeds 4-byte flags in every 8 bytes (tiny latency, 2x wire bytes,
+  // tiny slots, one channel); LL128 amortizes the flag over 128-byte lines
+  // (low latency, 128/120 wire bytes, mid-size slots).
+  ProtocolSpec simple{1.0, 1.0, Size::KiB(512), SimTime::Us(0.06), 4};
+  ProtocolSpec ll{0.25, 2.0, Size::KiB(16), SimTime::Us(0.004), 1};
+  ProtocolSpec ll128{0.35, 128.0 / 120.0, Size::KiB(64), SimTime::Us(0.01), 2};
+
+  // The spec for a *concrete* protocol. kAuto has no spec of its own — it
+  // must be resolved to one of the three before the cost layer is consulted.
+  [[nodiscard]] constexpr const ProtocolSpec& ProtocolFor(Protocol p) const {
+    switch (p) {
+      case Protocol::kLL: return ll;
+      case Protocol::kLL128: return ll128;
+      case Protocol::kSimple:
+      case Protocol::kAuto: break;
+    }
+    return simple;
+  }
+
+  // Additive per-invocation flag-synchronization cost: one hop_sync per
+  // FIFO slot the wire-inflated chunk occupies.
+  [[nodiscard]] constexpr SimTime SlotSyncCost(Protocol p,
+                                               std::int64_t wire_bytes) const {
+    const ProtocolSpec& spec = ProtocolFor(p);
+    const std::int64_t slot = spec.slot.bytes();
+    const std::int64_t slots =
+        slot > 0 ? (wire_bytes + slot - 1) / slot : std::int64_t{1};
+    return spec.hop_sync * static_cast<double>(slots < 1 ? 1 : slots);
+  }
 
   [[nodiscard]] Bandwidth TbInjectionCap(PathKind kind, int warps) const {
     const Bandwidth per_warp =

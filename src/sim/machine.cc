@@ -328,10 +328,12 @@ void SimMachine::TryStart(std::size_t transfer, SimTime now) {
       static_cast<double>(decl.bytes) * inflate);
 
   // Startup latency α (stretched by any injected jitter), then the fluid
-  // byte phase.
-  SimTime latency = decl.latency_us >= 0.0
-                        ? SimTime::Us(decl.latency_us)
-                        : tr.path->latency * decl.latency_scale;
+  // byte phase. The protocol's per-slot flag syncs ride on top of either
+  // the overridden or the path-derived handshake.
+  SimTime latency = (decl.latency_us >= 0.0
+                         ? SimTime::Us(decl.latency_us)
+                         : tr.path->latency * decl.latency_scale) +
+                    SimTime::Us(decl.latency_extra_us);
   if (faults_ != nullptr) {
     latency = latency * faults_->LatencyScale(static_cast<int>(transfer));
   }

@@ -43,8 +43,12 @@ struct SimTransferDecl {
   // micro-batch invocations of one primitive in a single pass (§4.5), so
   // invocations after the first only pay a FIFO slot-sync, not the full
   // handshake; flag-based protocols (LL/LL128) scale the handshake down.
+  // `latency_extra_us` is added on top of either branch: the protocol's
+  // per-slot flag-synchronization cost for this invocation's wire bytes
+  // (CostModel::SlotSyncCost), charged whether or not the α was overridden.
   double latency_us = -1.0;
   double latency_scale = 1.0;
+  double latency_extra_us = 0.0;
   std::vector<int> deps;            // indices of transfers that must finish first
 };
 

@@ -111,6 +111,17 @@ struct TopologySpec {
   // keeps the paper's non-blocking Clos.
   double oversubscription = 1.0;
 
+  // Per-(rank, peer) connection-channel pool — the countable resource NCCL
+  // calls "channels" on one connection. Each connection stream consumes
+  // channels at its protocol's width (CostModel::ProtocolSpec::
+  // channel_width), and stage-level execution opens one stream per stage;
+  // when demand exceeds the pool, lowering throttles the TB injection
+  // pipeline proportionally, and the static analyzer flags plans whose
+  // stream count alone cannot fit (rules::kChannelCapacity). The default
+  // covers every stock configuration (widest protocol × MSCCL's two
+  // stages), so it only binds when a spec narrows it deliberately.
+  int channels_per_peer = 16;
+
   double fabric_gamma = 0.01;  // NVSwitch / PCIe sharing penalty
   double nic_gamma = 0.08;     // NIC sharing penalty (Fig. 4)
   // Switch-port (trunk/spine) sharing penalty. The Fig. 4 collapse is an

@@ -16,6 +16,11 @@ Three classes of metric, three policies:
     regression larger than --max-regression (default 25%) below baseline.
     Faster-than-baseline runs always pass; refresh the baseline with
     --update when an intentional speedup or workload change lands.
+  * Tolerance metrics are deterministic in-simulator numbers that shift
+    whenever the cost model is retuned (protocol bandwidths): they must stay
+    within a two-sided relative tolerance of the baseline — unlike
+    wall-clock metrics, faster-than-baseline is also a failure, because any
+    drift means the model changed.
   * Capped metrics carry an absolute ceiling independent of any baseline
     (the bench already computed the ratio on one machine, so no cross-run
     normalization is needed). Today: the enabled metrics registry may cost
@@ -81,6 +86,31 @@ METRICS = {
         # throughput still beats the baseline floor.
         "capped_ratio": [
             ("ranks64", "events_per_sec", "ranks1024", "events_per_sec", 4.0),
+        ],
+    },
+    # The protocol-crossover study runs entirely inside the deterministic
+    # simulator: best-protocol labels, kAuto picks, and the crossover point
+    # must match the baseline exactly. The bandwidths are deterministic too,
+    # but they move whenever the cost model is retuned — the tolerance
+    # policy (two-sided, unlike wall_clock's one-sided floor) flags any
+    # drift beyond 1% without demanding bit-stable doubles through JSON.
+    "ablation_protocols": {
+        "deterministic": [
+            (case, key)
+            for case in ("ring_allgather", "hm_allreduce")
+            for size in ("64KB", "256KB", "1MB", "8MB", "64MB", "512MB")
+            for key in (f"best_{size}", f"auto_{size}")
+        ] + [
+            (case, "crossover_to_simple_bytes")
+            for case in ("ring_allgather", "hm_allreduce")
+        ],
+        "wall_clock": [],
+        "capped": [],
+        "tolerance": [
+            (case, f"{proto}_gbps_{size}", 0.01)
+            for case in ("ring_allgather", "hm_allreduce")
+            for proto in ("simple", "ll", "ll128")
+            for size in ("64KB", "512MB")
         ],
     },
     # The scheduling-service load sweep runs entirely under the virtual
@@ -181,6 +211,18 @@ def main():
             failures += 1
         else:
             print(f"ok   {section}.{key}: {got} (ceiling {ceiling})")
+
+    for section, key, tol in metrics.get("tolerance", []):
+        want, got = get(baseline, section, key), get(current, section, key)
+        if want is None or got is None:
+            continue
+        if abs(got - want) > tol * max(1.0, abs(want)):
+            print(f"FAIL {section}.{key}: {got:.4f} vs baseline {want:.4f} "
+                  f"(tolerance {tol:.0%})")
+            failures += 1
+        else:
+            print(f"ok   {section}.{key}: {got:.4f} "
+                  f"(baseline {want:.4f}, tolerance {tol:.0%})")
 
     for num_sec, num_key, den_sec, den_key, ceiling in metrics.get(
             "capped_ratio", []):

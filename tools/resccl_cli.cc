@@ -4,7 +4,7 @@
 //       Show the built-in algorithm registry and topology presets.
 //   resccl run --algo hm_allreduce --topo a100 --nodes 2 --gpus 8
 //              [--backend resccl|msccl|nccl] [--buffer-mb N] [--chunk-kb N]
-//              [--protocol simple|ll|ll128] [--verify] [--trace out.json]
+//              [--protocol simple|ll|ll128|auto] [--verify] [--trace out.json]
 //              [--faults seed:intensity]
 //       Simulate one collective and print the report. --faults perturbs the
 //       fabric with a deterministic seed-driven fault plan (degraded links,
@@ -203,6 +203,7 @@ RunRequest MakeRequest(const Args& args) {
   const std::string proto = args.Get("protocol", "simple");
   if (proto == "ll") request.launch.protocol = Protocol::kLL;
   else if (proto == "ll128") request.launch.protocol = Protocol::kLL128;
+  else if (proto == "auto") request.launch.protocol = Protocol::kAuto;
   request.verify = args.Has("verify");
   return request;
 }
@@ -303,9 +304,10 @@ int CmdRun(const Args& args) {
     return 1;
   }
   const CollectiveReport& rep = r.value();
-  std::printf("%s on %s (%s backend, %s, %d MiB/rank)\n",
+  std::printf("%s on %s (%s backend, %s%s, %d MiB/rank)\n",
               rep.algorithm.c_str(), topo.spec().name.c_str(),
-              rep.backend.c_str(), ProtocolName(request.launch.protocol),
+              rep.backend.c_str(), ProtocolName(rep.protocol),
+              rep.protocol_auto ? " via auto" : "",
               static_cast<int>(request.launch.buffer.mib()));
   std::printf("  algorithm bandwidth : %8.2f GB/s\n", rep.algo_bw.gbps());
   std::printf("  completion          : %8.3f ms (%d micro-batches)\n",
@@ -409,9 +411,12 @@ int CmdSelect(const Args& args) {
   std::printf("%s on %s, %d MiB/rank:\n", CollectiveOpName(*op),
               topo.spec().name.c_str(), args.GetInt("buffer-mb", 256));
   for (const CandidateScore& s : sel.scoreboard) {
-    std::printf("  %-24s %9.2f GB/s  %9.3f ms  %5.1f%% of opt%s\n",
-                s.name.c_str(), s.gbps, s.elapsed.ms(), s.pct_of_optimal,
-                s.name == sel.algorithm.name ? "   <- selected" : "");
+    const bool selected = s.name == sel.algorithm.name &&
+                          s.protocol == sel.report.protocol;
+    std::printf("  %-24s %-6s %9.2f GB/s  %9.3f ms  %5.1f%% of opt%s\n",
+                s.name.c_str(), ProtocolName(s.protocol), s.gbps,
+                s.elapsed.ms(), s.pct_of_optimal,
+                selected ? "   <- selected" : "");
   }
   std::printf("  lower bound: %s\n", sel.bound.Summary().c_str());
   return 0;
@@ -811,7 +816,7 @@ constexpr Command kCommands[] = {
      CmdSelect},
     {"bound",
      "resccl bound --op <collective> [--topo ...] [--buffer-mb N] "
-     "[--chunk-kb N] [--protocol simple|ll|ll128] [--chunks N] [--root R] "
+     "[--chunk-kb N] [--protocol simple|ll|ll128|auto] [--chunks N] [--root R] "
      "[--json]",
      CmdBound},
     {"emit", "resccl emit --algo <name> [--nodes N] [--gpus G]", CmdEmit},
